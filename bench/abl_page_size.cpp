@@ -1,0 +1,51 @@
+// Ablation — SEM minimum read size (the paper: "We utilize a minimum read
+// size of 4KB; even with this relatively small value we still receive
+// significantly more data from disk than we request", §6.2.1) and SAFS-style
+// request merging.
+//
+// Sweeps the page size with MTI on (fragmented access pattern) and reports
+// bytes requested vs read and device request count: small pages read less
+// superfluous data but issue many more requests; large pages amortize
+// requests but amplify fragmentation waste.
+#include "bench_util.hpp"
+#include "sem/sem_kmeans.hpp"
+
+using namespace knor;
+
+int main() {
+  bench::header("Ablation: SEM page size vs fragmentation",
+                "the 4KB minimum-read choice of §6.2.1");
+
+  data::GeneratorSpec spec = bench::friendster32_proxy();
+  spec.n = bench::scaled(100000);
+  bench::TempMatrixFile file(spec, "abl_page");
+  std::printf("dataset: %s; k=10, MTI on, row cache off (isolates paging)\n\n",
+              spec.describe().c_str());
+
+  std::printf("%-10s %14s %12s %16s %14s\n", "page", "requested(MB)",
+              "read(MB)", "read/requested", "device reqs");
+  for (const std::size_t page : {512u, 1024u, 4096u, 16384u, 65536u}) {
+    Options opts;
+    opts.k = 10;
+    opts.threads = 4;
+    opts.max_iters = 25;
+    opts.seed = 42;
+    sem::SemOptions sopts;
+    sopts.page_size = page;
+    sopts.page_cache_bytes = 1 << 20;
+    sopts.row_cache_enabled = false;
+    sem::SemStats stats;
+    sem::kmeans(file.path(), opts, sopts, &stats);
+    const double requested = stats.total_requested() / 1e6;
+    const double read = stats.total_read() / 1e6;
+    std::printf("%-10zu %14.1f %12.1f %16.2f %14llu\n", page, requested,
+                read, read / requested,
+                static_cast<unsigned long long>(
+                    stats.total_device_requests()));
+  }
+  std::printf("\nShape check: read/requested amplification grows with page "
+              "size (pruning requests scattered rows); request count grows "
+              "as pages shrink — 4KB balances the two, as the paper "
+              "argues.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Shared helpers for the table/figure reproduction benches.
+//
+// Every bench binary regenerates one table or figure from the paper's
+// evaluation (Section 8) at container-feasible scale. Scale factors and the
+// shape criteria each bench must exhibit are recorded in EXPERIMENTS.md.
+//
+// Proxy datasets (Table 2 substitutes — DESIGN.md §1):
+//   friendster8_proxy / friendster32_proxy — natural clusters with
+//     power-law sizes, d = 8 / 32 (eigenvector embeddings of a power-law
+//     graph).
+//   rm_proxy  — multivariate uniform (the RM856M / RM1B worst case).
+//   ru_proxy  — univariate normal rows, wide d (the RU2B dataset).
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unistd.h>
+
+#include "data/generator.hpp"
+#include "data/matrix_io.hpp"
+
+namespace knor::bench {
+
+/// Benches honor KNOR_BENCH_SCALE (float; default 1.0) so the suite can be
+/// shrunk for smoke runs or grown on beefier machines.
+inline double scale() {
+  static const double s = [] {
+    const char* env = std::getenv("KNOR_BENCH_SCALE");
+    const double v = env != nullptr ? std::atof(env) : 1.0;
+    return v > 0 ? v : 1.0;
+  }();
+  return s;
+}
+
+inline index_t scaled(index_t n) {
+  return std::max<index_t>(1000, static_cast<index_t>(n * scale()));
+}
+
+inline data::GeneratorSpec friendster8_proxy() {
+  data::GeneratorSpec spec;
+  spec.dist = data::Distribution::kNaturalClusters;
+  spec.n = scaled(120000);
+  spec.d = 8;
+  // Many distinct communities (>= any k the benches sweep): a power-law
+  // graph's eigenvector embedding has hundreds of strongly rooted
+  // clusters, which is what keeps centroids separated and MTI's clause-1
+  // effective. With fewer components than k, k-means packs centroids
+  // inside one Gaussian and no triangle-inequality method can prune.
+  spec.true_clusters = 128;
+  spec.power_law_alpha = 1.5;
+  spec.separation = 8.0;
+  spec.seed = 1317;
+  return spec;
+}
+
+inline data::GeneratorSpec friendster32_proxy() {
+  data::GeneratorSpec spec = friendster8_proxy();
+  spec.d = 32;
+  spec.seed = 1332;
+  return spec;
+}
+
+inline data::GeneratorSpec rm_proxy(index_t n = 400000) {
+  data::GeneratorSpec spec;
+  spec.dist = data::Distribution::kUniformRandom;
+  spec.n = scaled(n);
+  spec.d = 16;
+  spec.seed = 856;
+  return spec;
+}
+
+inline data::GeneratorSpec ru_proxy() {
+  data::GeneratorSpec spec;
+  spec.dist = data::Distribution::kUnivariateRandom;
+  spec.n = scaled(250000);
+  spec.d = 64;
+  spec.seed = 2100;
+  return spec;
+}
+
+/// Temp file for SEM benches, removed on destruction.
+class TempMatrixFile {
+ public:
+  explicit TempMatrixFile(const data::GeneratorSpec& spec, std::string tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("knor_bench_" + tag + "_" + std::to_string(::getpid()) + ".kmat");
+    data::write_generated(path_, spec);
+  }
+  ~TempMatrixFile() {
+    std::error_code ec;
+    std::filesystem::remove(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n  (reproduces %s; scale=%.2f — see EXPERIMENTS.md)\n",
+              title, paper_ref, scale());
+  std::printf("================================================================\n");
+}
+
+}  // namespace knor::bench

@@ -1,0 +1,81 @@
+// Figure 6 — the effect of the row cache and MTI on knors I/O
+// (Friendster-32 proxy, k=10).
+//
+//  6a: per-iteration data requested vs data read from "SSD", with the row
+//      cache enabled vs disabled.
+//  6b: total data requested vs read for knors / knors- / knors--.
+//
+// Shape to reproduce: (a) without the RC, bytes read stay well above bytes
+// requested (4KB-page fragmentation); with the RC both collapse after the
+// first refresh. (b) knors-- requests and reads everything every iteration;
+// knors- prunes requests but fragmentation keeps reads high; knors cuts
+// reads by roughly an order of magnitude.
+#include "bench_util.hpp"
+#include "sem/sem_kmeans.hpp"
+
+using namespace knor;
+
+int main() {
+  bench::header("Figure 6: row cache + MTI effect on knors I/O",
+                "Figures 6a/6b of the paper");
+
+  data::GeneratorSpec spec = bench::friendster32_proxy();
+  spec.n = bench::scaled(100000);
+  bench::TempMatrixFile file(spec, "fig6");
+  std::printf("dataset: %s (%.1f MB on disk)\n", spec.describe().c_str(),
+              spec.bytes() / 1e6);
+
+  Options opts;
+  opts.k = 10;
+  opts.threads = 4;
+  opts.max_iters = 30;
+  opts.seed = 42;
+
+  sem::SemOptions sopts;
+  sopts.page_size = 4096;  // the paper's minimum-read size
+  sopts.page_cache_bytes = 1 << 20;
+  // The paper sizes the RC (512MB) to hold the converged active set of the
+  // 16GB dataset; the equivalent proportion here is ~data/2.
+  sopts.row_cache_bytes = static_cast<std::size_t>(spec.bytes() / 2);
+
+  struct Config {
+    const char* name;
+    bool prune;
+    bool rc;
+    sem::SemStats stats;
+  };
+  std::vector<Config> configs = {{"knors", true, true, {}},
+                                 {"knors-", true, false, {}},
+                                 {"knors--", false, false, {}}};
+  for (auto& config : configs) {
+    Options o = opts;
+    o.prune = config.prune;
+    sem::SemOptions so = sopts;
+    so.row_cache_enabled = config.rc;
+    sem::kmeans(file.path(), o, so, &config.stats);
+  }
+
+  std::printf("\n--- 6a: per-iteration I/O, MTI on, RC on vs off (MB) ---\n");
+  std::printf("%-5s | %12s %12s | %12s %12s\n", "iter", "knors req",
+              "knors read", "noRC req", "noRC read");
+  const auto& rc_iters = configs[0].stats.per_iter;
+  const auto& norc_iters = configs[1].stats.per_iter;
+  const std::size_t iters = std::min(rc_iters.size(), norc_iters.size());
+  for (std::size_t i = 0; i < iters; ++i) {
+    std::printf("%-5zu | %12.2f %12.2f | %12.2f %12.2f\n", i + 1,
+                rc_iters[i].bytes_requested / 1e6,
+                rc_iters[i].bytes_read / 1e6,
+                norc_iters[i].bytes_requested / 1e6,
+                norc_iters[i].bytes_read / 1e6);
+  }
+
+  std::printf("\n--- 6b: totals over the run (MB) ---\n");
+  std::printf("%-8s %14s %14s\n", "variant", "requested", "read-from-SSD");
+  for (const auto& config : configs)
+    std::printf("%-8s %14.1f %14.1f\n", config.name,
+                config.stats.total_requested() / 1e6,
+                config.stats.total_read() / 1e6);
+  std::printf("\nShape check: read(knors) << read(knors-) ~<= read(knors--); "
+              "requested(knors--) == dataset x iterations.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Kernel microbenchmarks (google-benchmark): the inner loops whose cost
+// model explains the macro results — distance kernels, per-thread centroid
+// accumulation and merge, task queue throughput, MTI bookkeeping, and the
+// collective used by knord.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/distance.hpp"
+#include "core/local_centroids.hpp"
+#include "core/mti.hpp"
+#include "data/generator.hpp"
+#include "dist/comm.hpp"
+#include "numa/partitioner.hpp"
+#include "sched/task_queue.hpp"
+
+namespace {
+
+using namespace knor;
+
+DenseMatrix make_data(index_t n, index_t d) {
+  data::GeneratorSpec spec;
+  spec.n = n;
+  spec.d = d;
+  return data::generate(spec);
+}
+
+void BM_DistSq(benchmark::State& state) {
+  const index_t d = static_cast<index_t>(state.range(0));
+  const DenseMatrix m = make_data(2, d);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dist_sq(m.row(0), m.row(1), d));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistSq)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_NearestCentroid(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const index_t d = 16;
+  const DenseMatrix point = make_data(1, d);
+  const DenseMatrix centroids = make_data(static_cast<index_t>(k), d);
+  value_t dist_out = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        nearest_centroid(point.row(0), centroids.data(), k, d, &dist_out));
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_NearestCentroid)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_LocalCentroidAdd(benchmark::State& state) {
+  const index_t d = static_cast<index_t>(state.range(0));
+  LocalCentroids acc(16, d);
+  const DenseMatrix row = make_data(1, d);
+  cluster_t c = 0;
+  for (auto _ : state) {
+    acc.add(c, row.row(0));
+    c = (c + 1) % 16;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LocalCentroidAdd)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LocalCentroidMerge(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  LocalCentroids a(k, 32), b(k, 32);
+  for (auto _ : state) a.merge(b);
+  state.SetItemsProcessed(state.iterations() * k);
+}
+BENCHMARK(BM_LocalCentroidMerge)->Arg(10)->Arg(100);
+
+void BM_MtiPrepare(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const DenseMatrix cur = make_data(static_cast<index_t>(k), 32);
+  DenseMatrix prev = cur;
+  MtiState mti(1000, k);
+  for (auto _ : state) mti.prepare(prev, cur);
+  state.SetItemsProcessed(state.iterations() * k * k / 2);
+}
+BENCHMARK(BM_MtiPrepare)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_TaskQueueDrain(benchmark::State& state) {
+  const auto topo = numa::Topology::simulated(4, 8);
+  const numa::Partitioner parts(1 << 20, 8, topo);
+  sched::TaskQueue queue(parts, sched::SchedPolicy::kNumaAware, 8192);
+  for (auto _ : state) {
+    state.PauseTiming();
+    queue.reset();
+    state.ResumeTiming();
+    sched::Task task;
+    for (int t = 0; t < 8; ++t)
+      while (queue.next(t, task)) benchmark::DoNotOptimize(task.begin);
+  }
+  state.SetItemsProcessed(state.iterations() * ((1 << 20) / 8192));
+}
+BENCHMARK(BM_TaskQueueDrain);
+
+void BM_AllreduceSum(benchmark::State& state) {
+  const std::size_t count = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    dist::Cluster cluster(4);
+    cluster.run([&](dist::Communicator& comm) {
+      std::vector<double> payload(count, 1.0);
+      comm.allreduce_sum(payload.data(), payload.size());
+      benchmark::DoNotOptimize(payload[0]);
+    });
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+}
+BENCHMARK(BM_AllreduceSum)->Arg(320)->Arg(3200);
+
+}  // namespace

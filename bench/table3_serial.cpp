@@ -1,0 +1,67 @@
+// Table 3 — serial (1-thread) performance of popular k-means
+// implementations on the Friendster-8 dataset, all running Lloyd's with
+// every distance computed (pruning off, per the paper's fairness rule).
+//
+// Paper stand-ins (DESIGN.md §1):
+//   knori(iterative)  -> our engine, T=1, MTI off
+//   MATLAB/BLAS GEMM  -> gemm_kmeans (blocked dgemm formulation)
+//   R / Scikit-learn / MLpack iterative -> lloyd_serial (plain iterative C)
+//   + lloyd_locked at T=1 to show the lock overhead vanishes serially.
+//
+// Shape to reproduce: the iterative kernels lead; the GEMM formulation is
+// ~2-3x slower at this d (it materializes an n x k block and cannot fuse
+// the argmin); all are the same order of magnitude.
+#include "bench_util.hpp"
+#include "core/engines.hpp"
+#include "core/knori.hpp"
+
+using namespace knor;
+
+int main() {
+  bench::header("Table 3: serial performance, all distances computed",
+                "Table 3 of the paper");
+
+  const data::GeneratorSpec spec = bench::friendster8_proxy();
+  const DenseMatrix m = data::generate(spec);
+  std::printf("dataset: %s\n\n", spec.describe().c_str());
+
+  Options opts;
+  opts.k = 10;
+  opts.threads = 1;
+  opts.max_iters = 8;
+  opts.prune = false;  // fairness: all implementations do all distances
+  opts.seed = 42;
+
+  struct Entry {
+    const char* name;
+    const char* paper_analogue;
+    Result result;
+  };
+  std::vector<Entry> entries;
+  entries.push_back({"knori(T=1)", "knori 7.49 s/iter",
+                     kmeans(m.const_view(), opts)});
+  entries.push_back({"iterative-C", "R 8.63 / sklearn 12.84 / MLpack 13.09",
+                     lloyd_serial(m.const_view(), opts)});
+  entries.push_back({"gemm", "MATLAB 20.68 / BLAS 20.70",
+                     gemm_kmeans(m.const_view(), opts)});
+  entries.push_back({"locked(T=1)", "(lock overhead, serial: none)",
+                     lloyd_locked(m.const_view(), opts)});
+
+  std::printf("%-14s %14s %12s   %s\n", "implementation", "time/iter(ms)",
+              "energy", "paper analogue (s/iter @66M pts)");
+  for (const auto& entry : entries)
+    std::printf("%-14s %14.2f %12.4e   %s\n", entry.name,
+                entry.result.iter_times.mean() * 1e3, entry.result.energy,
+                entry.paper_analogue);
+
+  const double knori_ms = entries[0].result.iter_times.mean() * 1e3;
+  const double iter_ms = entries[1].result.iter_times.mean() * 1e3;
+  const double gemm_ms = entries[2].result.iter_times.mean() * 1e3;
+  std::printf("\nShape check: knori(T=1) within a few %% of the plain "
+              "iterative loop (engine overhead %.0f%%); gemm %.2fx slower "
+              "(paper: 20.7/7.5 = 2.8x, their comparators carry more "
+              "overhead than our shared kernel); all engines agree on "
+              "energy.\n",
+              100.0 * (knori_ms - iter_ms) / iter_ms, gemm_ms / iter_ms);
+  return 0;
+}

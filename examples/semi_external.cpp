@@ -1,0 +1,62 @@
+// Semi-external-memory clustering with knors.
+//
+// Streams a dataset to disk (never materializing it in memory), then
+// clusters it holding only O(n) state in RAM — the scenario that lets the
+// paper run billion-point k-means on one machine. Prints the per-iteration
+// I/O trace showing MTI's clause-1 skips and the lazily-updated row cache
+// cutting device traffic as centroids settle (paper Figures 6 and 7).
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "knor/knor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace knor;
+
+  const index_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300000;
+  const std::string path =
+      std::filesystem::temp_directory_path() / "knors_example.kmat";
+
+  data::GeneratorSpec spec;
+  spec.dist = data::Distribution::kNaturalClusters;
+  spec.n = n;
+  spec.d = 32;
+  spec.true_clusters = 12;
+  std::printf("streaming %.1f MB dataset to %s ...\n", spec.bytes() / 1e6,
+              path.c_str());
+  data::write_generated(path, spec);
+
+  Options opts;
+  opts.k = 10;
+  opts.max_iters = 40;
+  opts.seed = 7;
+
+  sem::SemOptions sopts;
+  sopts.page_size = 4096;          // paper: 4KB minimum read
+  sopts.page_cache_bytes = 4 << 20;
+  sopts.row_cache_bytes = 4 << 20;
+  sopts.cache_update_interval = 5;  // refresh at iterations 5, 10, 20, ...
+
+  sem::SemStats stats;
+  Result res = sem::kmeans(path, opts, sopts, &stats);
+
+  std::printf("\nknors: %s\n", res.summary().c_str());
+  std::printf("in-memory state is O(n); row data stayed on disk.\n\n");
+  std::printf("%-5s %14s %12s %12s %12s\n", "iter", "requested(MB)",
+              "read(MB)", "rc-hits", "active-rows");
+  for (std::size_t i = 0; i < stats.per_iter.size(); ++i) {
+    const auto& io = stats.per_iter[i];
+    std::printf("%-5zu %14.2f %12.2f %12llu %12llu\n", i + 1,
+                io.bytes_requested / 1e6, io.bytes_read / 1e6,
+                static_cast<unsigned long long>(io.row_cache_hits),
+                static_cast<unsigned long long>(io.active_rows));
+  }
+  std::printf("\ntotals: requested %.1f MB, read %.1f MB (dataset is %.1f "
+              "MB; a naive external algorithm reads %.1f MB)\n",
+              stats.total_requested() / 1e6, stats.total_read() / 1e6,
+              spec.bytes() / 1e6,
+              spec.bytes() / 1e6 * static_cast<double>(res.iters));
+  std::filesystem::remove(path);
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Behavioural stand-ins for the commercial/OSS frameworks the paper
+// benchmarks against (MLlib, H2O, Turi — §8.7, §8.9).
+//
+// Substitution (DESIGN.md §1): the real frameworks are JVM/Python stacks
+// that cannot run here; each stand-in isolates, over the *same* distance
+// kernels as knor, the architectural behaviour the paper identifies as the
+// reason that framework loses:
+//
+//  * mllib_like — MapReduce-style dataflow: the map phase materializes
+//    (cluster, row-copy) intermediate pairs, a shuffle groups them into
+//    per-cluster buckets (second copy), and a reduce phase — parallel over
+//    at most k reducers — builds the centroids. Models Spark's shuffle
+//    materialization, per-iteration data movement and reduce-side skew.
+//  * h2o_like — two-phase parallel Lloyd's with a master-side reduction:
+//    workers compute assignments, then a single driver thread accumulates
+//    all n rows into the next centroids (the centralized master-worker
+//    design the paper calls out).
+//  * turi_like — per-row object overhead: rows are individually heap-boxed
+//    and accessed through a virtual interface, defeating prefetching and
+//    adding allocation pressure (the unified-data-structure overhead of
+//    Turi/GraphLab's SFrame-style storage).
+//
+// None of the stand-ins prunes computation (the frameworks implement naive
+// Lloyd's), so knori- (same algorithm, knor's parallelization) vs these is
+// the apples-to-apples comparison the paper makes.
+#pragma once
+
+#include "core/kmeans_types.hpp"
+
+namespace knor::baselines {
+
+Result mllib_like(ConstMatrixView data, const Options& opts);
+Result h2o_like(ConstMatrixView data, const Options& opts);
+Result turi_like(ConstMatrixView data, const Options& opts);
+
+}  // namespace knor::baselines

@@ -1,0 +1,98 @@
+#include <cstring>
+#include <vector>
+
+#include "baselines/frameworks.hpp"
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/init.hpp"
+#include "numa/partitioner.hpp"
+#include "numa/topology.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace knor::baselines {
+
+Result h2o_like(ConstMatrixView data, const Options& opts) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+  const auto topo = numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  DenseMatrix cur = init_centroids(data, opts);
+  DenseMatrix sums(static_cast<index_t>(k), d);
+  std::vector<index_t> counts(static_cast<std::size_t>(k));
+
+  numa::Partitioner parts(n, T, topo);
+  sched::ThreadPool pool(T, topo, /*bind=*/false);
+  std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
+  std::vector<double> tbusy(static_cast<std::size_t>(T), 0.0);
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+
+    // Phase I: parallel assignment only. Global barrier at the join.
+    pool.run([&](int tid) {
+      const double cpu_start = thread_cpu_seconds();
+      tchanged[static_cast<std::size_t>(tid)] = 0;
+      const numa::RowRange rows = parts.thread_rows(tid);
+      for (index_t r = rows.begin; r < rows.end; ++r) {
+        const cluster_t best =
+            nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+        if (best != res.assignments[r])
+          ++tchanged[static_cast<std::size_t>(tid)];
+        res.assignments[r] = best;
+      }
+      tbusy[static_cast<std::size_t>(tid)] +=
+          thread_cpu_seconds() - cpu_start;
+    });
+    res.counters.dist_computations +=
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+
+    // Phase II: the centralized driver accumulates all n rows itself — the
+    // master-worker reduction bottleneck: O(nd) serial work per iteration.
+    const double driver_start = thread_cpu_seconds();
+    std::memset(sums.data(), 0, sums.size() * sizeof(value_t));
+    std::fill(counts.begin(), counts.end(), 0);
+    for (index_t r = 0; r < n; ++r) {
+      const cluster_t c = res.assignments[r];
+      value_t* s = sums.row(c);
+      const value_t* v = data.row(r);
+      for (index_t j = 0; j < d; ++j) s[j] += v[j];
+      ++counts[c];
+    }
+    res.cluster_sizes.assign(counts.begin(), counts.end());
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) continue;
+      value_t* dst = cur.row(static_cast<index_t>(c));
+      const value_t inv =
+          static_cast<value_t>(1.0) /
+          static_cast<value_t>(counts[static_cast<std::size_t>(c)]);
+      const value_t* s = sums.row(static_cast<index_t>(c));
+      for (index_t j = 0; j < d; ++j) dst[j] = s[j] * inv;
+    }
+
+    res.driver_serial_s += thread_cpu_seconds() - driver_start;
+
+    std::uint64_t changed = 0;
+    for (auto c : tchanged) changed += c;
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (index_t r = 0; r < n; ++r)
+    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+  res.thread_busy_s = tbusy;
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor::baselines

@@ -1,0 +1,78 @@
+// Cache-line aligned, zero-initialized owning buffer.
+//
+// knor allocates all hot per-thread and global structures as contiguous,
+// aligned chunks (Section 5.2 of the paper: "Effective data layout for CPU
+// cache exploitation"). This type is the building block; NUMA-targeted
+// placement is layered on top in numa/numa_alloc.hpp.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "common/types.hpp"
+
+namespace knor {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+
+  explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLine)
+      : size_(count) {
+    if (count == 0) return;
+    const std::size_t bytes = round_up(count * sizeof(T), alignment);
+    data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
+    if (data_ == nullptr) throw std::bad_alloc{};
+    std::memset(static_cast<void*>(data_), 0, bytes);
+  }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { reset(); }
+
+  T* data() noexcept { return data_; }
+  const T* data() const noexcept { return data_; }
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  T& operator[](std::size_t i) noexcept { return data_[i]; }
+  const T& operator[](std::size_t i) const noexcept { return data_[i]; }
+
+  T* begin() noexcept { return data_; }
+  T* end() noexcept { return data_ + size_; }
+  const T* begin() const noexcept { return data_; }
+  const T* end() const noexcept { return data_ + size_; }
+
+  void reset() noexcept {
+    std::free(data_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+ private:
+  static std::size_t round_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) / a * a;
+  }
+
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace knor

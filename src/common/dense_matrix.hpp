@@ -1,0 +1,112 @@
+// Row-major dense matrix view and owner.
+//
+// All knor data is row-major: a row is one d-dimensional data point, which
+// matches the access pattern of Lloyd's (stream rows, random-access
+// centroids) and the on-disk layout of the SEM page file.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <stdexcept>
+
+#include "common/aligned_buffer.hpp"
+#include "common/types.hpp"
+
+namespace knor {
+
+/// Non-owning view of an n x d row-major matrix.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() = default;
+  MatrixView(T* data, index_t rows, index_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  T* row(index_t r) const {
+    assert(r < rows_);
+    return data_ + static_cast<std::size_t>(r) * cols_;
+  }
+  T& at(index_t r, index_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  T* data() const noexcept { return data_; }
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(rows_) * cols_;
+  }
+  bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// View of a contiguous block of rows [first, first + count).
+  MatrixView sub_rows(index_t first, index_t count) const {
+    if (first + count > rows_)
+      throw std::out_of_range("MatrixView::sub_rows out of range");
+    return MatrixView(row(first), count, cols_);
+  }
+
+ private:
+  T* data_ = nullptr;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+using ConstMatrixView = MatrixView<const value_t>;
+using MutMatrixView = MatrixView<value_t>;
+
+/// Owning aligned row-major matrix.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(index_t rows, index_t cols)
+      : buf_(static_cast<std::size_t>(rows) * cols), rows_(rows), cols_(cols) {}
+
+  // Deep copy (DenseMatrix participates in copyable aggregates like
+  // Options); moves stay cheap.
+  DenseMatrix(const DenseMatrix& o) : DenseMatrix(o.rows_, o.cols_) {
+    if (!o.empty())
+      std::memcpy(buf_.data(), o.buf_.data(), o.size() * sizeof(value_t));
+  }
+  DenseMatrix& operator=(const DenseMatrix& o) {
+    if (this != &o) *this = DenseMatrix(o);
+    return *this;
+  }
+  DenseMatrix(DenseMatrix&&) = default;
+  DenseMatrix& operator=(DenseMatrix&&) = default;
+
+  value_t* row(index_t r) {
+    assert(r < rows_);
+    return buf_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  const value_t* row(index_t r) const {
+    assert(r < rows_);
+    return buf_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+  value_t& at(index_t r, index_t c) {
+    return buf_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  value_t at(index_t r, index_t c) const {
+    return buf_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  value_t* data() noexcept { return buf_.data(); }
+  const value_t* data() const noexcept { return buf_.data(); }
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept {
+    return static_cast<std::size_t>(rows_) * cols_;
+  }
+  bool empty() const noexcept { return size() == 0; }
+
+  MutMatrixView view() { return {buf_.data(), rows_, cols_}; }
+  ConstMatrixView view() const { return {buf_.data(), rows_, cols_}; }
+  ConstMatrixView const_view() const { return {buf_.data(), rows_, cols_}; }
+
+ private:
+  AlignedBuffer<value_t> buf_;
+  index_t rows_ = 0;
+  index_t cols_ = 0;
+};
+
+}  // namespace knor

@@ -1,0 +1,38 @@
+// Minimal leveled logger. Level is process-global and settable via the
+// KNOR_LOG environment variable (error|warn|info|debug) or programmatically.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace knor {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+bool log_enabled(LogLevel level);
+
+/// Thread-safe line-buffered emission to stderr.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+template <typename... Args>
+void log_fmt(LogLevel level, const Args&... args) {
+  if (!log_enabled(level)) return;
+  std::ostringstream oss;
+  (oss << ... << args);
+  log_line(level, oss.str());
+}
+}  // namespace detail
+
+#define KNOR_LOG_ERROR(...) \
+  ::knor::detail::log_fmt(::knor::LogLevel::kError, __VA_ARGS__)
+#define KNOR_LOG_WARN(...) \
+  ::knor::detail::log_fmt(::knor::LogLevel::kWarn, __VA_ARGS__)
+#define KNOR_LOG_INFO(...) \
+  ::knor::detail::log_fmt(::knor::LogLevel::kInfo, __VA_ARGS__)
+#define KNOR_LOG_DEBUG(...) \
+  ::knor::detail::log_fmt(::knor::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace knor

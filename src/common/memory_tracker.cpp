@@ -1,0 +1,71 @@
+#include "common/memory_tracker.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace knor {
+
+MemoryTracker& MemoryTracker::instance() {
+  static MemoryTracker tracker;
+  return tracker;
+}
+
+void MemoryTracker::add(const std::string& tag, std::int64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tags_[tag] += bytes;
+  live_ += bytes;
+  if (live_ > peak_) peak_ = live_;
+}
+
+std::int64_t MemoryTracker::live_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_;
+}
+
+std::int64_t MemoryTracker::peak_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+std::int64_t MemoryTracker::tag_bytes(const std::string& tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tags_.find(tag);
+  return it == tags_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::int64_t> MemoryTracker::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tags_;
+}
+
+void MemoryTracker::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tags_.clear();
+  live_ = 0;
+  peak_ = 0;
+}
+
+namespace {
+// Parse a "Vm...: <kB> kB" line from /proc/self/status.
+std::size_t read_status_kb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  const std::size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long v = 0;
+      if (std::sscanf(line + key_len, ": %llu kB", &v) == 1) kb = v;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+}  // namespace
+
+std::size_t current_rss_bytes() { return read_status_kb("VmRSS"); }
+std::size_t peak_rss_bytes() { return read_status_kb("VmHWM"); }
+
+}  // namespace knor

@@ -1,0 +1,75 @@
+// Logical memory accounting for the Table 1 / Figure 8c / 9c / 10b
+// memory-consumption experiments.
+//
+// Two complementary measurements:
+//  * MemoryTracker — a process-global registry of tagged logical
+//    allocations. knor modules register their major structures (dataset,
+//    per-thread centroids, MTI state, caches ...) so a bench can report the
+//    footprint of each routine exactly, independent of allocator slop.
+//  * current_rss_bytes()/peak_rss_bytes() — physical truth from
+//    /proc/self/status for cross-checks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace knor {
+
+class MemoryTracker {
+ public:
+  /// Process-global instance.
+  static MemoryTracker& instance();
+
+  /// Record `bytes` of live allocation under `tag`.
+  void add(const std::string& tag, std::int64_t bytes);
+  /// Release accounting (negative add).
+  void sub(const std::string& tag, std::int64_t bytes) { add(tag, -bytes); }
+
+  /// Currently live bytes across all tags.
+  std::int64_t live_bytes() const;
+  /// High-water mark of live_bytes() since construction / reset.
+  std::int64_t peak_bytes() const;
+  /// Live bytes under one tag.
+  std::int64_t tag_bytes(const std::string& tag) const;
+  /// Snapshot of all tags (for reports).
+  std::map<std::string, std::int64_t> snapshot() const;
+
+  void reset();
+
+ private:
+  MemoryTracker() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> tags_;
+  std::int64_t live_ = 0;
+  std::int64_t peak_ = 0;
+};
+
+/// RAII registration of a logical allocation.
+class ScopedAlloc {
+ public:
+  ScopedAlloc(std::string tag, std::size_t bytes)
+      : tag_(std::move(tag)), bytes_(static_cast<std::int64_t>(bytes)) {
+    MemoryTracker::instance().add(tag_, bytes_);
+  }
+  ~ScopedAlloc() { MemoryTracker::instance().sub(tag_, bytes_); }
+  ScopedAlloc(const ScopedAlloc&) = delete;
+  ScopedAlloc& operator=(const ScopedAlloc&) = delete;
+  ScopedAlloc(ScopedAlloc&& o) noexcept
+      : tag_(std::move(o.tag_)), bytes_(o.bytes_) {
+    o.bytes_ = 0;
+  }
+
+ private:
+  std::string tag_;
+  std::int64_t bytes_;
+};
+
+/// Resident set size of this process, bytes (VmRSS). 0 if unavailable.
+std::size_t current_rss_bytes();
+/// Peak resident set size (VmHWM). 0 if unavailable.
+std::size_t peak_rss_bytes();
+
+}  // namespace knor

@@ -1,0 +1,102 @@
+// Deterministic, splittable PRNG (xoshiro256**) used everywhere randomness
+// is needed: dataset generation, k-means init, mini-batch sampling.
+//
+// A splittable generator lets every thread / rank derive an independent
+// stream from (seed, stream_id) so that results are reproducible regardless
+// of thread count — a requirement for the exactness tests that compare
+// knori / knors / knord outputs bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace knor {
+
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x5eed2017ULL) { reseed(seed, 0); }
+  Prng(std::uint64_t seed, std::uint64_t stream) { reseed(seed, stream); }
+
+  void reseed(std::uint64_t seed, std::uint64_t stream) {
+    // splitmix64 expansion of (seed, stream) into the 256-bit state.
+    std::uint64_t x = seed ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next_u64()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (-bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next_u64()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double next_gaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * next_double() - 1.0;
+      v = 2.0 * next_double() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = std::uint64_t;
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+  result_type operator()() { return next_u64(); }
+
+ private:
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+  static std::uint64_t rotl(std::uint64_t x, int r) {
+    return (x << r) | (x >> (64 - r));
+  }
+
+  std::uint64_t state_[4] = {};
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace knor

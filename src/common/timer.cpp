@@ -1,0 +1,43 @@
+#include "common/timer.hpp"
+
+#include <ctime>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace knor {
+
+double thread_cpu_seconds() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+}
+
+double IterStats::total() const {
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0);
+}
+
+double IterStats::mean() const {
+  return samples_.empty() ? 0.0 : total() / static_cast<double>(samples_.size());
+}
+
+double IterStats::min() const {
+  return samples_.empty() ? 0.0
+                          : *std::min_element(samples_.begin(), samples_.end());
+}
+
+double IterStats::max() const {
+  return samples_.empty() ? 0.0
+                          : *std::max_element(samples_.begin(), samples_.end());
+}
+
+double IterStats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+}  // namespace knor

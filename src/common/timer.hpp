@@ -1,0 +1,54 @@
+// Wall-clock timing and per-iteration timing statistics.
+//
+// Every bench in bench/ reports "time per iteration", the unit the paper
+// uses throughout its evaluation (Tables 3, Figures 5, 8-13). IterStats
+// collects per-iteration samples and provides mean / min / max / total.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <vector>
+
+namespace knor {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+  void restart() { start_ = Clock::now(); }
+  /// Seconds elapsed since construction / restart.
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  /// Milliseconds elapsed.
+  double elapsed_ms() const { return elapsed() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread (CLOCK_THREAD_CPUTIME_ID),
+/// seconds. Unlike wall time, this is meaningful on an oversubscribed
+/// machine: max-over-threads of per-thread CPU time approximates the
+/// makespan the same work would have on dedicated cores (the basis of the
+/// bench harness's "makespan proxy" — see DESIGN.md §1).
+double thread_cpu_seconds();
+
+class IterStats {
+ public:
+  void record(double seconds) { samples_.push_back(seconds); }
+  std::size_t count() const { return samples_.size(); }
+  double total() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  /// Standard deviation of the samples (population).
+  double stddev() const;
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace knor

@@ -1,0 +1,26 @@
+// Fundamental scalar and index types shared by every knor module.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace knor {
+
+/// Element type of data matrices and centroids. The paper's knor uses
+/// double-precision rows; we accumulate centroid sums in double regardless.
+using value_t = double;
+
+/// Row (data point) index. knor targets billion-row datasets, so 64-bit.
+using index_t = std::uint64_t;
+
+/// Cluster index. k is small (10..10^4); 32 bits suffice and halve the
+/// footprint of the O(n) assignment vector relative to index_t.
+using cluster_t = std::uint32_t;
+
+/// Sentinel for "not yet assigned to any cluster".
+inline constexpr cluster_t kInvalidCluster = static_cast<cluster_t>(-1);
+
+/// Cache line size assumed for alignment / false-sharing padding.
+inline constexpr std::size_t kCacheLine = 64;
+
+}  // namespace knor

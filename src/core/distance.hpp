@@ -1,0 +1,61 @@
+// Distance kernels.
+//
+// Squared Euclidean distance is the inner loop of every module; it is kept
+// header-only so it inlines into the engines. The 4-way unrolled form gives
+// the compiler independent accumulator chains to schedule (and vectorize)
+// — the paper's "sequential access patterns ... maximize prefetching and
+// CPU caching" design.
+#pragma once
+
+#include <cmath>
+
+#include "common/types.hpp"
+
+namespace knor {
+
+/// Squared Euclidean distance between two d-vectors.
+inline value_t dist_sq(const value_t* a, const value_t* b, index_t d) {
+  value_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+  index_t j = 0;
+  for (; j + 4 <= d; j += 4) {
+    const value_t d0 = a[j] - b[j];
+    const value_t d1 = a[j + 1] - b[j + 1];
+    const value_t d2 = a[j + 2] - b[j + 2];
+    const value_t d3 = a[j + 3] - b[j + 3];
+    s0 += d0 * d0;
+    s1 += d1 * d1;
+    s2 += d2 * d2;
+    s3 += d3 * d3;
+  }
+  for (; j < d; ++j) {
+    const value_t dj = a[j] - b[j];
+    s0 += dj * dj;
+  }
+  return (s0 + s1) + (s2 + s3);
+}
+
+/// Euclidean distance.
+inline value_t euclidean(const value_t* a, const value_t* b, index_t d) {
+  return std::sqrt(dist_sq(a, b, d));
+}
+
+/// Index of the nearest centroid (ties -> lowest index) and its distance.
+/// `centroids` is k x d row-major.
+inline cluster_t nearest_centroid(const value_t* point,
+                                  const value_t* centroids, int k, index_t d,
+                                  value_t* out_dist) {
+  cluster_t best = 0;
+  value_t best_d = dist_sq(point, centroids, d);
+  for (int c = 1; c < k; ++c) {
+    const value_t dc =
+        dist_sq(point, centroids + static_cast<std::size_t>(c) * d, d);
+    if (dc < best_d) {
+      best_d = dc;
+      best = static_cast<cluster_t>(c);
+    }
+  }
+  if (out_dist != nullptr) *out_dist = std::sqrt(best_d);
+  return best;
+}
+
+}  // namespace knor

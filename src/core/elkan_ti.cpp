@@ -1,0 +1,170 @@
+// Full Elkan triangle-inequality k-means (ICML'03) — the algorithm MTI
+// simplifies. Maintains the O(nk) lower-bound matrix l(x,c) plus per-point
+// upper bounds; prunes with all of Elkan's clauses. Included both as a
+// correctness oracle for MTI and to let the Table 1 / Figure 8 benches show
+// the memory trade-off the paper makes (O(nk) vs O(n) extra state).
+#include <limits>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/engines.hpp"
+#include "core/init.hpp"
+#include "core/local_centroids.hpp"
+
+namespace knor {
+
+Result elkan_ti(ConstMatrixView data, const Options& opts) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  DenseMatrix cur = init_centroids(data, opts);
+  DenseMatrix next(static_cast<index_t>(k), d);
+  LocalCentroids acc(k, d);
+
+  // Elkan state: upper bound u(x), lower bounds l(x,c) — the O(nk) matrix —
+  // plus the c2c distances and per-centroid separations.
+  std::vector<value_t> ub(static_cast<std::size_t>(n),
+                          std::numeric_limits<value_t>::infinity());
+  std::vector<value_t> lb(static_cast<std::size_t>(n) * k, 0);
+  std::vector<value_t> c2c(static_cast<std::size_t>(k) * k, 0);
+  std::vector<value_t> s_half(static_cast<std::size_t>(k), 0);
+  std::vector<value_t> drift(static_cast<std::size_t>(k), 0);
+  ScopedAlloc mem_lb("elkan-lower-bounds", lb.size() * sizeof(value_t));
+  ScopedAlloc mem_ub("elkan-upper-bounds", ub.size() * sizeof(value_t));
+
+  const auto lbi = [&](index_t r, int c) -> value_t& {
+    return lb[static_cast<std::size_t>(r) * k + c];
+  };
+
+  const auto prepare = [&] {
+    for (int a = 0; a < k; ++a)
+      for (int b = a + 1; b < k; ++b) {
+        const value_t dab = euclidean(cur.row(static_cast<index_t>(a)),
+                                 cur.row(static_cast<index_t>(b)), d);
+        c2c[static_cast<std::size_t>(a) * k + b] = dab;
+        c2c[static_cast<std::size_t>(b) * k + a] = dab;
+      }
+    for (int a = 0; a < k; ++a) {
+      value_t m = std::numeric_limits<value_t>::infinity();
+      for (int b = 0; b < k; ++b)
+        if (b != a) m = std::min(m, c2c[static_cast<std::size_t>(a) * k + b]);
+      s_half[static_cast<std::size_t>(a)] = k > 1 ? m * value_t(0.5) : 0;
+    }
+  };
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    prepare();
+    acc.clear();
+    std::uint64_t changed = 0;
+
+    for (index_t r = 0; r < n; ++r) {
+      const value_t* v = data.row(r);
+      cluster_t a = res.assignments[r];
+      if (a == kInvalidCluster) {
+        // First iteration: full scan seeds both bound structures.
+        value_t best_d = euclidean(v, cur.row(0), d);
+        ++res.counters.dist_computations;
+        lbi(r, 0) = best_d;
+        cluster_t best = 0;
+        for (int c = 1; c < k; ++c) {
+          const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+          ++res.counters.dist_computations;
+          lbi(r, c) = dc;
+          if (dc < best_d) {
+            best_d = dc;
+            best = static_cast<cluster_t>(c);
+          }
+        }
+        ub[r] = best_d;
+        res.assignments[r] = best;
+        ++changed;
+        acc.add(best, v);
+        continue;
+      }
+
+      // Elkan step 2: skip the whole point when u(x) <= s(c(x)).
+      if (ub[r] <= s_half[a]) {
+        ++res.counters.clause1_skips;
+        acc.add(a, v);
+        continue;
+      }
+      bool tight = false;
+      value_t best_d = ub[r];
+      cluster_t best = a;
+      for (int c = 0; c < k; ++c) {
+        if (static_cast<cluster_t>(c) == best) continue;
+        // Step 3 conditions: candidate must beat both its lower bound and
+        // the inter-centroid separation.
+        if (best_d <= lbi(r, c)) {
+          ++res.counters.clause2_skips;
+          continue;
+        }
+        if (best_d <= value_t(0.5) *
+                          c2c[static_cast<std::size_t>(best) * k + c]) {
+          ++res.counters.clause3_skips;
+          continue;
+        }
+        if (!tight) {
+          // 3a: tighten u(x) = d(x, c(x)).
+          best_d = euclidean(v, cur.row(best), d);
+          ++res.counters.dist_computations;
+          lbi(r, best) = best_d;
+          tight = true;
+          if (best_d <= lbi(r, c) ||
+              best_d <= value_t(0.5) *
+                            c2c[static_cast<std::size_t>(best) * k + c])
+            continue;
+        }
+        // 3b: compute d(x, c).
+        const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+        ++res.counters.dist_computations;
+        lbi(r, c) = dc;
+        if (dc < best_d) {
+          best_d = dc;
+          best = static_cast<cluster_t>(c);
+        }
+      }
+      if (best != a) ++changed;
+      res.assignments[r] = best;
+      ub[r] = best_d;
+      acc.add(best, v);
+    }
+
+    res.cluster_sizes = acc.finalize_into(next, cur);
+    // Steps 5-6: update bounds by centroid drift.
+    for (int c = 0; c < k; ++c)
+      drift[static_cast<std::size_t>(c)] =
+          euclidean(cur.row(static_cast<index_t>(c)),
+               next.row(static_cast<index_t>(c)), d);
+    for (index_t r = 0; r < n; ++r) {
+      for (int c = 0; c < k; ++c) {
+        auto& l = lbi(r, c);
+        l = std::max(value_t(0), l - drift[static_cast<std::size_t>(c)]);
+      }
+      ub[r] += drift[res.assignments[r]];
+    }
+    std::swap(cur, next);
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (index_t r = 0; r < n; ++r)
+    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor

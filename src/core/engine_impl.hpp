@@ -1,0 +1,280 @@
+// The ||Lloyd's parallel engine (paper Algorithm 1 + §5 optimizations),
+// templated over a data source so the same code drives:
+//   * NumaData — rows partitioned across NUMA-node-local blocks (knori),
+//   * FlatData — one contiguous NUMA-oblivious allocation (the Figure 4
+//     baseline).
+//
+// Data concept:
+//   const value_t* row(index_t r) const;  // O(1) access to row r
+//   int node_of_row(index_t r) const;     // NUMA node owning r's memory
+//
+// One pool.run per iteration executes the super-phase (nearest-centroid +
+// local-centroid accumulation, fed by the NUMA-aware task queue), then the
+// single global barrier, then the parallel pairwise merge of per-thread
+// centroids — exactly the structure of Algorithm 1.
+#pragma once
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "common/memory_tracker.hpp"
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/kmeans_types.hpp"
+#include "core/local_centroids.hpp"
+#include "core/mti.hpp"
+#include "numa/cost_model.hpp"
+#include "numa/partitioner.hpp"
+#include "sched/barrier.hpp"
+#include "sched/reduction.hpp"
+#include "sched/task_queue.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace knor::detail {
+
+/// Flat, NUMA-oblivious data adapter: everything lives on node 0 (where a
+/// single malloc/first-touch put it).
+struct FlatData {
+  ConstMatrixView m;
+  const value_t* row(index_t r) const { return m.row(r); }
+  int node_of_row(index_t) const { return 0; }
+};
+
+struct alignas(kCacheLine) PerThread {
+  Counters counters;
+  std::uint64_t changed = 0;
+  double energy = 0.0;
+  double busy_s = 0.0;  ///< CPU time in super-phases, whole run
+};
+
+template <typename Data>
+Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
+                          const Options& opts, DenseMatrix initial,
+                          sched::ThreadPool& pool,
+                          const numa::Partitioner& parts) {
+  const int T = pool.size();
+  const int k = opts.k;
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+
+  DenseMatrix cur = std::move(initial);
+  DenseMatrix next(static_cast<index_t>(k), d);
+  DenseMatrix prev(static_cast<index_t>(k), d);
+
+  MtiState mti;
+  if (opts.prune) {
+    mti = MtiState(n, k);
+    mti.prepare(DenseMatrix{}, cur);
+  }
+
+  sched::TaskQueue queue(parts, opts.sched, opts.task_size);
+
+  // Accumulation strategy (see LocalCentroids vs SignedCentroids):
+  //  * pruning off — rebuild per-thread sums from scratch each iteration
+  //    (Algorithm 1 verbatim; algorithmically identical to the frameworks).
+  //  * pruning on — persistent global sums/counts updated by per-thread
+  //    membership *deltas*, so a clause-1-skipped point costs nothing at
+  //    all (this is what makes the skip profitable at small d, and is the
+  //    in-memory analogue of knors's "no I/O request").
+  std::vector<LocalCentroids> locals;
+  std::vector<SignedCentroids> deltas;
+  DenseMatrix sums;
+  std::vector<std::int64_t> counts;
+  if (opts.prune) {
+    deltas.reserve(static_cast<std::size_t>(T));
+    for (int t = 0; t < T; ++t) deltas.emplace_back(k, d);
+    sums = DenseMatrix(static_cast<index_t>(k), d);
+    counts.assign(static_cast<std::size_t>(k), 0);
+  } else {
+    locals.reserve(static_cast<std::size_t>(T));
+    for (int t = 0; t < T; ++t) locals.emplace_back(k, d);
+  }
+
+  std::vector<PerThread> per_thread(static_cast<std::size_t>(T));
+  sched::Barrier barrier(T);
+
+  ScopedAlloc mem_locals(
+      "per-thread-centroids",
+      static_cast<std::size_t>(T) *
+          (opts.prune ? deltas[0].bytes() : locals[0].bytes()));
+  ScopedAlloc mem_assign("assignments", res.assignments.size() * sizeof(cluster_t));
+  ScopedAlloc mem_mti("mti-state", opts.prune ? mti.bytes() : 0);
+
+  // `v` is the row's data; locality accounting is hoisted to per-task (a
+  // task never spans thread blocks, so all its rows share one NUMA node).
+  auto process_point = [&](index_t r, const value_t* v, int tid) {
+    Counters& cnt = per_thread[static_cast<std::size_t>(tid)].counters;
+    const cluster_t a = res.assignments[r];
+    if (opts.prune && a != kInvalidCluster) {
+      const value_t loosened = mti.ub(r) + mti.drift(a);
+      if (mti.clause1(a, loosened)) {
+        // Clause 1: assignment provably unchanged — no distance
+        // computation, no accumulate, no touch of the row data at all
+        // (the in-memory analogue of knors's elided I/O request).
+        mti.set_ub(r, loosened);
+        ++cnt.clause1_skips;
+        return;
+      }
+      // Clause 3 prelude: tighten the bound with one distance computation.
+      value_t best_d = euclidean(v, cur.row(a), d);
+      value_t best_d_sq = best_d * best_d;
+      ++cnt.dist_computations;
+      cluster_t best = a;
+      for (int c = 0; c < k; ++c) {
+        if (static_cast<cluster_t>(c) == a) continue;
+        // Clause 2: loosened bound vs. the assigned centroid's separation.
+        if (loosened <= value_t(0.5) * mti.c2c(a, static_cast<cluster_t>(c))) {
+          ++cnt.clause2_skips;
+          continue;
+        }
+        // Clause 3: tightened bound vs. the current best's separation.
+        if (best_d <= value_t(0.5) * mti.c2c(best, static_cast<cluster_t>(c))) {
+          ++cnt.clause3_skips;
+          continue;
+        }
+        // Compare in squared form; sqrt only when the best improves (the
+        // triangle-inequality bookkeeping needs true distances, but the
+        // argmin does not).
+        const value_t dsq =
+            dist_sq(v, cur.row(static_cast<index_t>(c)), d);
+        ++cnt.dist_computations;
+        if (dsq < best_d_sq) {
+          best_d_sq = dsq;
+          best_d = std::sqrt(dsq);
+          best = static_cast<cluster_t>(c);
+        }
+      }
+      if (best != a) {
+        ++per_thread[static_cast<std::size_t>(tid)].changed;
+        auto& delta = deltas[static_cast<std::size_t>(tid)];
+        delta.sub(a, v);
+        delta.add(best, v);
+      }
+      res.assignments[r] = best;
+      mti.set_ub(r, best_d);
+      return;
+    }
+
+    // Full scan: first iteration, or pruning disabled.
+    value_t best_d = 0;
+    const cluster_t best = nearest_centroid(v, cur.data(), k, d, &best_d);
+    cnt.dist_computations += static_cast<std::uint64_t>(k);
+    if (best != a) ++per_thread[static_cast<std::size_t>(tid)].changed;
+    res.assignments[r] = best;
+    if (opts.prune) {
+      mti.set_ub(r, best_d);
+      // First iteration under pruning: every point joins a cluster.
+      auto& delta = deltas[static_cast<std::size_t>(tid)];
+      if (a == kInvalidCluster) {
+        delta.add(best, v);
+      } else if (best != a) {
+        delta.sub(a, v);
+        delta.add(best, v);
+      }
+    } else {
+      locals[static_cast<std::size_t>(tid)].add(best, v);
+    }
+  };
+
+  const auto iteration = [&](int tid) {
+    const double cpu_start = thread_cpu_seconds();
+    if (opts.prune)
+      deltas[static_cast<std::size_t>(tid)].clear();
+    else
+      locals[static_cast<std::size_t>(tid)].clear();
+    per_thread[static_cast<std::size_t>(tid)].changed = 0;
+    Counters& cnt = per_thread[static_cast<std::size_t>(tid)].counters;
+    const int my_node = parts.node_of_thread(tid);
+    sched::Task task;
+    while (queue.next(tid, task)) {
+      // Rows of one task are contiguous within a single thread block: hoist
+      // the base pointer and the local/remote classification out of the
+      // per-point loop.
+      const value_t* base = data.row(task.begin);
+      const bool local = data.node_of_row(task.begin) == my_node;
+      if (local) {
+        cnt.local_accesses += task.size();
+      } else {
+        cnt.remote_accesses += task.size();
+      }
+      for (index_t r = task.begin; r < task.end; ++r) {
+        if (!local) numa::RemotePenalty::charge();
+        process_point(r, base + static_cast<std::size_t>(r - task.begin) * d,
+                      tid);
+      }
+    }
+    per_thread[static_cast<std::size_t>(tid)].busy_s +=
+        thread_cpu_seconds() - cpu_start;
+    // The single global barrier of ||Lloyd's, then the parallel merge.
+    barrier.arrive_and_wait();
+    sched::tree_reduce(tid, T, barrier, [&](int dst, int src) {
+      if (opts.prune)
+        deltas[static_cast<std::size_t>(dst)].merge(
+            deltas[static_cast<std::size_t>(src)]);
+      else
+        locals[static_cast<std::size_t>(dst)].merge(
+            locals[static_cast<std::size_t>(src)]);
+    });
+  };
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    queue.reset();
+    pool.run(iteration);
+
+    // Finalize next centroids from the merged accumulator (slot 0).
+    std::memcpy(prev.data(), cur.data(), cur.size() * sizeof(value_t));
+    if (opts.prune) {
+      deltas[0].apply_to(sums.data(), counts.data());
+      res.cluster_sizes =
+          finalize_sums(sums.data(), counts.data(), k, d, next, cur);
+    } else {
+      res.cluster_sizes = locals[0].finalize_into(next, cur);
+    }
+    std::swap(cur, next);
+    if (opts.prune) mti.prepare(prev, cur);
+
+    std::uint64_t changed = 0;
+    for (const auto& pt : per_thread) changed += pt.changed;
+
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Exact final energy: one full pass (pruned iterations skip distances, so
+  // energy cannot be accumulated during the main loop).
+  pool.run([&](int tid) {
+    double e = 0.0;
+    const numa::RowRange rows = parts.thread_rows(tid);
+    if (!rows.empty()) {
+      const value_t* base = data.row(rows.begin);
+      for (index_t r = rows.begin; r < rows.end; ++r)
+        e += dist_sq(base + static_cast<std::size_t>(r - rows.begin) * d,
+                     cur.row(res.assignments[r]), d);
+    }
+    per_thread[static_cast<std::size_t>(tid)].energy = e;
+  });
+  for (const auto& pt : per_thread) {
+    res.energy += pt.energy;
+    res.counters += pt.counters;
+    res.thread_busy_s.push_back(pt.busy_s);
+  }
+  const sched::StealStats steals = queue.total_stats();
+  res.counters.tasks_own = steals.own;
+  res.counters.tasks_same_node = steals.same_node;
+  res.counters.tasks_remote_node = steals.remote_node;
+
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor::detail

@@ -1,0 +1,118 @@
+// GEMM-formulated Lloyd's — the MATLAB/BLAS stand-in of Table 3.
+//
+// Phase I is expressed algebraically: d^2(x, c) = ||x||^2 - 2 x.c + ||c||^2,
+// so the n x k distance-squared matrix is a rank-d product X C^T plus rank-1
+// corrections. We implement the product with a cache-blocked dgemm kernel
+// (no external BLAS). This reproduces the characteristic behaviour the
+// paper measures: GEMM does all nk dot products every iteration (no
+// pruning) and materializes an n x k block, so it loses to the iterative
+// kernel at Table-3 scale while staying within the same order of magnitude.
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/engines.hpp"
+#include "core/init.hpp"
+#include "core/local_centroids.hpp"
+
+namespace knor {
+namespace {
+
+// C = A (n x d, row-major) * B^T (k x d, row-major) -> n x k, blocked.
+void gemm_nt(const value_t* a, const value_t* b, value_t* c, index_t n,
+             index_t d, int k) {
+  constexpr index_t kBlockRows = 64;
+  std::memset(c, 0, static_cast<std::size_t>(n) * k * sizeof(value_t));
+  for (index_t i0 = 0; i0 < n; i0 += kBlockRows) {
+    const index_t i1 = std::min(n, i0 + kBlockRows);
+    for (index_t i = i0; i < i1; ++i) {
+      const value_t* ai = a + static_cast<std::size_t>(i) * d;
+      value_t* ci = c + static_cast<std::size_t>(i) * k;
+      for (int j = 0; j < k; ++j) {
+        const value_t* bj = b + static_cast<std::size_t>(j) * d;
+        value_t s = 0;
+        for (index_t l = 0; l < d; ++l) s += ai[l] * bj[l];
+        ci[j] = s;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  DenseMatrix cur = init_centroids(data, opts);
+  DenseMatrix next(static_cast<index_t>(k), d);
+  LocalCentroids acc(k, d);
+
+  // Row norms are iteration-invariant; they do not even affect the argmin,
+  // but GEMM implementations compute them anyway — keep the work faithful.
+  std::vector<value_t> xnorm(static_cast<std::size_t>(n));
+  for (index_t r = 0; r < n; ++r) {
+    value_t s = 0;
+    const value_t* v = data.row(r);
+    for (index_t j = 0; j < d; ++j) s += v[j] * v[j];
+    xnorm[static_cast<std::size_t>(r)] = s;
+  }
+
+  std::vector<value_t> cnorm(static_cast<std::size_t>(k));
+  // The n x k product block — the GEMM formulation's memory cost.
+  std::vector<value_t> prod(static_cast<std::size_t>(n) * k);
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    for (int c = 0; c < k; ++c) {
+      value_t s = 0;
+      const value_t* row = cur.row(static_cast<index_t>(c));
+      for (index_t j = 0; j < d; ++j) s += row[j] * row[j];
+      cnorm[static_cast<std::size_t>(c)] = s;
+    }
+    gemm_nt(data.data(), cur.data(), prod.data(), n, d, k);
+    res.counters.dist_computations +=
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+
+    acc.clear();
+    std::uint64_t changed = 0;
+    for (index_t r = 0; r < n; ++r) {
+      const value_t* pr = prod.data() + static_cast<std::size_t>(r) * k;
+      cluster_t best = 0;
+      value_t best_d = cnorm[0] - 2 * pr[0];
+      for (int c = 1; c < k; ++c) {
+        const value_t dc = cnorm[static_cast<std::size_t>(c)] - 2 * pr[c];
+        if (dc < best_d) {
+          best_d = dc;
+          best = static_cast<cluster_t>(c);
+        }
+      }
+      if (best != res.assignments[r]) ++changed;
+      res.assignments[r] = best;
+      acc.add(best, data.row(r));
+    }
+    res.cluster_sizes = acc.finalize_into(next, cur);
+    std::swap(cur, next);
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (index_t r = 0; r < n; ++r)
+    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor

@@ -1,0 +1,145 @@
+#include "core/init.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/prng.hpp"
+#include "core/distance.hpp"
+#include "core/local_centroids.hpp"
+
+namespace knor {
+
+const char* to_string(Init init) {
+  switch (init) {
+    case Init::kForgy: return "forgy";
+    case Init::kRandom: return "random";
+    case Init::kKmeansPP: return "kmeans++";
+    case Init::kProvided: return "provided";
+  }
+  return "?";
+}
+
+std::vector<index_t> sample_rows(index_t n, int k, std::uint64_t seed) {
+  if (static_cast<index_t>(k) > n)
+    throw std::invalid_argument("sample_rows: k > n");
+  Prng rng(seed, /*stream=*/0xf0e9);
+  std::unordered_set<index_t> chosen;
+  std::vector<index_t> rows;
+  rows.reserve(static_cast<std::size_t>(k));
+  while (rows.size() < static_cast<std::size_t>(k)) {
+    const index_t r = rng.next_below(n);
+    if (chosen.insert(r).second) rows.push_back(r);
+  }
+  return rows;
+}
+
+namespace {
+
+DenseMatrix init_forgy(ConstMatrixView data, const Options& opts) {
+  DenseMatrix centroids(static_cast<index_t>(opts.k), data.cols());
+  const auto rows = sample_rows(data.rows(), opts.k, opts.seed);
+  for (int c = 0; c < opts.k; ++c)
+    std::memcpy(centroids.row(static_cast<index_t>(c)),
+                data.row(rows[static_cast<std::size_t>(c)]),
+                data.cols() * sizeof(value_t));
+  return centroids;
+}
+
+DenseMatrix init_random_partition(ConstMatrixView data, const Options& opts) {
+  LocalCentroids acc(opts.k, data.cols());
+  for (index_t r = 0; r < data.rows(); ++r) {
+    // Per-row stream keeps the assignment independent of traversal order.
+    Prng rng(opts.seed ^ 0x2545f4914f6cdd1dULL, r);
+    acc.add(static_cast<cluster_t>(
+                rng.next_below(static_cast<std::uint64_t>(opts.k))),
+            data.row(r));
+  }
+  DenseMatrix centroids(static_cast<index_t>(opts.k), data.cols());
+  // A random partition of n >= k rows can still leave a cluster empty;
+  // fall back to the forgy row for that cluster.
+  DenseMatrix fallback = init_forgy(data, opts);
+  acc.finalize_into(centroids, fallback);
+  return centroids;
+}
+
+DenseMatrix init_kmeanspp(ConstMatrixView data, const Options& opts) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  DenseMatrix centroids(static_cast<index_t>(opts.k), d);
+  Prng rng(opts.seed, /*stream=*/0x9977);
+
+  // First centre: uniform.
+  std::memcpy(centroids.row(0), data.row(rng.next_below(n)),
+              d * sizeof(value_t));
+
+  // dist2[r] = squared distance to the nearest chosen centre so far.
+  std::vector<value_t> dist2(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (index_t r = 0; r < n; ++r) {
+    dist2[static_cast<std::size_t>(r)] =
+        dist_sq(data.row(r), centroids.row(0), d);
+    total += dist2[static_cast<std::size_t>(r)];
+  }
+
+  for (int c = 1; c < opts.k; ++c) {
+    index_t pick = 0;
+    if (total <= 0.0) {
+      // All remaining mass at distance zero (duplicate points): uniform.
+      pick = rng.next_below(n);
+    } else {
+      double target = rng.next_double() * total;
+      for (index_t r = 0; r < n; ++r) {
+        target -= dist2[static_cast<std::size_t>(r)];
+        if (target <= 0.0) {
+          pick = r;
+          break;
+        }
+        pick = r;  // numerical slack: fall through to last row
+      }
+    }
+    std::memcpy(centroids.row(static_cast<index_t>(c)), data.row(pick),
+                d * sizeof(value_t));
+    // Tighten dist2 against the new centre.
+    total = 0.0;
+    for (index_t r = 0; r < n; ++r) {
+      const value_t dc =
+          dist_sq(data.row(r), centroids.row(static_cast<index_t>(c)), d);
+      auto& dr = dist2[static_cast<std::size_t>(r)];
+      if (dc < dr) dr = dc;
+      total += dr;
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+DenseMatrix init_centroids(ConstMatrixView data, const Options& opts) {
+  if (opts.k < 1) throw std::invalid_argument("kmeans: k < 1");
+  if (data.rows() == 0) throw std::invalid_argument("kmeans: empty dataset");
+  if (static_cast<index_t>(opts.k) > data.rows())
+    throw std::invalid_argument("kmeans: k > n");
+
+  switch (opts.init) {
+    case Init::kForgy:
+      return init_forgy(data, opts);
+    case Init::kRandom:
+      return init_random_partition(data, opts);
+    case Init::kKmeansPP:
+      return init_kmeanspp(data, opts);
+    case Init::kProvided: {
+      if (opts.initial_centroids.rows() != static_cast<index_t>(opts.k) ||
+          opts.initial_centroids.cols() != data.cols())
+        throw std::invalid_argument(
+            "kmeans: provided centroids shape mismatch");
+      DenseMatrix copy(static_cast<index_t>(opts.k), data.cols());
+      std::memcpy(copy.data(), opts.initial_centroids.data(),
+                  copy.size() * sizeof(value_t));
+      return copy;
+    }
+  }
+  throw std::invalid_argument("kmeans: unknown init");
+}
+
+}  // namespace knor

@@ -1,0 +1,21 @@
+// Centroid initialization: forgy, random partition, k-means++.
+//
+// All methods are deterministic in (data, options.seed) and independent of
+// thread count, so knori / knors / knord runs started from the same seed are
+// comparable point-for-point (the exactness tests rely on this).
+#pragma once
+
+#include "common/dense_matrix.hpp"
+#include "core/kmeans_types.hpp"
+
+namespace knor {
+
+/// Compute initial centroids (k x d) for `data` per `opts`.
+/// Throws std::invalid_argument for unusable configurations (k < 1, k > n,
+/// provided-centroid shape mismatch).
+DenseMatrix init_centroids(ConstMatrixView data, const Options& opts);
+
+/// Row-sampling helper: k distinct row indices drawn without replacement.
+std::vector<index_t> sample_rows(index_t n, int k, std::uint64_t seed);
+
+}  // namespace knor

@@ -1,0 +1,94 @@
+// Options and result types shared by every knor module (knori / knors /
+// knord) and by the baseline implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dense_matrix.hpp"
+#include "common/timer.hpp"
+#include "common/types.hpp"
+#include "sched/task_queue.hpp"
+
+namespace knor {
+
+/// Centroid initialization method.
+enum class Init {
+  kForgy,     ///< k distinct rows drawn uniformly at random
+  kRandom,    ///< random partition: each row assigned a random cluster,
+              ///< centroid = partition mean
+  kKmeansPP,  ///< D^2 weighting (k-means++)
+  kProvided,  ///< caller supplies Options::initial_centroids
+};
+
+const char* to_string(Init init);
+
+struct Options {
+  int k = 8;
+  int max_iters = 100;
+  /// Converged when the fraction of points changing membership in an
+  /// iteration is <= tolerance (0 = exact convergence).
+  double tolerance = 0.0;
+  Init init = Init::kForgy;
+  std::uint64_t seed = 1234567;
+  /// Worker threads (0 = one per hardware CPU).
+  int threads = 0;
+  /// MTI pruning (the paper's knori vs knori- switch).
+  bool prune = true;
+  /// NUMA-aware placement + binding (off = the paper's "NUMA-oblivious"
+  /// baseline of Figure 4).
+  bool numa_aware = true;
+  /// Task scheduling policy (Figure 5 compares these).
+  sched::SchedPolicy sched = sched::SchedPolicy::kNumaAware;
+  /// Rows per scheduler task (paper default 8192).
+  index_t task_size = 8192;
+  /// Simulated NUMA node count (0 = use detected topology). See DESIGN.md.
+  int numa_nodes = 0;
+  /// Used when init == kProvided; k x d.
+  DenseMatrix initial_centroids;
+};
+
+/// Per-run instrumentation, aggregated over threads.
+struct Counters {
+  std::uint64_t dist_computations = 0;  ///< point-centroid distances evaluated
+  std::uint64_t clause1_skips = 0;      ///< points skipped entirely (MTI c1)
+  std::uint64_t clause2_skips = 0;      ///< candidate centroids pruned pre-tighten
+  std::uint64_t clause3_skips = 0;      ///< candidates pruned after tightening
+  std::uint64_t local_accesses = 0;     ///< NUMA-local row accesses
+  std::uint64_t remote_accesses = 0;    ///< NUMA-remote row accesses
+  std::uint64_t tasks_own = 0;          ///< scheduler: own-partition tasks
+  std::uint64_t tasks_same_node = 0;    ///< scheduler: same-node steals
+  std::uint64_t tasks_remote_node = 0;  ///< scheduler: remote-node steals
+
+  Counters& operator+=(const Counters& o);
+};
+
+struct Result {
+  std::size_t iters = 0;
+  bool converged = false;
+  DenseMatrix centroids;                ///< k x d final means
+  std::vector<cluster_t> assignments;   ///< size n
+  std::vector<index_t> cluster_sizes;   ///< size k
+  /// Sum of squared point-to-assigned-centroid distances (exact; computed
+  /// with one final pass, since pruned iterations skip distances).
+  double energy = 0.0;
+  IterStats iter_times;
+  Counters counters;
+  /// Per-worker CPU seconds spent in compute phases over the whole run
+  /// (empty for engines without a worker pool). On an oversubscribed host,
+  /// max() of these approximates the run's makespan on dedicated cores.
+  std::vector<double> thread_busy_s;
+  /// CPU seconds of inherently serial driver-side work (shuffle, master
+  /// reductions); 0 for knor engines, nonzero for framework stand-ins.
+  double driver_serial_s = 0.0;
+
+  /// Modeled time per iteration on dedicated cores: the slowest worker's
+  /// compute plus the serial driver share. Falls back to wall time when no
+  /// per-thread data was recorded.
+  double makespan_per_iter() const;
+
+  std::string summary() const;
+};
+
+}  // namespace knor

@@ -1,0 +1,52 @@
+#include "core/knori.hpp"
+
+#include "common/logger.hpp"
+#include "common/memory_tracker.hpp"
+#include "core/engine_impl.hpp"
+#include "core/init.hpp"
+#include "data/dataset.hpp"
+
+namespace knor {
+namespace {
+
+struct NumaData {
+  const data::NumaDataset* ds;
+  const value_t* row(index_t r) const { return ds->row(r); }
+  int node_of_row(index_t r) const { return ds->node_of_row(r); }
+};
+
+}  // namespace
+
+Result kmeans(ConstMatrixView data, const Options& opts) {
+  if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+
+  DenseMatrix initial = init_centroids(data, opts);
+  numa::Partitioner parts(n, T, topo);
+
+  if (!opts.numa_aware) {
+    // NUMA-oblivious baseline: unbound threads, data wherever the original
+    // allocation's first touch put it (node 0 for accounting purposes).
+    sched::ThreadPool pool(T, topo, /*bind=*/false);
+    detail::FlatData flat{data};
+    return detail::run_parallel_lloyd(flat, n, d, opts, std::move(initial),
+                                      pool, parts);
+  }
+
+  sched::ThreadPool pool(T, topo, /*bind=*/true);
+  data::NumaDataset ds(data, parts, pool);
+  ScopedAlloc mem_ds("dataset", ds.bytes());
+  KNOR_LOG_DEBUG("knori: n=", n, " d=", d, " k=", opts.k, " T=", T,
+                 " nodes=", topo.num_nodes(),
+                 (opts.prune ? " mti=on" : " mti=off"));
+  NumaData nd{&ds};
+  return detail::run_parallel_lloyd(nd, n, d, opts, std::move(initial), pool,
+                                    parts);
+}
+
+}  // namespace knor

@@ -1,0 +1,14 @@
+// knori — the in-memory NUMA-optimized k-means module (paper §5).
+#pragma once
+
+#include "core/kmeans_types.hpp"
+
+namespace knor {
+
+/// Cluster `data` (n x d, row-major) into opts.k clusters with the
+/// NUMA-optimized ||Lloyd's engine. This is the paper's knori when
+/// opts.prune is true and knori- when false; opts.numa_aware = false gives
+/// the NUMA-oblivious baseline of Figure 4.
+Result kmeans(ConstMatrixView data, const Options& opts);
+
+}  // namespace knor

@@ -1,0 +1,56 @@
+// Single-threaded reference Lloyd's algorithm.
+//
+// This is the Table 3 baseline and the oracle for the exactness tests:
+// every parallel/pruned/SEM/distributed engine must reproduce its
+// clustering (same tie rule, empty-cluster rule, convergence rule).
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/engines.hpp"
+#include "core/init.hpp"
+#include "core/local_centroids.hpp"
+
+namespace knor {
+
+Result lloyd_serial(ConstMatrixView data, const Options& opts) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  DenseMatrix cur = init_centroids(data, opts);
+  DenseMatrix next(static_cast<index_t>(k), d);
+  LocalCentroids acc(k, d);
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    acc.clear();
+    std::uint64_t changed = 0;
+    for (index_t r = 0; r < n; ++r) {
+      const cluster_t best =
+          nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+      res.counters.dist_computations += static_cast<std::uint64_t>(k);
+      if (best != res.assignments[r]) ++changed;
+      res.assignments[r] = best;
+      acc.add(best, data.row(r));
+    }
+    res.cluster_sizes = acc.finalize_into(next, cur);
+    std::swap(cur, next);
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (index_t r = 0; r < n; ++r)
+    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor

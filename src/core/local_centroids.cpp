@@ -1,0 +1,98 @@
+#include "core/local_centroids.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace knor {
+
+LocalCentroids::LocalCentroids(int k, index_t d)
+    : k_(k),
+      d_(d),
+      sums_(static_cast<std::size_t>(k) * d),
+      counts_(static_cast<std::size_t>(k), 0) {}
+
+void LocalCentroids::merge(const LocalCentroids& other) {
+  assert(other.k_ == k_ && other.d_ == d_);
+  const std::size_t total = static_cast<std::size_t>(k_) * d_;
+  for (std::size_t i = 0; i < total; ++i) sums_[i] += other.sums_[i];
+  for (int c = 0; c < k_; ++c)
+    counts_[static_cast<std::size_t>(c)] +=
+        other.counts_[static_cast<std::size_t>(c)];
+}
+
+void LocalCentroids::clear() {
+  std::memset(sums_.data(), 0, sums_.size() * sizeof(value_t));
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+std::vector<index_t> LocalCentroids::finalize_into(
+    DenseMatrix& centroids, const DenseMatrix& previous) const {
+  assert(centroids.rows() == static_cast<index_t>(k_) && centroids.cols() == d_);
+  std::vector<index_t> sizes(static_cast<std::size_t>(k_));
+  for (int c = 0; c < k_; ++c) {
+    const index_t count = counts_[static_cast<std::size_t>(c)];
+    sizes[static_cast<std::size_t>(c)] = count;
+    value_t* dst = centroids.row(static_cast<index_t>(c));
+    if (count == 0) {
+      // Empty cluster: keep previous centroid.
+      std::memcpy(dst, previous.row(static_cast<index_t>(c)),
+                  d_ * sizeof(value_t));
+      continue;
+    }
+    const value_t* s = sum(static_cast<cluster_t>(c));
+    const value_t inv = static_cast<value_t>(1.0) / static_cast<value_t>(count);
+    for (index_t j = 0; j < d_; ++j) dst[j] = s[j] * inv;
+  }
+  return sizes;
+}
+
+SignedCentroids::SignedCentroids(int k, index_t d)
+    : k_(k),
+      d_(d),
+      sums_(static_cast<std::size_t>(k) * d),
+      counts_(static_cast<std::size_t>(k), 0) {}
+
+void SignedCentroids::clear() {
+  std::memset(sums_.data(), 0, sums_.size() * sizeof(value_t));
+  std::fill(counts_.begin(), counts_.end(), 0);
+}
+
+void SignedCentroids::merge(const SignedCentroids& other) {
+  assert(other.k_ == k_ && other.d_ == d_);
+  const std::size_t total = static_cast<std::size_t>(k_) * d_;
+  for (std::size_t i = 0; i < total; ++i) sums_[i] += other.sums_[i];
+  for (int c = 0; c < k_; ++c)
+    counts_[static_cast<std::size_t>(c)] +=
+        other.counts_[static_cast<std::size_t>(c)];
+}
+
+void SignedCentroids::apply_to(value_t* sums, std::int64_t* counts) const {
+  const std::size_t total = static_cast<std::size_t>(k_) * d_;
+  for (std::size_t i = 0; i < total; ++i) sums[i] += sums_[i];
+  for (int c = 0; c < k_; ++c)
+    counts[c] += counts_[static_cast<std::size_t>(c)];
+}
+
+std::vector<index_t> finalize_sums(const value_t* sums,
+                                   const std::int64_t* counts, int k,
+                                   index_t d, DenseMatrix& centroids,
+                                   const DenseMatrix& previous) {
+  std::vector<index_t> sizes(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    const std::int64_t count = counts[c];
+    sizes[static_cast<std::size_t>(c)] =
+        count > 0 ? static_cast<index_t>(count) : 0;
+    value_t* dst = centroids.row(static_cast<index_t>(c));
+    if (count <= 0) {
+      std::memcpy(dst, previous.row(static_cast<index_t>(c)),
+                  d * sizeof(value_t));
+      continue;
+    }
+    const value_t* s = sums + static_cast<std::size_t>(c) * d;
+    const value_t inv = static_cast<value_t>(1.0) / static_cast<value_t>(count);
+    for (index_t j = 0; j < d; ++j) dst[j] = s[j] * inv;
+  }
+  return sizes;
+}
+
+}  // namespace knor

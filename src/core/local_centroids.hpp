@@ -1,0 +1,108 @@
+// Per-thread centroid accumulators — the heart of ||Lloyd's (Algorithm 1).
+//
+// Each thread owns a private (k x d sums + k counts) structure, updated
+// without any synchronization during the super-phase; after the single
+// per-iteration barrier the T structures are merged pairwise in parallel
+// (sched/reduction.hpp) and finalized into the next iteration's centroids.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/dense_matrix.hpp"
+#include "common/types.hpp"
+
+namespace knor {
+
+class LocalCentroids {
+ public:
+  LocalCentroids() = default;
+  LocalCentroids(int k, index_t d);
+
+  /// Accumulate `row` into cluster c.
+  void add(cluster_t c, const value_t* row) {
+    value_t* s = sums_.data() + static_cast<std::size_t>(c) * d_;
+    for (index_t j = 0; j < d_; ++j) s[j] += row[j];
+    ++counts_[c];
+  }
+
+  /// Merge `other` into this (other is left untouched).
+  void merge(const LocalCentroids& other);
+
+  /// Zero all sums and counts for the next iteration.
+  void clear();
+
+  int k() const { return k_; }
+  index_t d() const { return d_; }
+  index_t count(cluster_t c) const { return counts_[c]; }
+  const value_t* sum(cluster_t c) const {
+    return sums_.data() + static_cast<std::size_t>(c) * d_;
+  }
+
+  /// Compute means into `centroids` (k x d). Clusters with no members keep
+  /// their previous centroid (standard Lloyd's behaviour; avoids NaNs and
+  /// matches the serial reference exactly).
+  /// Returns the per-cluster sizes.
+  std::vector<index_t> finalize_into(DenseMatrix& centroids,
+                                     const DenseMatrix& previous) const;
+
+  std::size_t bytes() const {
+    return sums_.size() * sizeof(value_t) + counts_.size() * sizeof(index_t);
+  }
+
+ private:
+  int k_ = 0;
+  index_t d_ = 0;
+  AlignedBuffer<value_t> sums_;
+  std::vector<index_t> counts_;
+};
+
+/// Signed per-thread centroid delta: points joining a cluster add, points
+/// leaving subtract. Used by the pruned engines (knori with MTI, knors):
+/// a clause-1-skipped point provably kept its membership, so it
+/// contributes *nothing* — no accumulate, and in SEM no I/O. The merged
+/// deltas are applied to persistent global sums/counts each iteration.
+class SignedCentroids {
+ public:
+  SignedCentroids() = default;
+  SignedCentroids(int k, index_t d);
+
+  void add(cluster_t c, const value_t* v) { apply(c, v, value_t(1)); }
+  void sub(cluster_t c, const value_t* v) { apply(c, v, value_t(-1)); }
+
+  void clear();
+  /// Merge `other` into this.
+  void merge(const SignedCentroids& other);
+  /// Apply this delta to persistent accumulators (sums: k x d, counts: k).
+  void apply_to(value_t* sums, std::int64_t* counts) const;
+
+  int k() const { return k_; }
+  index_t d() const { return d_; }
+  std::size_t bytes() const {
+    return sums_.size() * sizeof(value_t) +
+           counts_.size() * sizeof(std::int64_t);
+  }
+
+ private:
+  void apply(cluster_t c, const value_t* v, value_t sign) {
+    value_t* s = sums_.data() + static_cast<std::size_t>(c) * d_;
+    for (index_t j = 0; j < d_; ++j) s[j] += sign * v[j];
+    counts_[c] += sign > 0 ? 1 : -1;
+  }
+
+  int k_ = 0;
+  index_t d_ = 0;
+  AlignedBuffer<value_t> sums_;
+  std::vector<std::int64_t> counts_;
+};
+
+/// Compute means from persistent sums/counts into `centroids`; clusters
+/// with count <= 0 keep the row from `previous`. Returns cluster sizes.
+std::vector<index_t> finalize_sums(const value_t* sums,
+                                   const std::int64_t* counts, int k,
+                                   index_t d, DenseMatrix& centroids,
+                                   const DenseMatrix& previous);
+
+}  // namespace knor

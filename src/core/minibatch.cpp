@@ -1,0 +1,68 @@
+// Mini-batch k-means (Sculley, WWW'10) — the Sophia-ML stand-in from the
+// paper's related work (§2). Approximate: per step, a sampled batch is
+// assigned and centroids move with per-centre learning rates 1/count.
+// Included to let benches contrast exact knor routines with the
+// approximation the paper chose not to make.
+#include <vector>
+
+#include "common/prng.hpp"
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/engines.hpp"
+#include "core/init.hpp"
+
+namespace knor {
+
+Result minibatch(ConstMatrixView data, const Options& opts,
+                 const MinibatchOptions& mb) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+
+  Result res;
+  DenseMatrix cur = init_centroids(data, opts);
+  std::vector<index_t> counts(static_cast<std::size_t>(k), 0);
+  std::vector<index_t> batch(static_cast<std::size_t>(mb.batch_size));
+  std::vector<cluster_t> batch_assign(static_cast<std::size_t>(mb.batch_size));
+  Prng rng(opts.seed, /*stream=*/0xba7c);
+
+  for (int it = 0; it < mb.max_iters; ++it) {
+    WallTimer timer;
+    for (auto& b : batch) b = rng.next_below(n);
+    // Assign the whole batch against frozen centroids...
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      batch_assign[i] =
+          nearest_centroid(data.row(batch[i]), cur.data(), k, d, nullptr);
+      res.counters.dist_computations += static_cast<std::uint64_t>(k);
+    }
+    // ...then take gradient steps with per-centre rates.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const cluster_t c = batch_assign[i];
+      const value_t eta =
+          static_cast<value_t>(1.0) / static_cast<value_t>(++counts[c]);
+      value_t* centre = cur.row(c);
+      const value_t* v = data.row(batch[i]);
+      for (index_t j = 0; j < d; ++j)
+        centre[j] += eta * (v[j] - centre[j]);
+    }
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+  }
+
+  // Final full assignment + energy (the approximation is in the centroids,
+  // not in the reported clustering).
+  res.assignments.resize(static_cast<std::size_t>(n));
+  res.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
+  for (index_t r = 0; r < n; ++r) {
+    value_t dbest = 0;
+    const cluster_t best = nearest_centroid(data.row(r), cur.data(), k, d, &dbest);
+    res.assignments[r] = best;
+    ++res.cluster_sizes[best];
+    res.energy += dbest * dbest;
+  }
+  res.converged = false;  // mini-batch has no membership-stability criterion
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor

@@ -1,0 +1,74 @@
+// Minimal Triangle Inequality (MTI) pruning state — the paper's §4
+// modification of Elkan's algorithm that drops the O(nk) lower-bound matrix.
+//
+// Memory: O(n) upper bounds + O(k^2) centroid-to-centroid distances +
+// O(k) drifts — the paper's "6-10 bytes per point" overhead.
+//
+// Per iteration:
+//   * prepare(prev, cur) computes the c2c distance matrix, per-centroid
+//     separation s_half(c) = 1/2 min_{c' != c} d(c, c'), and the drift
+//     f(c) = d(c_prev, c_cur) used to loosen bounds.
+//   * For each point i with assignment a and loosened bound
+//     ub = ub[i] + f(a):
+//       Clause 1: ub <= s_half(a)           -> keep cluster, no distance
+//                 computation at all (and, in knors, no I/O request).
+//       Clause 2: ub <= 1/2 d(best, c)      -> skip candidate c before
+//                 tightening.
+//       Clause 3: after tightening ub = d(v, c_best) (one computation),
+//                 re-test 1/2 d(best, c) with the tight bound.
+// All bounds are on Euclidean (not squared) distances, as the triangle
+// inequality requires.
+#pragma once
+
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/dense_matrix.hpp"
+#include "common/types.hpp"
+
+namespace knor {
+
+class MtiState {
+ public:
+  MtiState() = default;
+  MtiState(index_t n, int k);
+
+  /// Recompute c2c distances, s_half and drift for a new iteration.
+  /// `prev` may be empty on the first call (drift = 0).
+  void prepare(const DenseMatrix& prev, const DenseMatrix& cur);
+
+  /// Upper bound of point i (Euclidean).
+  value_t ub(index_t i) const { return ub_[i]; }
+  void set_ub(index_t i, value_t v) { ub_[i] = v; }
+
+  /// Centroid drift f(c) = d(c_prev, c_cur).
+  value_t drift(cluster_t c) const { return drift_[c]; }
+  /// Half the distance from c to its nearest other centroid.
+  value_t s_half(cluster_t c) const { return s_half_[c]; }
+  /// Centroid-to-centroid Euclidean distance.
+  value_t c2c(cluster_t a, cluster_t b) const {
+    return c2c_[static_cast<std::size_t>(a) * k_ + b];
+  }
+
+  /// Clause 1: true when the loosened bound proves point i's assignment
+  /// cannot change this iteration.
+  bool clause1(cluster_t assign, value_t loosened_ub) const {
+    return loosened_ub <= s_half_[assign];
+  }
+
+  int k() const { return k_; }
+  index_t n() const { return ub_.size(); }
+  std::size_t bytes() const {
+    return ub_.size() * sizeof(value_t) + c2c_.size() * sizeof(value_t) +
+           (drift_.size() + s_half_.size()) * sizeof(value_t);
+  }
+
+ private:
+  int k_ = 0;
+  AlignedBuffer<value_t> ub_;
+  std::vector<value_t> c2c_;     ///< k*k (full, symmetric)
+  std::vector<value_t> drift_;   ///< k
+  std::vector<value_t> s_half_;  ///< k
+};
+
+}  // namespace knor

@@ -1,0 +1,204 @@
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "common/prng.hpp"
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/init.hpp"
+#include "core/local_centroids.hpp"
+#include "core/variants.hpp"
+#include "numa/partitioner.hpp"
+#include "numa/topology.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace knor {
+namespace {
+
+/// Seeded initialization: clusters with labeled members start at the
+/// labeled mean; the remaining clusters are chosen by D^2 (k-means++)
+/// sampling over the *unlabeled* points against the seeded centres.
+DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
+                        const std::vector<cluster_t>& labels) {
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+
+  LocalCentroids seeds(k, d);
+  for (index_t r = 0; r < n; ++r) {
+    const cluster_t label = labels[r];
+    if (label == kInvalidCluster) continue;
+    if (label >= static_cast<cluster_t>(k))
+      throw std::invalid_argument("seeded_kmeans: label >= k");
+    seeds.add(label, data.row(r));
+  }
+
+  DenseMatrix centroids(static_cast<index_t>(k), d);
+  std::vector<bool> seeded(static_cast<std::size_t>(k), false);
+  int num_seeded = 0;
+  for (int c = 0; c < k; ++c) {
+    if (seeds.count(static_cast<cluster_t>(c)) == 0) continue;
+    seeded[static_cast<std::size_t>(c)] = true;
+    ++num_seeded;
+    const value_t* sum = seeds.sum(static_cast<cluster_t>(c));
+    const value_t inv = value_t(1) / static_cast<value_t>(
+                            seeds.count(static_cast<cluster_t>(c)));
+    value_t* dst = centroids.row(static_cast<index_t>(c));
+    for (index_t j = 0; j < d; ++j) dst[j] = sum[j] * inv;
+  }
+  if (num_seeded == k) return centroids;
+
+  // D^2 sampling of the unseeded centres over unlabeled points.
+  Prng rng(opts.seed, /*stream=*/0x55ed);
+  std::vector<value_t> dist2(static_cast<std::size_t>(n), 0);
+  // Initialize dist2 against all seeded centres (or infinity when none).
+  bool any_seeded = num_seeded > 0;
+  for (index_t r = 0; r < n; ++r)
+    dist2[static_cast<std::size_t>(r)] =
+        labels[r] != kInvalidCluster
+            ? 0
+            : std::numeric_limits<value_t>::infinity();
+  if (any_seeded) {
+    for (int c = 0; c < k; ++c) {
+      if (!seeded[static_cast<std::size_t>(c)]) continue;
+      for (index_t r = 0; r < n; ++r) {
+        if (labels[r] != kInvalidCluster) continue;
+        auto& dr = dist2[static_cast<std::size_t>(r)];
+        dr = std::min(dr, dist_sq(data.row(r),
+                                  centroids.row(static_cast<index_t>(c)), d));
+      }
+    }
+  }
+  for (int c = 0; c < k; ++c) {
+    if (seeded[static_cast<std::size_t>(c)]) continue;
+    double total = 0;
+    for (index_t r = 0; r < n; ++r) {
+      auto& dr = dist2[static_cast<std::size_t>(r)];
+      if (std::isinf(static_cast<double>(dr))) {
+        // No seeded centre yet: first unseeded centre is uniform over
+        // unlabeled points.
+        continue;
+      }
+      total += dr;
+    }
+    index_t pick = 0;
+    if (!any_seeded || total <= 0) {
+      // Uniform over unlabeled points.
+      index_t unlabeled = 0;
+      for (index_t r = 0; r < n; ++r)
+        if (labels[r] == kInvalidCluster) ++unlabeled;
+      if (unlabeled == 0)
+        throw std::invalid_argument(
+            "seeded_kmeans: no unlabeled points to place unseeded centres");
+      index_t target = rng.next_below(unlabeled);
+      for (index_t r = 0; r < n; ++r) {
+        if (labels[r] != kInvalidCluster) continue;
+        if (target-- == 0) {
+          pick = r;
+          break;
+        }
+      }
+    } else {
+      double target = rng.next_double() * total;
+      for (index_t r = 0; r < n; ++r) {
+        const auto dr = dist2[static_cast<std::size_t>(r)];
+        if (std::isinf(static_cast<double>(dr))) continue;
+        target -= dr;
+        pick = r;
+        if (target <= 0) break;
+      }
+    }
+    std::memcpy(centroids.row(static_cast<index_t>(c)), data.row(pick),
+                d * sizeof(value_t));
+    seeded[static_cast<std::size_t>(c)] = true;
+    any_seeded = true;
+    for (index_t r = 0; r < n; ++r) {
+      if (labels[r] != kInvalidCluster) continue;
+      auto& dr = dist2[static_cast<std::size_t>(r)];
+      const value_t dc =
+          dist_sq(data.row(r), centroids.row(static_cast<index_t>(c)), d);
+      if (std::isinf(static_cast<double>(dr)) || dc < dr) dr = dc;
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result seeded_kmeans(ConstMatrixView data, const Options& opts,
+                     const std::vector<cluster_t>& labels) {
+  if (data.empty()) throw std::invalid_argument("seeded_kmeans: empty dataset");
+  if (labels.size() != data.rows())
+    throw std::invalid_argument("seeded_kmeans: labels size != n");
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+  if (k < 1) throw std::invalid_argument("seeded_kmeans: k < 1");
+
+  DenseMatrix cur = opts.init == Init::kProvided
+                        ? init_centroids(data, opts)
+                        : seeded_init(data, opts, labels);
+  DenseMatrix next(static_cast<index_t>(k), d);
+
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+  numa::Partitioner parts(n, T, topo);
+  sched::ThreadPool pool(T, topo, /*bind=*/opts.numa_aware);
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  std::vector<LocalCentroids> locals;
+  locals.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) locals.emplace_back(k, d);
+  std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    pool.run([&](int tid) {
+      auto& acc = locals[static_cast<std::size_t>(tid)];
+      acc.clear();
+      tchanged[static_cast<std::size_t>(tid)] = 0;
+      const numa::RowRange rows = parts.thread_rows(tid);
+      for (index_t r = rows.begin; r < rows.end; ++r) {
+        // Constraint: labeled points keep their label forever.
+        const cluster_t best =
+            labels[r] != kInvalidCluster
+                ? labels[r]
+                : nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+        if (best != res.assignments[r])
+          ++tchanged[static_cast<std::size_t>(tid)];
+        res.assignments[r] = best;
+        acc.add(best, data.row(r));
+      }
+    });
+    res.counters.dist_computations +=
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+
+    for (int t = 1; t < T; ++t)
+      locals[0].merge(locals[static_cast<std::size_t>(t)]);
+    res.cluster_sizes = locals[0].finalize_into(next, cur);
+    std::swap(cur, next);
+
+    std::uint64_t changed = 0;
+    for (auto c : tchanged) changed += c;
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (index_t r = 0; r < n; ++r)
+    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor

@@ -1,0 +1,143 @@
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+#include "core/init.hpp"
+#include "core/local_centroids.hpp"
+#include "core/variants.hpp"
+#include "numa/partitioner.hpp"
+#include "numa/topology.hpp"
+#include "sched/thread_pool.hpp"
+
+namespace knor {
+namespace {
+
+/// Dot product (the spherical kernel; larger = more similar on the sphere).
+value_t dot(const value_t* a, const value_t* b, index_t d) {
+  value_t s0 = 0, s1 = 0;
+  index_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    s0 += a[j] * b[j];
+    s1 += a[j + 1] * b[j + 1];
+  }
+  if (j < d) s0 += a[j] * b[j];
+  return s0 + s1;
+}
+
+/// L2-normalize every row of `m` in place; throws on zero rows (no
+/// direction on the sphere).
+void normalize_rows(DenseMatrix& m) {
+  for (index_t r = 0; r < m.rows(); ++r) {
+    value_t* row = m.row(r);
+    value_t norm_sq = 0;
+    for (index_t j = 0; j < m.cols(); ++j) norm_sq += row[j] * row[j];
+    if (norm_sq <= 0)
+      throw std::invalid_argument(
+          "spherical_kmeans: zero row has no direction");
+    const value_t inv = value_t(1) / std::sqrt(norm_sq);
+    for (index_t j = 0; j < m.cols(); ++j) row[j] *= inv;
+  }
+}
+
+/// Re-normalize a centroid after the mean update; an all-zero mean (empty
+/// cluster handled upstream; exact cancellation is measure-zero) keeps the
+/// previous direction.
+void normalize_centroid(value_t* c, const value_t* prev, index_t d) {
+  value_t norm_sq = 0;
+  for (index_t j = 0; j < d; ++j) norm_sq += c[j] * c[j];
+  if (norm_sq <= 0) {
+    std::memcpy(c, prev, d * sizeof(value_t));
+    return;
+  }
+  const value_t inv = value_t(1) / std::sqrt(norm_sq);
+  for (index_t j = 0; j < d; ++j) c[j] *= inv;
+}
+
+}  // namespace
+
+Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
+  if (data.empty())
+    throw std::invalid_argument("spherical_kmeans: empty dataset");
+  const index_t n = data.rows();
+  const index_t d = data.cols();
+  const int k = opts.k;
+
+  // Work on a normalized copy (rows on the unit sphere).
+  DenseMatrix unit(n, d);
+  std::memcpy(unit.data(), data.data(), unit.size() * sizeof(value_t));
+  normalize_rows(unit);
+
+  DenseMatrix cur = init_centroids(unit.const_view(), opts);
+  for (index_t c = 0; c < cur.rows(); ++c)
+    normalize_centroid(cur.row(c), cur.row(c), d);
+  DenseMatrix next(static_cast<index_t>(k), d);
+
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+  numa::Partitioner parts(n, T, topo);
+  sched::ThreadPool pool(T, topo, /*bind=*/opts.numa_aware);
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  std::vector<LocalCentroids> locals;
+  locals.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) locals.emplace_back(k, d);
+  std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    pool.run([&](int tid) {
+      auto& acc = locals[static_cast<std::size_t>(tid)];
+      acc.clear();
+      tchanged[static_cast<std::size_t>(tid)] = 0;
+      const numa::RowRange rows = parts.thread_rows(tid);
+      for (index_t r = rows.begin; r < rows.end; ++r) {
+        const value_t* v = unit.row(r);
+        cluster_t best = 0;
+        value_t best_sim = dot(v, cur.row(0), d);
+        for (int c = 1; c < k; ++c) {
+          const value_t sim = dot(v, cur.row(static_cast<index_t>(c)), d);
+          if (sim > best_sim) {
+            best_sim = sim;
+            best = static_cast<cluster_t>(c);
+          }
+        }
+        if (best != res.assignments[r])
+          ++tchanged[static_cast<std::size_t>(tid)];
+        res.assignments[r] = best;
+        acc.add(best, v);
+      }
+    });
+    res.counters.dist_computations +=
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+
+    for (int t = 1; t < T; ++t) locals[0].merge(locals[static_cast<std::size_t>(t)]);
+    res.cluster_sizes = locals[0].finalize_into(next, cur);
+    for (int c = 0; c < k; ++c)
+      normalize_centroid(next.row(static_cast<index_t>(c)),
+                         cur.row(static_cast<index_t>(c)), d);
+    std::swap(cur, next);
+
+    std::uint64_t changed = 0;
+    for (auto c : tchanged) changed += c;
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  for (index_t r = 0; r < n; ++r)
+    res.energy += 1.0 - dot(unit.row(r), cur.row(res.assignments[r]), d);
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor

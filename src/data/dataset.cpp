@@ -1,0 +1,46 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+
+namespace knor::data {
+
+void NumaDataset::allocate_blocks(sched::ThreadPool& pool) {
+  blocks_.resize(static_cast<std::size_t>(parts_.threads()));
+  // Allocate from within each bound worker so first-touch lands on the
+  // worker's node even when mbind is unavailable.
+  pool.run([&](int t) {
+    auto& block = blocks_[static_cast<std::size_t>(t)];
+    block.range = parts_.thread_rows(t);
+    block.data = numa::NodeBuffer<value_t>(
+        static_cast<std::size_t>(block.range.size()) * d_,
+        parts_.node_of_thread(t));
+  });
+}
+
+NumaDataset::NumaDataset(ConstMatrixView src, const numa::Partitioner& parts,
+                         sched::ThreadPool& pool)
+    : parts_(parts), d_(src.cols()) {
+  allocate_blocks(pool);
+  pool.run([&](int t) {
+    auto& block = blocks_[static_cast<std::size_t>(t)];
+    if (block.range.empty()) return;
+    std::memcpy(block.data.data(), src.row(block.range.begin),
+                static_cast<std::size_t>(block.range.size()) * d_ *
+                    sizeof(value_t));
+  });
+}
+
+NumaDataset::NumaDataset(const GeneratorSpec& spec,
+                         const numa::Partitioner& parts,
+                         sched::ThreadPool& pool)
+    : parts_(parts), d_(spec.d) {
+  allocate_blocks(pool);
+  pool.run([&](int t) {
+    auto& block = blocks_[static_cast<std::size_t>(t)];
+    if (block.range.empty()) return;
+    MutMatrixView view(block.data.data(), block.range.size(), d_);
+    generate_rows(spec, block.range.begin, block.range.end, view);
+  });
+}
+
+}  // namespace knor::data

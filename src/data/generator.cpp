@@ -1,0 +1,162 @@
+#include "data/generator.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+namespace knor::data {
+namespace {
+
+// Deterministic per-component centre: centres are placed on a seeded random
+// lattice scaled by `separation`, so they are well separated for
+// separation >> 1 and reproducible from (seed, component).
+void component_centre(const GeneratorSpec& spec, int component,
+                      value_t* out) {
+  Prng rng(spec.seed ^ 0xc3a5c85c97cb3127ULL,
+           static_cast<std::uint64_t>(component));
+  for (index_t j = 0; j < spec.d; ++j)
+    out[j] = spec.separation * (2.0 * rng.next_double() - 1.0) *
+             std::sqrt(static_cast<double>(spec.true_clusters));
+}
+
+// Anisotropic per-component, per-dimension scale in [0.5, 1.5] — mimics the
+// unequal variance directions of eigenvector embeddings.
+void component_scales(const GeneratorSpec& spec, int component, value_t* out) {
+  Prng rng(spec.seed ^ 0x9ae16a3b2f90404fULL,
+           static_cast<std::uint64_t>(component));
+  for (index_t j = 0; j < spec.d; ++j) out[j] = 0.5 + rng.next_double();
+}
+
+// Power-law component weights: w_i ~ (i+1)^-alpha, normalized into a CDF.
+std::vector<double> component_cdf(const GeneratorSpec& spec) {
+  std::vector<double> cdf(static_cast<std::size_t>(spec.true_clusters));
+  double total = 0.0;
+  for (int i = 0; i < spec.true_clusters; ++i) {
+    total += std::pow(static_cast<double>(i + 1), -spec.power_law_alpha);
+    cdf[static_cast<std::size_t>(i)] = total;
+  }
+  for (auto& v : cdf) v /= total;
+  return cdf;
+}
+
+int pick_component(const std::vector<double>& cdf, double u) {
+  // Linear scan is fine: true_clusters is small (<=256 in practice).
+  for (std::size_t i = 0; i < cdf.size(); ++i)
+    if (u < cdf[i]) return static_cast<int>(i);
+  return static_cast<int>(cdf.size()) - 1;
+}
+
+// Component of row r: with probability `locality`, determined by the row's
+// position (inverse-CDF of a linear ramp -> contiguous bands whose lengths
+// follow the power-law weights); otherwise drawn independently. Consumes
+// exactly two uniforms from `rng` so the downstream Gaussian draws are
+// identical regardless of which branch fires.
+int row_component(const GeneratorSpec& spec, const std::vector<double>& cdf,
+                  index_t r, Prng& rng) {
+  const double gate = rng.next_double();
+  const double u = rng.next_double();
+  if (gate < spec.locality) {
+    const double ramp =
+        (static_cast<double>(r) + 0.5) / static_cast<double>(spec.n);
+    return pick_component(cdf, ramp);
+  }
+  return pick_component(cdf, u);
+}
+
+}  // namespace
+
+const char* to_string(Distribution d) {
+  switch (d) {
+    case Distribution::kNaturalClusters: return "natural-clusters";
+    case Distribution::kUniformRandom: return "uniform-random";
+    case Distribution::kUnivariateRandom: return "univariate-random";
+  }
+  return "?";
+}
+
+std::string GeneratorSpec::describe() const {
+  std::ostringstream oss;
+  oss << to_string(dist) << " n=" << n << " d=" << d << " seed=" << seed;
+  if (dist == Distribution::kNaturalClusters) {
+    oss << " components=" << true_clusters << " sep=" << separation
+        << " alpha=" << power_law_alpha;
+    if (locality > 0) oss << " locality=" << locality;
+  }
+  return oss.str();
+}
+
+int true_component_of_row(const GeneratorSpec& spec, index_t r) {
+  static thread_local std::vector<double> cdf;
+  static thread_local std::uint64_t cached_key = 0;
+  // component_cdf is pure in (seed, clusters, alpha); rebuild only when the
+  // parameters change. Tests call this per-row, so the cache matters.
+  const std::uint64_t key =
+      spec.seed * 1000003ULL + static_cast<std::uint64_t>(spec.true_clusters) +
+      static_cast<std::uint64_t>(spec.power_law_alpha * 4096.0) +
+      static_cast<std::uint64_t>(spec.locality * 65536.0) * 131ULL;
+  if (cdf.empty() || cached_key != key) {
+    cdf = component_cdf(spec);
+    cached_key = key;
+  }
+  Prng rng(spec.seed, r);
+  return row_component(spec, cdf, r, rng);
+}
+
+std::vector<value_t> true_centre(const GeneratorSpec& spec, int component) {
+  std::vector<value_t> c(static_cast<std::size_t>(spec.d));
+  component_centre(spec, component, c.data());
+  return c;
+}
+
+void generate_rows(const GeneratorSpec& spec, index_t begin, index_t end,
+                   MutMatrixView out) {
+  if (end < begin || out.rows() != end - begin || out.cols() != spec.d)
+    throw std::invalid_argument("generate_rows: output shape mismatch");
+
+  switch (spec.dist) {
+    case Distribution::kUniformRandom: {
+      for (index_t r = begin; r < end; ++r) {
+        Prng rng(spec.seed, r);
+        value_t* row = out.row(r - begin);
+        for (index_t j = 0; j < spec.d; ++j) row[j] = rng.next_double();
+      }
+      return;
+    }
+    case Distribution::kUnivariateRandom: {
+      // All dimensions drawn from one univariate standard normal.
+      for (index_t r = begin; r < end; ++r) {
+        Prng rng(spec.seed, r);
+        value_t* row = out.row(r - begin);
+        for (index_t j = 0; j < spec.d; ++j) row[j] = rng.next_gaussian();
+      }
+      return;
+    }
+    case Distribution::kNaturalClusters: {
+      const auto cdf = component_cdf(spec);
+      std::vector<value_t> centre(static_cast<std::size_t>(spec.d));
+      std::vector<value_t> scale(static_cast<std::size_t>(spec.d));
+      int cached_component = -1;
+      for (index_t r = begin; r < end; ++r) {
+        Prng rng(spec.seed, r);
+        const int comp = row_component(spec, cdf, r, rng);
+        if (comp != cached_component) {
+          component_centre(spec, comp, centre.data());
+          component_scales(spec, comp, scale.data());
+          cached_component = comp;
+        }
+        value_t* row = out.row(r - begin);
+        for (index_t j = 0; j < spec.d; ++j)
+          row[j] = centre[j] + scale[j] * rng.next_gaussian();
+      }
+      return;
+    }
+  }
+}
+
+DenseMatrix generate(const GeneratorSpec& spec) {
+  DenseMatrix m(spec.n, spec.d);
+  generate_rows(spec, 0, spec.n, m.view());
+  return m;
+}
+
+}  // namespace knor::data

@@ -1,0 +1,74 @@
+// Synthetic dataset generators (Table 2 substitutes, DESIGN.md §1).
+//
+// * natural_clusters — Gaussian mixture with power-law component weights and
+//   per-cluster anisotropic scales. Proxy for the Friendster top-k
+//   eigenvector matrices: data with strongly rooted clusters where most
+//   points settle early, which is what makes MTI pruning and the knors row
+//   cache effective in the paper.
+// * uniform_random — multivariate uniform in [0,1)^d. Proxy for the
+//   RM856M/RM1B datasets; the paper's worst case for pruning/convergence.
+// * univariate_random — d-dim rows where every dimension is an independent
+//   draw from one 1-D distribution. Proxy for RU2B.
+//
+// Generation is deterministic in (spec, seed) and parallel-safe: row r is
+// always produced from stream r, so any thread layout yields identical data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dense_matrix.hpp"
+#include "common/prng.hpp"
+#include "common/types.hpp"
+
+namespace knor::data {
+
+enum class Distribution {
+  kNaturalClusters,
+  kUniformRandom,
+  kUnivariateRandom,
+};
+
+const char* to_string(Distribution d);
+
+struct GeneratorSpec {
+  Distribution dist = Distribution::kNaturalClusters;
+  index_t n = 0;
+  index_t d = 0;
+  std::uint64_t seed = 42;
+  // Natural-cluster parameters:
+  int true_clusters = 16;       ///< mixture components
+  double separation = 8.0;      ///< centre spacing in units of cluster sigma
+  double power_law_alpha = 1.5; ///< component-weight skew (1 = near-uniform)
+  /// Probability that a row's component is determined by its *position*
+  /// (contiguous component bands, like crawl-ordered or sorted real data)
+  /// rather than drawn independently. 0 = fully shuffled rows; values near
+  /// 1 reproduce the partition-level pruning skew that motivates the
+  /// paper's NUMA-aware task scheduler (Figure 5).
+  double locality = 0.0;
+
+  std::string describe() const;
+  /// Matrix size in bytes (what Table 2's "Size" column reports).
+  std::size_t bytes() const {
+    return static_cast<std::size_t>(n) * d * sizeof(value_t);
+  }
+};
+
+/// Generate the full matrix in memory.
+DenseMatrix generate(const GeneratorSpec& spec);
+
+/// Generate only rows [begin, end) into `out` (out must be (end-begin) x d).
+/// Used by NUMA-partitioned loading and by the SEM file writer to stream
+/// datasets larger than memory.
+void generate_rows(const GeneratorSpec& spec, index_t begin, index_t end,
+                   MutMatrixView out);
+
+/// Ground-truth component centre c (size d) for natural-cluster specs.
+/// Useful in tests that verify recovered centroids.
+std::vector<value_t> true_centre(const GeneratorSpec& spec, int component);
+
+/// Ground-truth component of row r (natural clusters only).
+int true_component_of_row(const GeneratorSpec& spec, index_t r);
+
+}  // namespace knor::data

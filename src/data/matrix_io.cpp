@@ -1,0 +1,130 @@
+#include "data/matrix_io.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace knor::data {
+namespace {
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr open_or_throw(const std::string& path, const char* mode) {
+  FilePtr f(std::fopen(path.c_str(), mode));
+  if (!f)
+    throw std::runtime_error("matrix_io: cannot open '" + path + "' (" +
+                             std::strerror(errno) + ")");
+  return f;
+}
+
+void write_header(std::FILE* f, const MatrixHeader& h) {
+  unsigned char buf[kHeaderBytes] = {};
+  std::memcpy(buf, kMagic, sizeof(kMagic));
+  std::uint64_t fields[3] = {h.n, h.d, h.elem_size};
+  std::memcpy(buf + sizeof(kMagic), fields, sizeof(fields));
+  if (std::fwrite(buf, 1, kHeaderBytes, f) != kHeaderBytes)
+    throw std::runtime_error("matrix_io: header write failed");
+}
+
+MatrixHeader parse_header(std::FILE* f, const std::string& path) {
+  unsigned char buf[kHeaderBytes];
+  if (std::fread(buf, 1, kHeaderBytes, f) != kHeaderBytes)
+    throw std::runtime_error("matrix_io: '" + path + "' truncated header");
+  if (std::memcmp(buf, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("matrix_io: '" + path + "' bad magic");
+  MatrixHeader h;
+  std::uint64_t fields[3];
+  std::memcpy(fields, buf + sizeof(kMagic), sizeof(fields));
+  h.n = fields[0];
+  h.d = fields[1];
+  h.elem_size = fields[2];
+  if (h.elem_size != sizeof(value_t))
+    throw std::runtime_error("matrix_io: '" + path +
+                             "' element size mismatch");
+  if (h.d == 0) throw std::runtime_error("matrix_io: '" + path + "' d == 0");
+  return h;
+}
+
+void check_body_size(std::FILE* f, const MatrixHeader& h,
+                     const std::string& path) {
+  if (std::fseek(f, 0, SEEK_END) != 0)
+    throw std::runtime_error("matrix_io: seek failed");
+  const long size = std::ftell(f);
+  const long expect = static_cast<long>(
+      kHeaderBytes + static_cast<std::size_t>(h.n) * h.d * h.elem_size);
+  if (size < expect)
+    throw std::runtime_error("matrix_io: '" + path + "' truncated body");
+}
+
+}  // namespace
+
+void write_matrix(const std::string& path, const DenseMatrix& m) {
+  FilePtr f = open_or_throw(path, "wb");
+  write_header(f.get(), {m.rows(), m.cols(), sizeof(value_t)});
+  const std::size_t count = m.size();
+  if (count > 0 && std::fwrite(m.data(), sizeof(value_t), count, f.get()) != count)
+    throw std::runtime_error("matrix_io: body write failed");
+}
+
+void write_generated(const std::string& path, const GeneratorSpec& spec,
+                     index_t chunk_rows) {
+  if (chunk_rows == 0) chunk_rows = 1;
+  FilePtr f = open_or_throw(path, "wb");
+  write_header(f.get(), {spec.n, spec.d, sizeof(value_t)});
+  DenseMatrix chunk(std::min(chunk_rows, spec.n), spec.d);
+  for (index_t begin = 0; begin < spec.n; begin += chunk_rows) {
+    const index_t end = std::min(spec.n, begin + chunk_rows);
+    MutMatrixView view(chunk.data(), end - begin, spec.d);
+    generate_rows(spec, begin, end, view);
+    const std::size_t count = static_cast<std::size_t>(end - begin) * spec.d;
+    if (std::fwrite(chunk.data(), sizeof(value_t), count, f.get()) != count)
+      throw std::runtime_error("matrix_io: body write failed");
+  }
+}
+
+MatrixHeader read_header(const std::string& path) {
+  FilePtr f = open_or_throw(path, "rb");
+  MatrixHeader h = parse_header(f.get(), path);
+  check_body_size(f.get(), h, path);
+  return h;
+}
+
+DenseMatrix read_matrix(const std::string& path) {
+  FilePtr f = open_or_throw(path, "rb");
+  const MatrixHeader h = parse_header(f.get(), path);
+  check_body_size(f.get(), h, path);
+  if (std::fseek(f.get(), static_cast<long>(kHeaderBytes), SEEK_SET) != 0)
+    throw std::runtime_error("matrix_io: seek failed");
+  DenseMatrix m(h.n, h.d);
+  const std::size_t count = m.size();
+  if (count > 0 &&
+      std::fread(m.data(), sizeof(value_t), count, f.get()) != count)
+    throw std::runtime_error("matrix_io: body read failed");
+  return m;
+}
+
+void read_rows(const std::string& path, index_t begin, index_t end,
+               MutMatrixView out) {
+  FilePtr f = open_or_throw(path, "rb");
+  const MatrixHeader h = parse_header(f.get(), path);
+  if (end < begin || end > h.n)
+    throw std::out_of_range("matrix_io: row range out of bounds");
+  if (out.rows() != end - begin || out.cols() != h.d)
+    throw std::invalid_argument("matrix_io: output shape mismatch");
+  const auto offset = static_cast<long>(
+      kHeaderBytes + static_cast<std::size_t>(begin) * h.d * sizeof(value_t));
+  if (std::fseek(f.get(), offset, SEEK_SET) != 0)
+    throw std::runtime_error("matrix_io: seek failed");
+  const std::size_t count = static_cast<std::size_t>(end - begin) * h.d;
+  if (count > 0 &&
+      std::fread(out.data(), sizeof(value_t), count, f.get()) != count)
+    throw std::runtime_error("matrix_io: row read failed");
+}
+
+}  // namespace knor::data

@@ -1,0 +1,48 @@
+// Binary matrix file format (.kmat) shared by the in-memory loader and the
+// SEM page file.
+//
+// Layout: 64-byte header { magic "KNORMAT1", u64 n, u64 d, u64 elem_size,
+// u64 reserved[4] } followed by n*d row-major value_t elements. Rows start
+// at byte offset kHeaderBytes + r*d*elem_size, which is what sem/page_file
+// relies on to compute row -> page mappings without any in-memory index
+// (the paper's page_row optimization, §6.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/dense_matrix.hpp"
+#include "common/types.hpp"
+#include "data/generator.hpp"
+
+namespace knor::data {
+
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr char kMagic[8] = {'K', 'N', 'O', 'R', 'M', 'A', 'T', '1'};
+
+struct MatrixHeader {
+  index_t n = 0;
+  index_t d = 0;
+  std::size_t elem_size = sizeof(value_t);
+};
+
+/// Write `m` to `path`. Throws std::runtime_error on I/O failure.
+void write_matrix(const std::string& path, const DenseMatrix& m);
+
+/// Stream a generated dataset to `path` without materializing it in memory
+/// (chunk_rows rows at a time). Enables SEM experiments on datasets larger
+/// than RAM.
+void write_generated(const std::string& path, const GeneratorSpec& spec,
+                     index_t chunk_rows = 1 << 16);
+
+/// Read and validate the header only.
+MatrixHeader read_header(const std::string& path);
+
+/// Read the whole matrix into memory. Throws on malformed files.
+DenseMatrix read_matrix(const std::string& path);
+
+/// Read rows [begin, end) into `out` ((end-begin) x d).
+void read_rows(const std::string& path, index_t begin, index_t end,
+               MutMatrixView out);
+
+}  // namespace knor::data

@@ -1,0 +1,23 @@
+// knor — public umbrella header.
+//
+// Reproduction of "knor: A NUMA-Optimized In-Memory, Distributed and
+// Semi-External-Memory k-means Library" (Mhembere et al., HPDC 2017).
+//
+//   knor::kmeans(data, opts)            — knori, in-memory NUMA-optimized
+//   knor::sem::kmeans(path, opts, sopts) — knors, semi-external memory
+//   knor::dist::kmeans(spec, opts, dopts)— knord, distributed (MPI-lite)
+//
+// See README.md for a quickstart and DESIGN.md for the architecture.
+#pragma once
+
+#include "common/dense_matrix.hpp"      // IWYU pragma: export
+#include "common/types.hpp"             // IWYU pragma: export
+#include "core/engines.hpp"             // IWYU pragma: export
+#include "core/init.hpp"                // IWYU pragma: export
+#include "core/kmeans_types.hpp"        // IWYU pragma: export
+#include "core/knori.hpp"               // IWYU pragma: export
+#include "core/variants.hpp"            // IWYU pragma: export
+#include "data/generator.hpp"           // IWYU pragma: export
+#include "data/matrix_io.hpp"           // IWYU pragma: export
+#include "dist/knord.hpp"               // IWYU pragma: export
+#include "sem/sem_kmeans.hpp"           // IWYU pragma: export

@@ -1,0 +1,20 @@
+#include "numa/cost_model.hpp"
+
+namespace knor::numa {
+
+std::atomic<std::uint32_t>& RemotePenalty::ns() {
+  static std::atomic<std::uint32_t> penalty{0};
+  return penalty;
+}
+
+void RemotePenalty::charge() {
+  const std::uint32_t penalty = ns().load(std::memory_order_relaxed);
+  if (penalty == 0) return;
+  const auto until = std::chrono::steady_clock::now() +
+                     std::chrono::nanoseconds(penalty);
+  while (std::chrono::steady_clock::now() < until) {
+    // spin: emulates stalled cycles on a remote memory access
+  }
+}
+
+}  // namespace knor::numa

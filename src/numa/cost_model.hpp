@@ -1,0 +1,87 @@
+// Remote-access accounting and (optional) latency emulation.
+//
+// Substitution (DESIGN.md §1): the reproduction host has one physical NUMA
+// node, so the *latency asymmetry* that makes the paper's NUMA-oblivious
+// baseline slow does not exist physically. This cost model restores it in
+// two ways:
+//   1. Accounting — kernels instrumented with AccessCounter record, per
+//      thread, how many row accesses were node-local vs remote. The Figure 4
+//      bench reports these counts next to wall time; they differentiate the
+//      designs exactly the way physical latency would.
+//   2. Emulation — when enabled (bench-only), each remote row access charges
+//      a configurable penalty in nanoseconds of spin, approximating the
+//      ~1.5-2x remote/local latency ratio of a 4-socket Xeon.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace knor::numa {
+
+struct AccessCounts {
+  std::uint64_t local = 0;
+  std::uint64_t remote = 0;
+  std::uint64_t total() const { return local + remote; }
+  double remote_fraction() const {
+    return total() == 0 ? 0.0
+                        : static_cast<double>(remote) /
+                              static_cast<double>(total());
+  }
+};
+
+/// Per-thread access counters, padded to avoid false sharing.
+class AccessCounter {
+ public:
+  explicit AccessCounter(int threads) : slots_(static_cast<std::size_t>(threads)) {}
+
+  void record(int thread, bool local) {
+    auto& s = slots_[static_cast<std::size_t>(thread)];
+    if (local)
+      ++s.local;
+    else
+      ++s.remote;
+  }
+
+  AccessCounts thread_counts(int thread) const {
+    const auto& s = slots_[static_cast<std::size_t>(thread)];
+    return {s.local, s.remote};
+  }
+
+  AccessCounts total() const {
+    AccessCounts out;
+    for (const auto& s : slots_) {
+      out.local += s.local;
+      out.remote += s.remote;
+    }
+    return out;
+  }
+
+  void reset() {
+    for (auto& s : slots_) {
+      s.local = 0;
+      s.remote = 0;
+    }
+  }
+
+ private:
+  struct alignas(kCacheLine) Slot {
+    std::uint64_t local = 0;
+    std::uint64_t remote = 0;
+  };
+  std::vector<Slot> slots_;
+};
+
+/// Global switch for remote-access latency emulation (benches only; tests
+/// and the library default leave it off).
+struct RemotePenalty {
+  /// Extra nanoseconds charged per remote row access. 0 disables.
+  static std::atomic<std::uint32_t>& ns();
+  /// Busy-wait for the configured penalty (no-op when disabled).
+  static void charge();
+};
+
+}  // namespace knor::numa

@@ -1,0 +1,78 @@
+#include "numa/numa_alloc.hpp"
+
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+
+#include "common/logger.hpp"
+#include "numa/topology.hpp"
+
+namespace knor::numa {
+namespace {
+
+#ifndef MPOL_BIND
+constexpr int MPOL_BIND = 2;
+#endif
+
+int physical_nodes() {
+  // Count real sysfs nodes once; Topology::detect() may be simulated, so we
+  // re-probe raw sysfs here.
+  static const int nodes = [] {
+    int count = 0;
+    for (;; ++count) {
+      const std::string p =
+          "/sys/devices/system/node/node" + std::to_string(count);
+      if (access(p.c_str(), F_OK) != 0) break;
+    }
+    return count == 0 ? 1 : count;
+  }();
+  return nodes;
+}
+
+long sys_mbind(void* addr, unsigned long len, int mode,
+               const unsigned long* nodemask, unsigned long maxnode,
+               unsigned flags) {
+  return syscall(SYS_mbind, addr, len, mode, nodemask, maxnode, flags);
+}
+
+}  // namespace
+
+bool machine_has_multiple_nodes() { return physical_nodes() > 1; }
+
+void* alloc_on_node(std::size_t bytes, int node) {
+  if (bytes == 0) return nullptr;
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t aligned =
+      (bytes + static_cast<std::size_t>(page) - 1) /
+      static_cast<std::size_t>(page) * static_cast<std::size_t>(page);
+  void* ptr = mmap(nullptr, aligned, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (ptr == MAP_FAILED) return nullptr;
+
+  if (node >= 0 && node < physical_nodes() && physical_nodes() > 1) {
+    unsigned long nodemask = 1UL << node;
+    if (sys_mbind(ptr, aligned, MPOL_BIND, &nodemask,
+                  sizeof(nodemask) * 8, 0) != 0) {
+      KNOR_LOG_DEBUG("mbind to node ", node, " failed: ",
+                     std::strerror(errno), " (continuing unbound)");
+    }
+  }
+  // First-touch the pages so placement happens now, on this thread.
+  std::memset(ptr, 0, aligned);
+  return ptr;
+}
+
+void free_on_node(void* ptr, std::size_t bytes) {
+  if (ptr == nullptr) return;
+  const long page = sysconf(_SC_PAGESIZE);
+  const std::size_t aligned =
+      (bytes + static_cast<std::size_t>(page) - 1) /
+      static_cast<std::size_t>(page) * static_cast<std::size_t>(page);
+  munmap(ptr, aligned);
+}
+
+}  // namespace knor::numa

@@ -1,0 +1,77 @@
+// Row partitioning across NUMA nodes and threads (Figure 1 of the paper):
+// the dataset is split into T contiguous blocks; thread t owns block t and
+// the block lives on thread t's NUMA node. alpha = n/T rows per thread,
+// beta = T/N threads per node.
+#pragma once
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.hpp"
+#include "numa/topology.hpp"
+
+namespace knor::numa {
+
+struct RowRange {
+  index_t begin = 0;
+  index_t end = 0;  ///< exclusive
+  index_t size() const { return end - begin; }
+  bool empty() const { return begin >= end; }
+  bool contains(index_t r) const { return r >= begin && r < end; }
+};
+
+/// Static block partition of `n` rows over `parts` parts; part i gets
+/// rows [i*n/parts, (i+1)*n/parts) — sizes differ by at most 1 row-block.
+inline RowRange block_range(index_t n, int parts, int part) {
+  assert(parts > 0 && part >= 0 && part < parts);
+  const index_t p = static_cast<index_t>(parts);
+  const index_t i = static_cast<index_t>(part);
+  return {n * i / p, n * (i + 1) / p};
+}
+
+/// Maps threads to NUMA nodes and rows to threads, per Figure 1.
+class Partitioner {
+ public:
+  Partitioner(index_t n, int threads, const Topology& topo)
+      : n_(n), threads_(threads) {
+    assert(threads > 0);
+    const int nodes = topo.num_nodes();
+    thread_node_.resize(static_cast<std::size_t>(threads));
+    // Round-robin threads over nodes: thread t -> node t % N keeps
+    // beta = T/N threads per node (the paper's layout).
+    for (int t = 0; t < threads; ++t)
+      thread_node_[static_cast<std::size_t>(t)] = t % nodes;
+  }
+
+  index_t n() const { return n_; }
+  int threads() const { return threads_; }
+
+  /// Rows owned by thread `t`.
+  RowRange thread_rows(int t) const { return block_range(n_, threads_, t); }
+
+  /// NUMA node thread `t` is bound to (and where its rows live).
+  int node_of_thread(int t) const {
+    return thread_node_[static_cast<std::size_t>(t)];
+  }
+
+  /// Owning thread of row `r`.
+  int thread_of_row(index_t r) const {
+    assert(r < n_);
+    // Inverse of block_range: t = floor(r * threads / n) then fix up
+    // boundary rounding.
+    int t = static_cast<int>(r * static_cast<index_t>(threads_) / n_);
+    while (t > 0 && thread_rows(t).begin > r) --t;
+    while (t + 1 < threads_ && thread_rows(t).end <= r) ++t;
+    return t;
+  }
+
+  /// NUMA node owning row `r`'s memory.
+  int node_of_row(index_t r) const { return node_of_thread(thread_of_row(r)); }
+
+ private:
+  index_t n_;
+  int threads_;
+  std::vector<int> thread_node_;
+};
+
+}  // namespace knor::numa

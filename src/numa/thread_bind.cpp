@@ -1,0 +1,53 @@
+#include "numa/thread_bind.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+
+#include <thread>
+
+#include "common/logger.hpp"
+
+namespace knor::numa {
+namespace {
+
+int physical_cpu_count() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+bool bind_current_thread_to_node(const Topology& topo, int node) {
+  if (node < 0 || node >= topo.num_nodes()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  bool any_physical = false;
+  const int phys = physical_cpu_count();
+  for (int cpu : topo.node(node).cpus) {
+    if (cpu < phys) {
+      CPU_SET(cpu, &set);
+      any_physical = true;
+    }
+  }
+  if (!any_physical) {
+    // Simulated node with only virtual CPU ids — logical binding only.
+    return true;
+  }
+  const int rc = pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  if (rc != 0) {
+    KNOR_LOG_DEBUG("pthread_setaffinity_np failed rc=", rc);
+    return false;
+  }
+  return true;
+}
+
+void unbind_current_thread(const Topology& topo) {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  const int phys = physical_cpu_count();
+  for (int cpu = 0; cpu < phys; ++cpu) CPU_SET(cpu, &set);
+  pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  (void)topo;
+}
+
+}  // namespace knor::numa

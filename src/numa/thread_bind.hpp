@@ -1,0 +1,23 @@
+// Thread -> NUMA node binding.
+//
+// The paper binds worker threads to NUMA *nodes* rather than individual
+// cores ("CPU thread-binding may cause performance degradation if the number
+// of worker threads exceeds the number of physical cores", §5.2): a bound
+// thread may run on any CPU of its node, leaving the OS scheduler room
+// within the node.
+#pragma once
+
+#include "numa/topology.hpp"
+
+namespace knor::numa {
+
+/// Restrict the calling thread to the CPUs of `node` in `topo`.
+/// Returns true on success. On a simulated topology whose virtual CPUs
+/// exceed the physical ones this becomes a no-op success: binding is
+/// logical only (the bookkeeping node id is what placement policies use).
+bool bind_current_thread_to_node(const Topology& topo, int node);
+
+/// Clear any affinity restriction for the calling thread.
+void unbind_current_thread(const Topology& topo);
+
+}  // namespace knor::numa

@@ -1,0 +1,131 @@
+#include "numa/topology.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/logger.hpp"
+
+namespace knor::numa {
+namespace {
+
+// Parse a Linux cpulist string like "0-3,8,10-11" into CPU ids.
+std::vector<int> parse_cpulist(const std::string& s) {
+  std::vector<int> cpus;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) continue;
+    const auto dash = tok.find('-');
+    if (dash == std::string::npos) {
+      cpus.push_back(std::atoi(tok.c_str()));
+    } else {
+      const int lo = std::atoi(tok.substr(0, dash).c_str());
+      const int hi = std::atoi(tok.substr(dash + 1).c_str());
+      for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+    }
+  }
+  return cpus;
+}
+
+std::vector<NodeInfo> detect_sysfs() {
+  std::vector<NodeInfo> nodes;
+  namespace fs = std::filesystem;
+  const fs::path base{"/sys/devices/system/node"};
+  std::error_code ec;
+  if (!fs::exists(base, ec)) return nodes;
+  for (int id = 0;; ++id) {
+    const fs::path dir = base / ("node" + std::to_string(id));
+    if (!fs::exists(dir, ec)) break;
+    std::ifstream in(dir / "cpulist");
+    if (!in) break;
+    std::string list;
+    std::getline(in, list);
+    NodeInfo node;
+    node.id = id;
+    node.cpus = parse_cpulist(list);
+    nodes.push_back(std::move(node));
+  }
+  return nodes;
+}
+
+int hardware_cpus() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<int>(hc);
+}
+
+}  // namespace
+
+void Topology::build_cpu_map() {
+  total_cpus_ = 0;
+  int max_cpu = -1;
+  for (const auto& n : nodes_) {
+    total_cpus_ += static_cast<int>(n.cpus.size());
+    for (int c : n.cpus) max_cpu = std::max(max_cpu, c);
+  }
+  cpu_to_node_.assign(static_cast<std::size_t>(max_cpu + 1), -1);
+  for (const auto& n : nodes_)
+    for (int c : n.cpus) cpu_to_node_[static_cast<std::size_t>(c)] = n.id;
+}
+
+Topology Topology::detect() {
+  Topology topo;
+  topo.nodes_ = detect_sysfs();
+  if (topo.nodes_.empty()) {
+    // No sysfs (or non-Linux): one node owning every CPU.
+    NodeInfo n;
+    n.id = 0;
+    for (int c = 0; c < hardware_cpus(); ++c) n.cpus.push_back(c);
+    topo.nodes_.push_back(std::move(n));
+  }
+  topo.build_cpu_map();
+
+  if (const char* env = std::getenv("KNOR_NUMA_NODES")) {
+    const int want = std::atoi(env);
+    if (want > topo.num_nodes()) {
+      KNOR_LOG_INFO("KNOR_NUMA_NODES=", want, ": simulating ", want,
+                    "-node topology over ", topo.num_cpus(), " cpus");
+      return simulated(want, topo.num_cpus());
+    }
+  }
+  return topo;
+}
+
+Topology Topology::simulated(int nodes, int total_cpus) {
+  if (nodes < 1) nodes = 1;
+  if (total_cpus <= 0) total_cpus = hardware_cpus();
+  // A simulated node must not be empty: fabricate at least one virtual CPU
+  // slot per node (threads on the same physical CPU just time-slice).
+  if (total_cpus < nodes) total_cpus = nodes;
+  Topology topo;
+  topo.simulated_ = true;
+  topo.nodes_.resize(static_cast<std::size_t>(nodes));
+  for (int id = 0; id < nodes; ++id) topo.nodes_[id].id = id;
+  for (int c = 0; c < total_cpus; ++c)
+    topo.nodes_[static_cast<std::size_t>(c % nodes)].cpus.push_back(c);
+  topo.build_cpu_map();
+  return topo;
+}
+
+int Topology::node_of_cpu(int cpu) const {
+  if (cpu < 0 || static_cast<std::size_t>(cpu) >= cpu_to_node_.size()) return -1;
+  return cpu_to_node_[static_cast<std::size_t>(cpu)];
+}
+
+std::string Topology::describe() const {
+  std::ostringstream oss;
+  oss << (simulated_ ? "simulated" : "detected") << " topology: "
+      << num_nodes() << " node(s), " << num_cpus() << " cpu(s)";
+  for (const auto& n : nodes_) {
+    oss << "\n  node" << n.id << ": cpus[";
+    for (std::size_t i = 0; i < n.cpus.size(); ++i)
+      oss << (i ? "," : "") << n.cpus[i];
+    oss << "]";
+  }
+  return oss.str();
+}
+
+}  // namespace knor::numa

@@ -1,0 +1,61 @@
+// NUMA topology abstraction.
+//
+// The paper binds threads to NUMA nodes, partitions the dataset across node
+// memory banks, and allocates each partition on its local bank (Section 5.2,
+// Figure 1). This layer provides the topology those policies need.
+//
+// Substitution note (see DESIGN.md §1): the reproduction container exposes a
+// single NUMA node, so the topology can be *simulated*: `Topology::simulated
+// (nodes, cpus)` — or the KNOR_NUMA_NODES environment variable — fabricates
+// an N-node topology by striping the real CPUs across virtual nodes. All
+// placement decisions (node-of-row, node-of-thread, local-vs-remote
+// accounting) behave exactly as on real hardware; only physical latency
+// asymmetry is absent (the cost model in numa/cost_model.hpp emulates it for
+// the Figure 4/5 benches).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace knor::numa {
+
+struct NodeInfo {
+  int id = 0;
+  std::vector<int> cpus;  ///< Logical CPU ids with affinity to this node.
+};
+
+class Topology {
+ public:
+  /// Detect the machine topology from /sys/devices/system/node. Honors the
+  /// KNOR_NUMA_NODES environment variable: when set to N > detected nodes,
+  /// returns simulated(N).
+  static Topology detect();
+
+  /// Fabricate an `nodes`-node topology striping `total_cpus` logical CPUs
+  /// (defaults to hardware_concurrency) round-robin across the nodes.
+  static Topology simulated(int nodes, int total_cpus = 0);
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_cpus() const { return total_cpus_; }
+  const NodeInfo& node(int id) const { return nodes_.at(id); }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+
+  /// Node a given logical CPU belongs to; -1 if unknown.
+  int node_of_cpu(int cpu) const;
+
+  /// True when this topology was fabricated rather than detected.
+  bool is_simulated() const { return simulated_; }
+
+  std::string describe() const;
+
+ private:
+  std::vector<NodeInfo> nodes_;
+  std::vector<int> cpu_to_node_;
+  int total_cpus_ = 0;
+  bool simulated_ = false;
+
+  void build_cpu_map();
+};
+
+}  // namespace knor::numa

@@ -1,0 +1,41 @@
+// Sense-reversing centralized barrier.
+//
+// ||Lloyd's needs exactly one barrier per iteration (before the per-thread
+// centroid merge); a sense-reversing barrier is reusable across iterations
+// without reinitialization and has no allocation on the wait path.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+
+namespace knor::sched {
+
+class Barrier {
+ public:
+  explicit Barrier(int parties) : parties_(parties), waiting_(0), sense_(false) {}
+
+  /// Block until all `parties` threads have arrived.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const bool my_sense = !sense_;
+    if (++waiting_ == parties_) {
+      waiting_ = 0;
+      sense_ = my_sense;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return sense_ == my_sense; });
+    }
+  }
+
+  int parties() const { return parties_; }
+
+ private:
+  const int parties_;
+  int waiting_;
+  bool sense_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace knor::sched

@@ -1,0 +1,121 @@
+#include "sched/task_queue.hpp"
+
+#include <algorithm>
+
+namespace knor::sched {
+
+const char* to_string(SchedPolicy p) {
+  switch (p) {
+    case SchedPolicy::kNumaAware: return "numa-aware";
+    case SchedPolicy::kFifo: return "fifo";
+    case SchedPolicy::kStatic: return "static";
+  }
+  return "?";
+}
+
+TaskQueue::TaskQueue(const numa::Partitioner& parts, SchedPolicy policy,
+                     index_t task_size)
+    : partitioner_(parts),
+      policy_(policy),
+      task_size_(task_size == 0 ? kDefaultTaskSize : task_size),
+      stats_(static_cast<std::size_t>(parts.threads())) {
+  parts_.reserve(static_cast<std::size_t>(parts.threads()));
+  for (int t = 0; t < parts.threads(); ++t)
+    parts_.push_back(std::make_unique<Partition>());
+  reset();
+}
+
+void TaskQueue::reset() {
+  for (int t = 0; t < partitioner_.threads(); ++t) {
+    auto& part = *parts_[static_cast<std::size_t>(t)];
+    std::lock_guard<std::mutex> lock(part.mu);
+    part.tasks.clear();
+    const numa::RowRange rows = partitioner_.thread_rows(t);
+    for (index_t b = rows.begin; b < rows.end; b += task_size_) {
+      Task task;
+      task.begin = b;
+      task.end = std::min(rows.end, b + task_size_);
+      task.home_partition = t;
+      part.tasks.push_back(task);
+    }
+  }
+}
+
+bool TaskQueue::pop_from(int partition, Task& out) {
+  auto& part = *parts_[static_cast<std::size_t>(partition)];
+  std::lock_guard<std::mutex> lock(part.mu);
+  if (part.tasks.empty()) return false;
+  out = part.tasks.front();
+  part.tasks.pop_front();
+  return true;
+}
+
+bool TaskQueue::next(int thread, Task& out) {
+  auto& st = stats_[static_cast<std::size_t>(thread)].s;
+
+  // 1. Own partition first (all policies).
+  if (pop_from(thread, out)) {
+    ++st.own;
+    return true;
+  }
+  if (policy_ == SchedPolicy::kStatic) return false;
+
+  const int T = partitions();
+  const int my_node = partitioner_.node_of_thread(thread);
+
+  if (policy_ == SchedPolicy::kFifo) {
+    // Steal from any partition in index order, NUMA-oblivious.
+    for (int i = 1; i < T; ++i) {
+      const int victim = (thread + i) % T;
+      if (pop_from(victim, out)) {
+        if (partitioner_.node_of_thread(victim) == my_node)
+          ++st.same_node;
+        else
+          ++st.remote_node;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // NUMA-aware: 2. same-node partitions first.
+  for (int i = 1; i < T; ++i) {
+    const int victim = (thread + i) % T;
+    if (partitioner_.node_of_thread(victim) != my_node) continue;
+    if (pop_from(victim, out)) {
+      ++st.same_node;
+      return true;
+    }
+  }
+  // 3. One cycle over remote partitions (lower priority) — accept the first
+  // available remote task rather than starve.
+  for (int i = 1; i < T; ++i) {
+    const int victim = (thread + i) % T;
+    if (partitioner_.node_of_thread(victim) == my_node) continue;
+    if (pop_from(victim, out)) {
+      ++st.remote_node;
+      return true;
+    }
+  }
+  return false;
+}
+
+StealStats TaskQueue::stats(int thread) const {
+  return stats_[static_cast<std::size_t>(thread)].s;
+}
+
+StealStats TaskQueue::total_stats() const {
+  StealStats total;
+  for (const auto& ts : stats_) {
+    total.own += ts.s.own;
+    total.same_node += ts.s.same_node;
+    total.remote_node += ts.s.remote_node;
+  }
+  return total;
+}
+
+void TaskQueue::reset_stats() {
+  for (auto& ts : stats_) ts.s = StealStats{};
+}
+
+}  // namespace knor::sched

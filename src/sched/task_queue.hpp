@@ -1,0 +1,91 @@
+// NUMA-aware partitioned priority task queue (paper Figure 2).
+//
+// The data/task index range [0, n) is split into T partitions matching the
+// data partitioning (partition t = thread t's rows, resident on thread t's
+// NUMA node). Each partition holds a deque of fixed-size block tasks behind
+// its own lock, so lock contention is spread T ways.
+//
+// Acquisition policy (NUMA-aware mode):
+//   1. pop from the caller's own partition               (local memory)
+//   2. steal from partitions bound to the same NUMA node (local memory)
+//   3. cycle once over all partitions preferring same-node tasks before
+//      settling on a remote-node task                    (avoids starvation)
+//
+// Alternative policies used as baselines by the Figure 5 bench:
+//   * kStatic — own partition only, no stealing (pre-assigned n/T rows).
+//   * kFifo   — own partition first, then steal from any partition in
+//     index order regardless of NUMA placement.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/types.hpp"
+#include "numa/partitioner.hpp"
+
+namespace knor::sched {
+
+enum class SchedPolicy { kNumaAware, kFifo, kStatic };
+
+const char* to_string(SchedPolicy p);
+
+struct Task {
+  index_t begin = 0;
+  index_t end = 0;            ///< exclusive
+  int home_partition = -1;    ///< partition (thread) whose data this is
+  index_t size() const { return end - begin; }
+};
+
+struct StealStats {
+  std::uint64_t own = 0;           ///< tasks taken from own partition
+  std::uint64_t same_node = 0;     ///< stolen from a same-NUMA-node partition
+  std::uint64_t remote_node = 0;   ///< stolen from a remote-NUMA-node partition
+  std::uint64_t total() const { return own + same_node + remote_node; }
+};
+
+class TaskQueue {
+ public:
+  /// Default task size (rows per task) from the paper: 8192 points.
+  static constexpr index_t kDefaultTaskSize = 8192;
+
+  TaskQueue(const numa::Partitioner& parts, SchedPolicy policy,
+            index_t task_size = kDefaultTaskSize);
+
+  /// Refill every partition with its block tasks; called once per k-means
+  /// iteration. Not thread-safe with concurrent next().
+  void reset();
+
+  /// Acquire the next task for `thread`. Returns false when the whole queue
+  /// is drained. Thread-safe.
+  bool next(int thread, Task& out);
+
+  SchedPolicy policy() const { return policy_; }
+  index_t task_size() const { return task_size_; }
+  int partitions() const { return static_cast<int>(parts_.size()); }
+
+  /// Per-thread acquisition statistics since the last reset_stats().
+  StealStats stats(int thread) const;
+  StealStats total_stats() const;
+  void reset_stats();
+
+ private:
+  struct alignas(kCacheLine) Partition {
+    mutable std::mutex mu;
+    std::deque<Task> tasks;
+  };
+  struct alignas(kCacheLine) ThreadStats {
+    StealStats s;
+  };
+
+  bool pop_from(int partition, Task& out);
+
+  const numa::Partitioner& partitioner_;
+  SchedPolicy policy_;
+  index_t task_size_;
+  std::vector<std::unique_ptr<Partition>> parts_;
+  std::vector<ThreadStats> stats_;
+};
+
+}  // namespace knor::sched

@@ -1,0 +1,63 @@
+#include "sched/thread_pool.hpp"
+
+#include "common/logger.hpp"
+#include "numa/thread_bind.hpp"
+
+namespace knor::sched {
+
+ThreadPool::ThreadPool(int threads, const numa::Topology& topo, bool bind)
+    : topo_(topo), bind_(bind) {
+  if (threads < 1) threads = 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this, t] { worker_loop(t); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  job_ = &fn;
+  remaining_ = static_cast<int>(workers_.size());
+  first_error_ = nullptr;
+  ++epoch_;
+  cv_work_.notify_all();
+  cv_done_.wait(lock, [&] { return remaining_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(int id) {
+  if (bind_) numa::bind_current_thread_to_node(topo_, node_of(id));
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || epoch_ != seen_epoch; });
+      if (stop_) return;
+      seen_epoch = epoch_;
+      job = job_;
+    }
+    std::exception_ptr err;
+    try {
+      (*job)(id);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = err;
+      if (--remaining_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+}  // namespace knor::sched

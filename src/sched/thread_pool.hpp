@@ -1,0 +1,56 @@
+// NUMA-bound worker thread pool.
+//
+// Workers are created once per pool, bound to NUMA nodes per the paper's
+// Figure 1 layout (thread t -> node t % N), and reused across k-means
+// iterations; `run(fn)` executes fn(thread_id) on every worker and joins.
+// This mirrors knor's long-lived pthread workers rather than spawning
+// threads per iteration.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "numa/partitioner.hpp"
+#include "numa/topology.hpp"
+
+namespace knor::sched {
+
+class ThreadPool {
+ public:
+  /// Create `threads` workers over `topo`; worker t is bound to node t % N.
+  ThreadPool(int threads, const numa::Topology& topo, bool bind = true);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+  const numa::Topology& topology() const { return topo_; }
+  /// NUMA node worker `t` is bound to.
+  int node_of(int t) const { return t % topo_.num_nodes(); }
+
+  /// Run fn(thread_id) on every worker; blocks until all complete.
+  /// Exceptions thrown by workers are captured and the first is rethrown.
+  void run(const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop(int id);
+
+  numa::Topology topo_;
+  bool bind_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  const std::function<void(int)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  int remaining_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace knor::sched

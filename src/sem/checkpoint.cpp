@@ -1,0 +1,118 @@
+#include "sem/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <stdexcept>
+
+namespace knor::sem {
+namespace {
+
+constexpr char kCkptMagic[8] = {'K', 'N', 'O', 'R', 'C', 'K', 'P', '1'};
+constexpr std::size_t kCkptHeader = 64;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_all(std::FILE* f, const void* data, std::size_t bytes) {
+  if (bytes > 0 && std::fwrite(data, 1, bytes, f) != bytes)
+    throw std::runtime_error("checkpoint: write failed");
+}
+
+void read_all(std::FILE* f, void* data, std::size_t bytes,
+              const char* what) {
+  if (bytes > 0 && std::fread(data, 1, bytes, f) != bytes)
+    throw std::runtime_error(std::string("checkpoint: truncated ") + what);
+}
+
+}  // namespace
+
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) throw std::runtime_error("checkpoint: cannot open " + tmp);
+
+    unsigned char header[kCkptHeader] = {};
+    std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
+    const std::uint64_t fields[4] = {
+        ckpt.iteration, ckpt.assignments.size(),
+        static_cast<std::uint64_t>(ckpt.centroids.rows()),
+        static_cast<std::uint64_t>(ckpt.centroids.cols())};
+    std::memcpy(header + 8, fields, sizeof(fields));
+    header[40] = ckpt.upper_bounds.empty() ? 0 : 1;
+    header[41] = ckpt.sums.empty() ? 0 : 1;
+    write_all(f.get(), header, sizeof(header));
+    write_all(f.get(), ckpt.centroids.data(),
+              ckpt.centroids.size() * sizeof(value_t));
+    write_all(f.get(), ckpt.assignments.data(),
+              ckpt.assignments.size() * sizeof(cluster_t));
+    write_all(f.get(), ckpt.upper_bounds.data(),
+              ckpt.upper_bounds.size() * sizeof(value_t));
+    if (!ckpt.sums.empty()) {
+      write_all(f.get(), ckpt.sums.data(),
+                ckpt.sums.size() * sizeof(value_t));
+      write_all(f.get(), ckpt.counts.data(),
+                ckpt.counts.size() * sizeof(std::int64_t));
+    }
+    if (std::fflush(f.get()) != 0)
+      throw std::runtime_error("checkpoint: flush failed");
+  }
+  std::filesystem::rename(tmp, path);
+}
+
+Checkpoint load_checkpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  unsigned char header[kCkptHeader];
+  read_all(f.get(), header, sizeof(header), "header");
+  if (std::memcmp(header, kCkptMagic, sizeof(kCkptMagic)) != 0)
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  std::uint64_t fields[4];
+  std::memcpy(fields, header + 8, sizeof(fields));
+  const bool has_mti = header[40] != 0;
+
+  Checkpoint ckpt;
+  ckpt.iteration = fields[0];
+  const std::uint64_t n = fields[1];
+  const auto k = static_cast<index_t>(fields[2]);
+  const auto d = static_cast<index_t>(fields[3]);
+  if (k == 0 || d == 0)
+    throw std::runtime_error("checkpoint: degenerate shape in " + path);
+  ckpt.centroids = DenseMatrix(k, d);
+  read_all(f.get(), ckpt.centroids.data(),
+           ckpt.centroids.size() * sizeof(value_t), "centroids");
+  ckpt.assignments.resize(static_cast<std::size_t>(n));
+  read_all(f.get(), ckpt.assignments.data(), n * sizeof(cluster_t),
+           "assignments");
+  if (has_mti) {
+    ckpt.upper_bounds.resize(static_cast<std::size_t>(n));
+    read_all(f.get(), ckpt.upper_bounds.data(), n * sizeof(value_t),
+             "upper bounds");
+  }
+  if (header[41] != 0) {
+    ckpt.sums = DenseMatrix(k, d);
+    read_all(f.get(), ckpt.sums.data(), ckpt.sums.size() * sizeof(value_t),
+             "sums");
+    ckpt.counts.resize(static_cast<std::size_t>(k));
+    read_all(f.get(), ckpt.counts.data(),
+             ckpt.counts.size() * sizeof(std::int64_t), "counts");
+  }
+  return ckpt;
+}
+
+bool checkpoint_exists(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic))
+    return false;
+  return std::memcmp(magic, kCkptMagic, sizeof(magic)) == 0;
+}
+
+}  // namespace knor::sem

@@ -1,0 +1,49 @@
+// Lightweight checkpointing for knors — the FlashGraph failure-tolerance
+// feature the paper describes ("tolerant to in-memory failures, allowing
+// recovery in SEM routines through lightweight checkpointing", §2; the
+// evaluation disables it, and so do our benches).
+//
+// A checkpoint is exactly the SEM algorithm's O(n) in-memory state:
+// iteration number, centroids, per-point assignments and MTI upper bounds.
+// Row data is on disk already, so recovery is: load checkpoint, reopen the
+// matrix file, continue from iteration+1.
+//
+// Format: 64-byte header {magic "KNORCKP1", u64 iter, u64 n, u64 k, u64 d,
+// u8 has_mti} + centroids (k*d value_t) + assignments (n cluster_t) +
+// optional ubs (n value_t), with a trailing CRC-less length check (a
+// truncated file is rejected).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/dense_matrix.hpp"
+#include "common/types.hpp"
+
+namespace knor::sem {
+
+struct Checkpoint {
+  std::uint64_t iteration = 0;  ///< iterations fully completed
+  DenseMatrix centroids;        ///< k x d
+  std::vector<cluster_t> assignments;
+  std::vector<value_t> upper_bounds;  ///< empty when MTI was off
+  /// Persistent centroid accumulators (the SEM engine maintains sums/counts
+  /// incrementally by membership deltas, so they are part of the state).
+  DenseMatrix sums;                  ///< k x d (empty when not saved)
+  std::vector<std::int64_t> counts;  ///< k
+
+  index_t n() const { return assignments.size(); }
+  int k() const { return static_cast<int>(centroids.rows()); }
+};
+
+/// Atomically (write-then-rename) persist a checkpoint.
+void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
+
+/// Load and validate. Throws std::runtime_error on missing/corrupt files.
+Checkpoint load_checkpoint(const std::string& path);
+
+/// True when `path` exists and carries the checkpoint magic.
+bool checkpoint_exists(const std::string& path);
+
+}  // namespace knor::sem

@@ -1,0 +1,412 @@
+#include "sem/sem_kmeans.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/logger.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/timer.hpp"
+#include "core/distance.hpp"
+#include "core/init.hpp"
+#include "core/local_centroids.hpp"
+#include "core/mti.hpp"
+#include "numa/partitioner.hpp"
+#include "sched/task_queue.hpp"
+#include "sched/thread_pool.hpp"
+#include "sem/checkpoint.hpp"
+#include "sem/io_engine.hpp"
+#include "sem/page_cache.hpp"
+#include "sem/row_cache.hpp"
+
+namespace knor::sem {
+
+std::uint64_t SemStats::total_requested() const {
+  std::uint64_t total = 0;
+  for (const auto& it : per_iter) total += it.bytes_requested;
+  return total;
+}
+
+std::uint64_t SemStats::total_read() const {
+  std::uint64_t total = 0;
+  for (const auto& it : per_iter) total += it.bytes_read;
+  return total;
+}
+
+std::uint64_t SemStats::total_device_requests() const {
+  std::uint64_t total = 0;
+  for (const auto& it : per_iter) total += it.device_requests;
+  return total;
+}
+
+namespace {
+
+struct alignas(kCacheLine) SemPerThread {
+  Counters counters;
+  std::uint64_t changed = 0;
+  std::uint64_t active = 0;
+  std::uint64_t rc_hits = 0;
+  double energy = 0.0;
+};
+
+DenseMatrix sem_init_centroids(PageFile& file, IoEngine& engine,
+                               const Options& opts) {
+  switch (opts.init) {
+    case Init::kProvided: {
+      if (opts.initial_centroids.rows() != static_cast<index_t>(opts.k) ||
+          opts.initial_centroids.cols() != file.d())
+        throw std::invalid_argument(
+            "sem::kmeans: provided centroids shape mismatch");
+      return opts.initial_centroids;
+    }
+    case Init::kForgy: {
+      if (static_cast<index_t>(opts.k) > file.n())
+        throw std::invalid_argument("sem::kmeans: k > n");
+      auto rows = sample_rows(file.n(), opts.k, opts.seed);
+      // fetch_rows wants ascending row ids; remember the permutation.
+      std::vector<std::size_t> order(rows.size());
+      for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) { return rows[a] < rows[b]; });
+      std::vector<index_t> sorted(rows.size());
+      for (std::size_t i = 0; i < order.size(); ++i)
+        sorted[i] = rows[order[i]];
+      DenseMatrix fetched(static_cast<index_t>(opts.k), file.d());
+      engine.fetch_rows(sorted, fetched.data());
+      DenseMatrix centroids(static_cast<index_t>(opts.k), file.d());
+      for (std::size_t i = 0; i < order.size(); ++i)
+        std::memcpy(centroids.row(static_cast<index_t>(order[i])),
+                    fetched.row(static_cast<index_t>(i)),
+                    file.d() * sizeof(value_t));
+      return centroids;
+    }
+    default:
+      throw std::invalid_argument(
+          "sem::kmeans: init must be kForgy or kProvided");
+  }
+}
+
+}  // namespace
+
+Result kmeans(const std::string& path, const Options& opts,
+              const SemOptions& sem_opts, SemStats* stats) {
+  PageFile file(path, sem_opts.page_size, sem_opts.ssd);
+  const index_t n = file.n();
+  const index_t d = file.d();
+  const int k = opts.k;
+  if (k < 1) throw std::invalid_argument("sem::kmeans: k < 1");
+
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+
+  PageCache page_cache(sem_opts.page_cache_bytes, sem_opts.page_size, T);
+  IoEngine engine(file, page_cache, sem_opts.io_threads,
+                  sem_opts.merge_gap_pages);
+  const bool use_rc = sem_opts.row_cache_enabled &&
+                      sem_opts.row_cache_bytes > 0;
+  RowCache row_cache(use_rc ? sem_opts.row_cache_bytes : 1, d, T);
+  row_cache.set_update_interval(sem_opts.cache_update_interval);
+
+  ScopedAlloc mem_pc("sem-page-cache",
+                     page_cache.capacity_pages() * sem_opts.page_size);
+  ScopedAlloc mem_rc("sem-row-cache",
+                     use_rc ? row_cache.capacity_rows() * d * sizeof(value_t)
+                            : 0);
+
+  Result res;
+  res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  ScopedAlloc mem_assign("assignments",
+                         res.assignments.size() * sizeof(cluster_t));
+
+  // Resume from a lightweight checkpoint when requested (recovery path of
+  // FlashGraph-style failure tolerance). Falls through to a fresh start
+  // when no checkpoint exists yet.
+  Checkpoint restored;
+  bool resumed = false;
+  if (sem_opts.resume && !sem_opts.checkpoint_path.empty() &&
+      checkpoint_exists(sem_opts.checkpoint_path)) {
+    restored = load_checkpoint(sem_opts.checkpoint_path);
+    if (restored.n() != n || restored.k() != k ||
+        restored.centroids.cols() != d)
+      throw std::runtime_error(
+          "sem::kmeans: checkpoint shape does not match dataset/options");
+    if (opts.prune && restored.upper_bounds.empty())
+      throw std::runtime_error(
+          "sem::kmeans: checkpoint lacks MTI state but pruning is on");
+    resumed = true;
+  }
+
+  DenseMatrix cur = resumed ? std::move(restored.centroids)
+                            : sem_init_centroids(file, engine, opts);
+  DenseMatrix prev(static_cast<index_t>(k), d);
+  if (resumed) res.assignments = std::move(restored.assignments);
+
+  MtiState mti;
+  if (opts.prune) {
+    mti = MtiState(n, k);
+    // prev == empty: drift 0. Restored bounds were pre-loosened against the
+    // checkpointed centroids, so drift 0 keeps them valid.
+    mti.prepare(DenseMatrix{}, cur);
+    if (resumed)
+      for (index_t i = 0; i < n; ++i)
+        mti.set_ub(i, restored.upper_bounds[static_cast<std::size_t>(i)]);
+  }
+  ScopedAlloc mem_mti("mti-state", opts.prune ? mti.bytes() : 0);
+
+  // Persistent centroid accumulators (sums/counts), updated by deltas.
+  DenseMatrix sums(static_cast<index_t>(k), d);
+  std::vector<std::int64_t> counts(static_cast<std::size_t>(k), 0);
+  if (resumed && !restored.sums.empty()) {
+    sums = std::move(restored.sums);
+    counts = std::move(restored.counts);
+  }
+  const int start_iter = resumed ? static_cast<int>(restored.iteration) : 0;
+
+  numa::Partitioner parts(n, T, topo);
+  sched::ThreadPool pool(T, topo, /*bind=*/true);
+  sched::TaskQueue queue(parts, opts.sched, opts.task_size);
+
+  std::vector<SignedCentroids> deltas;
+  deltas.reserve(static_cast<std::size_t>(T));
+  for (int t = 0; t < T; ++t) deltas.emplace_back(k, d);
+  std::vector<SemPerThread> per_thread(static_cast<std::size_t>(T));
+
+  const index_t batch_rows =
+      sem_opts.io_batch_rows == 0 ? 2048 : sem_opts.io_batch_rows;
+
+  // Per-iteration baselines for the device/engine monotonic counters.
+  engine.reset_stats();
+  file.reset_stats();
+  std::uint64_t last_requested = 0;
+  std::uint64_t last_read = 0;
+  std::uint64_t last_reqs = 0;
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+  bool refresh_mode = false;
+
+  // Assign + accumulate for one fetched (or cached) row.
+  const auto process_row = [&](int tid, index_t r, const value_t* v) {
+    auto& pt = per_thread[static_cast<std::size_t>(tid)];
+    const cluster_t a = res.assignments[r];
+    cluster_t best;
+    value_t best_d;
+    if (opts.prune && a != kInvalidCluster) {
+      const value_t loosened = mti.ub(r) + mti.drift(a);
+      best_d = euclidean(v, cur.row(a), d);
+      ++pt.counters.dist_computations;
+      best = a;
+      for (int c = 0; c < k; ++c) {
+        if (static_cast<cluster_t>(c) == a) continue;
+        if (loosened <=
+            value_t(0.5) * mti.c2c(a, static_cast<cluster_t>(c))) {
+          ++pt.counters.clause2_skips;
+          continue;
+        }
+        if (best_d <=
+            value_t(0.5) * mti.c2c(best, static_cast<cluster_t>(c))) {
+          ++pt.counters.clause3_skips;
+          continue;
+        }
+        const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+        ++pt.counters.dist_computations;
+        if (dc < best_d) {
+          best_d = dc;
+          best = static_cast<cluster_t>(c);
+        }
+      }
+    } else {
+      best = nearest_centroid(v, cur.data(), k, d, &best_d);
+      pt.counters.dist_computations += static_cast<std::uint64_t>(k);
+    }
+    if (opts.prune) mti.set_ub(r, best_d);
+    auto& delta = deltas[static_cast<std::size_t>(tid)];
+    if (a == kInvalidCluster) {
+      delta.add(best, v);
+      ++pt.changed;
+    } else if (best != a) {
+      delta.sub(a, v);
+      delta.add(best, v);
+      ++pt.changed;
+    }
+    res.assignments[r] = best;
+  };
+
+  const auto worker = [&](int tid) {
+    auto& pt = per_thread[static_cast<std::size_t>(tid)];
+    deltas[static_cast<std::size_t>(tid)].clear();
+    pt.changed = 0;
+    pt.active = 0;
+    pt.rc_hits = 0;
+
+    std::vector<index_t> needed;
+    std::vector<index_t> to_fetch;
+    std::vector<index_t> fetch_now, fetch_next;
+    DenseMatrix buf_now(batch_rows, d), buf_next(batch_rows, d);
+
+    sched::Task task;
+    while (queue.next(tid, task)) {
+      // Pass 1 — no data access: clause 1 decides which rows need I/O.
+      needed.clear();
+      for (index_t r = task.begin; r < task.end; ++r) {
+        const cluster_t a = res.assignments[r];
+        if (opts.prune && a != kInvalidCluster) {
+          const value_t loosened = mti.ub(r) + mti.drift(a);
+          if (mti.clause1(a, loosened)) {
+            mti.set_ub(r, loosened);
+            ++pt.counters.clause1_skips;
+            continue;  // assignment provably unchanged: no I/O, no compute
+          }
+        }
+        needed.push_back(r);
+      }
+      pt.active += needed.size();
+
+      // Row-cache pass: serve hits immediately, queue the rest.
+      to_fetch.clear();
+      for (index_t r : needed) {
+        const int home = parts.thread_of_row(r);
+        const value_t* cached = use_rc ? row_cache.lookup(home, r) : nullptr;
+        if (cached != nullptr) {
+          ++pt.rc_hits;
+          process_row(tid, r, cached);
+          if (refresh_mode) row_cache.offer(home, r, cached);
+        } else {
+          to_fetch.push_back(r);
+        }
+      }
+
+      // Double-buffered fetch: prefetch batch i+1 while processing batch i.
+      std::size_t pos = 0;
+      const auto take_batch = [&](std::vector<index_t>& dst) {
+        dst.clear();
+        const std::size_t end =
+            std::min(to_fetch.size(), pos + static_cast<std::size_t>(batch_rows));
+        dst.assign(to_fetch.begin() + static_cast<std::ptrdiff_t>(pos),
+                   to_fetch.begin() + static_cast<std::ptrdiff_t>(end));
+        pos = end;
+      };
+      take_batch(fetch_now);
+      while (!fetch_now.empty()) {
+        take_batch(fetch_next);
+        IoEngine::Ticket ticket;
+        if (!fetch_next.empty()) ticket = engine.prefetch(fetch_next);
+        engine.fetch_rows(fetch_now, buf_now.data());
+        for (std::size_t i = 0; i < fetch_now.size(); ++i) {
+          const index_t r = fetch_now[i];
+          const value_t* v = buf_now.row(static_cast<index_t>(i));
+          process_row(tid, r, v);
+          if (refresh_mode && use_rc)
+            row_cache.offer(parts.thread_of_row(r), r, v);
+        }
+        ticket.wait();
+        std::swap(fetch_now, fetch_next);
+      }
+    }
+  };
+
+  for (int it = start_iter; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    refresh_mode = use_rc && row_cache.begin_iteration(it + 1) ==
+                                 RowCache::Mode::kRefresh;
+    queue.reset();
+    const std::uint64_t rc_hits_before = row_cache.hits();
+    pool.run(worker);
+    if (refresh_mode) row_cache.publish();
+
+    // Apply deltas to the persistent sums, then recompute means.
+    for (const auto& delta : deltas)
+      delta.apply_to(sums.data(), counts.data());
+    std::memcpy(prev.data(), cur.data(), cur.size() * sizeof(value_t));
+    res.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
+    for (int c = 0; c < k; ++c) {
+      const std::int64_t count = counts[static_cast<std::size_t>(c)];
+      res.cluster_sizes[static_cast<std::size_t>(c)] =
+          count > 0 ? static_cast<index_t>(count) : 0;
+      if (count <= 0) continue;  // empty cluster: keep previous centroid
+      value_t* dst = cur.row(static_cast<index_t>(c));
+      const value_t* s = sums.row(static_cast<index_t>(c));
+      const value_t inv = static_cast<value_t>(1.0) / static_cast<value_t>(count);
+      for (index_t j = 0; j < d; ++j) dst[j] = s[j] * inv;
+    }
+    if (opts.prune) mti.prepare(prev, cur);
+
+    std::uint64_t changed = 0;
+    if (stats != nullptr) {
+      IterIo io;
+      io.bytes_requested = engine.bytes_requested() - last_requested;
+      io.bytes_read = file.bytes_read() - last_read;
+      io.device_requests = file.read_requests() - last_reqs;
+      io.row_cache_hits = row_cache.hits() - rc_hits_before;
+      for (const auto& pt : per_thread) io.active_rows += pt.active;
+      stats->per_iter.push_back(io);
+    }
+    last_requested = engine.bytes_requested();
+    last_read = file.bytes_read();
+    last_reqs = file.read_requests();
+    for (const auto& pt : per_thread) changed += pt.changed;
+
+    res.iter_times.record(timer.elapsed());
+    ++res.iters;
+
+    if (!sem_opts.checkpoint_path.empty() &&
+        sem_opts.checkpoint_interval > 0 &&
+        (it + 1) % sem_opts.checkpoint_interval == 0) {
+      Checkpoint ckpt;
+      ckpt.iteration = static_cast<std::uint64_t>(it + 1);
+      ckpt.centroids = cur;
+      ckpt.assignments = res.assignments;
+      if (opts.prune) {
+        // Store bounds pre-loosened against the *current* centroids so the
+        // resume path can start with drift 0 and stay exact.
+        ckpt.upper_bounds.resize(static_cast<std::size_t>(n));
+        for (index_t i = 0; i < n; ++i)
+          ckpt.upper_bounds[static_cast<std::size_t>(i)] =
+              mti.ub(i) + mti.drift(res.assignments[i]);
+      }
+      ckpt.sums = sums;
+      ckpt.counts = counts;
+      save_checkpoint(sem_opts.checkpoint_path, ckpt);
+    }
+
+    if (changed <= tol_changes) {
+      res.converged = true;
+      break;
+    }
+  }
+
+  // Exact final energy: stream every row once (not counted in iteration
+  // I/O statistics).
+  pool.run([&](int tid) {
+    auto& pt = per_thread[static_cast<std::size_t>(tid)];
+    pt.energy = 0;
+    const numa::RowRange rows = parts.thread_rows(tid);
+    DenseMatrix buf(batch_rows, d);
+    std::vector<index_t> batch;
+    for (index_t begin = rows.begin; begin < rows.end;
+         begin += batch_rows) {
+      const index_t end = std::min(rows.end, begin + batch_rows);
+      batch.clear();
+      for (index_t r = begin; r < end; ++r) batch.push_back(r);
+      engine.fetch_rows(batch, buf.data());
+      for (index_t r = begin; r < end; ++r)
+        pt.energy += dist_sq(buf.row(r - begin),
+                             cur.row(res.assignments[r]), d);
+    }
+  });
+
+  for (const auto& pt : per_thread) {
+    res.energy += pt.energy;
+    res.counters += pt.counters;
+  }
+  const sched::StealStats steals = queue.total_stats();
+  res.counters.tasks_own = steals.own;
+  res.counters.tasks_same_node = steals.same_node;
+  res.counters.tasks_remote_node = steals.remote_node;
+  res.centroids = std::move(cur);
+  return res;
+}
+
+}  // namespace knor::sem

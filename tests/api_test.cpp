@@ -1,0 +1,104 @@
+// Public API surface test: everything a downstream user needs must be
+// reachable through the single umbrella header, and the README quickstart
+// must work as written.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "knor/knor.hpp"  // the only library include in this file
+
+namespace {
+
+using namespace knor;
+
+DenseMatrix small_data() {
+  data::GeneratorSpec spec;
+  spec.n = 2000;
+  spec.d = 6;
+  spec.true_clusters = 4;
+  return data::generate(spec);
+}
+
+TEST(PublicApi, ReadmeQuickstartCompilesAndRuns) {
+  DenseMatrix m = small_data();
+  Options opts;
+  opts.k = 4;
+  opts.init = Init::kKmeansPP;
+  opts.prune = true;
+  Result r = kmeans(m.const_view(), opts);
+  EXPECT_EQ(r.centroids.rows(), 4u);
+  EXPECT_EQ(r.assignments.size(), 2000u);
+  EXPECT_GT(r.energy, 0.0);
+  EXPECT_GT(r.iter_times.count(), 0u);
+}
+
+TEST(PublicApi, AllEnginesReachableFromUmbrellaHeader) {
+  DenseMatrix m = small_data();
+  Options opts;
+  opts.k = 3;
+  opts.threads = 2;
+  opts.max_iters = 5;
+  EXPECT_NO_THROW(lloyd_serial(m.const_view(), opts));
+  EXPECT_NO_THROW(lloyd_locked(m.const_view(), opts));
+  EXPECT_NO_THROW(elkan_ti(m.const_view(), opts));
+  EXPECT_NO_THROW(gemm_kmeans(m.const_view(), opts));
+  EXPECT_NO_THROW(spherical_kmeans(m.const_view(), opts));
+  MinibatchOptions mb;
+  mb.max_iters = 10;
+  EXPECT_NO_THROW(minibatch(m.const_view(), opts, mb));
+  std::vector<cluster_t> labels(2000, kInvalidCluster);
+  EXPECT_NO_THROW(seeded_kmeans(m.const_view(), opts, labels));
+}
+
+TEST(PublicApi, SemAndDistReachableFromUmbrellaHeader) {
+  const std::string path =
+      std::filesystem::temp_directory_path() /
+      ("knor_api_" + std::to_string(::getpid()) + ".kmat");
+  data::GeneratorSpec spec;
+  spec.n = 1000;
+  spec.d = 4;
+  data::write_generated(path, spec);
+
+  Options opts;
+  opts.k = 3;
+  opts.threads = 2;
+  opts.max_iters = 5;
+  sem::SemOptions sopts;
+  EXPECT_NO_THROW(sem::kmeans(path, opts, sopts));
+
+  DenseMatrix m = data::read_matrix(path);
+  dist::DistOptions dopts;
+  dopts.ranks = 2;
+  EXPECT_NO_THROW(dist::kmeans(m.const_view(), opts, dopts));
+  EXPECT_NO_THROW(dist::kmeans(spec, opts, dopts));
+  EXPECT_NO_THROW(dist::mpi_kmeans(m.const_view(), opts, dopts));
+  std::filesystem::remove(path);
+}
+
+TEST(PublicApi, OptionsDefaultsMatchPaper) {
+  Options opts;
+  EXPECT_TRUE(opts.prune);                       // MTI on by default
+  EXPECT_TRUE(opts.numa_aware);                  // NUMA optimizations on
+  EXPECT_EQ(opts.task_size, 8192u);              // §8.4 task size
+  EXPECT_EQ(opts.sched, sched::SchedPolicy::kNumaAware);
+  sem::SemOptions sopts;
+  EXPECT_EQ(sopts.page_size, 4096u);             // §6.2.1 minimum read
+  EXPECT_EQ(sopts.cache_update_interval, 5);     // §6.2.2 I_cache
+  EXPECT_TRUE(sopts.row_cache_enabled);
+}
+
+TEST(PublicApi, ResultSummaryAndMakespanUsable) {
+  DenseMatrix m = small_data();
+  Options opts;
+  opts.k = 2;
+  opts.threads = 2;
+  opts.max_iters = 5;
+  const Result r = kmeans(m.const_view(), opts);
+  EXPECT_FALSE(r.summary().empty());
+  EXPECT_GT(r.makespan_per_iter(), 0.0);
+  EXPECT_EQ(r.thread_busy_s.size(), 2u);
+}
+
+}  // namespace

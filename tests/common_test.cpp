@@ -1,0 +1,211 @@
+// Unit tests for the common substrate: aligned buffers, PRNG, dense
+// matrices, timers, memory tracking, logging.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/dense_matrix.hpp"
+#include "common/logger.hpp"
+#include "common/memory_tracker.hpp"
+#include "common/prng.hpp"
+#include "common/timer.hpp"
+
+namespace knor {
+namespace {
+
+TEST(AlignedBuffer, DefaultIsEmpty) {
+  AlignedBuffer<double> buf;
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(AlignedBuffer, AllocatesAlignedZeroedMemory) {
+  AlignedBuffer<double> buf(1000);
+  ASSERT_EQ(buf.size(), 1000u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) % kCacheLine, 0u);
+  for (double v : buf) EXPECT_EQ(v, 0.0);
+}
+
+TEST(AlignedBuffer, OddSizesRoundUpWithoutOverrun) {
+  // 7 elements * 8B = 56B < one cache line; must still be addressable.
+  AlignedBuffer<double> buf(7);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<double>(i);
+  for (std::size_t i = 0; i < buf.size(); ++i)
+    EXPECT_EQ(buf[i], static_cast<double>(i));
+}
+
+TEST(AlignedBuffer, MoveTransfersOwnership) {
+  AlignedBuffer<int> a(16);
+  a[3] = 42;
+  int* raw = a.data();
+  AlignedBuffer<int> b(std::move(a));
+  EXPECT_EQ(b.data(), raw);
+  EXPECT_EQ(b[3], 42);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBuffer, MoveAssignReleasesOldAllocation) {
+  AlignedBuffer<int> a(8), b(4);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(Prng, DeterministicForSeedAndStream) {
+  Prng a(123, 5), b(123, 5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prng, StreamsAreIndependent) {
+  Prng a(123, 0), b(123, 1);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Prng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, NextBelowIsInRangeAndCoversValues) {
+  Prng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.next_below(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit in 1000 draws
+}
+
+TEST(Prng, NextBelowZeroAndOne) {
+  Prng rng(1);
+  EXPECT_EQ(rng.next_below(0), 0u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Prng, GaussianMomentsRoughlyStandard) {
+  Prng rng(11);
+  double sum = 0, sum2 = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(DenseMatrix, RowMajorLayoutAndAccessors) {
+  DenseMatrix m(3, 4);
+  m.at(2, 1) = 7.5;
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.row(2)[1], 7.5);
+  EXPECT_EQ(m.data()[2 * 4 + 1], 7.5);
+}
+
+TEST(DenseMatrix, DeepCopy) {
+  DenseMatrix a(2, 2);
+  a.at(0, 0) = 1.0;
+  DenseMatrix b = a;
+  b.at(0, 0) = 9.0;
+  EXPECT_EQ(a.at(0, 0), 1.0);
+  EXPECT_EQ(b.at(0, 0), 9.0);
+}
+
+TEST(MatrixView, SubRowsBoundsChecked) {
+  DenseMatrix m(10, 2);
+  auto v = m.const_view();
+  auto sub = v.sub_rows(4, 3);
+  EXPECT_EQ(sub.rows(), 3u);
+  EXPECT_EQ(sub.row(0), m.row(4));
+  EXPECT_THROW(v.sub_rows(8, 3), std::out_of_range);
+}
+
+TEST(IterStats, Statistics) {
+  IterStats s;
+  s.record(1.0);
+  s.record(2.0);
+  s.record(3.0);
+  EXPECT_EQ(s.count(), 3u);
+  EXPECT_DOUBLE_EQ(s.total(), 6.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.0 / 3.0), 1e-12);
+}
+
+TEST(IterStats, EmptyIsZero) {
+  IterStats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_GE(t.elapsed_ms(), 15.0);
+  t.restart();
+  EXPECT_LT(t.elapsed_ms(), 15.0);
+}
+
+TEST(MemoryTracker, TagAccountingAndPeak) {
+  auto& mt = MemoryTracker::instance();
+  mt.reset();
+  mt.add("a", 100);
+  mt.add("b", 50);
+  EXPECT_EQ(mt.live_bytes(), 150);
+  EXPECT_EQ(mt.tag_bytes("a"), 100);
+  mt.sub("a", 100);
+  EXPECT_EQ(mt.live_bytes(), 50);
+  EXPECT_EQ(mt.peak_bytes(), 150);
+  mt.reset();
+}
+
+TEST(MemoryTracker, ScopedAllocReleasesOnDestruction) {
+  auto& mt = MemoryTracker::instance();
+  mt.reset();
+  {
+    ScopedAlloc alloc("scoped", 4096);
+    EXPECT_EQ(mt.tag_bytes("scoped"), 4096);
+  }
+  EXPECT_EQ(mt.tag_bytes("scoped"), 0);
+  mt.reset();
+}
+
+TEST(MemoryTracker, RssProbesReturnPlausibleValues) {
+  const std::size_t rss = current_rss_bytes();
+  const std::size_t peak = peak_rss_bytes();
+  EXPECT_GT(rss, 1u << 20);  // a running gtest binary exceeds 1 MiB
+  EXPECT_GE(peak, rss / 2);  // peak is near-or-above current
+}
+
+TEST(Logger, LevelFiltering) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_level(saved);
+}
+
+}  // namespace
+}  // namespace knor

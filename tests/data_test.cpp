@@ -1,0 +1,323 @@
+// Unit tests for data generation and matrix I/O, including failure
+// injection on malformed files.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/dataset.hpp"
+#include "data/generator.hpp"
+#include "data/matrix_io.hpp"
+
+namespace knor::data {
+namespace {
+
+class TempDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("knor_data_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const std::string& name) const { return dir_ / name; }
+  std::filesystem::path dir_;
+};
+
+TEST(Generator, DeterministicInSeed) {
+  GeneratorSpec spec;
+  spec.n = 500;
+  spec.d = 6;
+  spec.seed = 99;
+  const DenseMatrix a = generate(spec);
+  const DenseMatrix b = generate(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  GeneratorSpec a_spec, b_spec;
+  a_spec.n = b_spec.n = 100;
+  a_spec.d = b_spec.d = 4;
+  a_spec.seed = 1;
+  b_spec.seed = 2;
+  const DenseMatrix a = generate(a_spec);
+  const DenseMatrix b = generate(b_spec);
+  int equal = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a.data()[i] == b.data()[i]) ++equal;
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Generator, RowIndependentOfChunking) {
+  // generate_rows(begin, end) must be a pure function of row index, so any
+  // chunked/parallel generation produces identical data.
+  GeneratorSpec spec;
+  spec.n = 200;
+  spec.d = 8;
+  spec.dist = Distribution::kNaturalClusters;
+  const DenseMatrix whole = generate(spec);
+  DenseMatrix part(50, 8);
+  generate_rows(spec, 100, 150, part.view());
+  for (index_t r = 0; r < 50; ++r)
+    for (index_t c = 0; c < 8; ++c)
+      EXPECT_EQ(part.at(r, c), whole.at(100 + r, c)) << r << "," << c;
+}
+
+TEST(Generator, UniformInUnitCube) {
+  GeneratorSpec spec;
+  spec.dist = Distribution::kUniformRandom;
+  spec.n = 2000;
+  spec.d = 3;
+  const DenseMatrix m = generate(spec);
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], 0.0);
+    EXPECT_LT(m.data()[i], 1.0);
+  }
+}
+
+TEST(Generator, NaturalClustersCenteredOnTrueCentres) {
+  GeneratorSpec spec;
+  spec.dist = Distribution::kNaturalClusters;
+  spec.n = 20000;
+  spec.d = 4;
+  spec.true_clusters = 3;
+  spec.separation = 10.0;
+  const DenseMatrix m = generate(spec);
+  // Empirical mean of each component must approach its true centre.
+  std::vector<std::vector<double>> sums(3, std::vector<double>(4, 0.0));
+  std::vector<int> counts(3, 0);
+  for (index_t r = 0; r < spec.n; ++r) {
+    const int c = true_component_of_row(spec, r);
+    ++counts[static_cast<std::size_t>(c)];
+    for (index_t j = 0; j < 4; ++j)
+      sums[static_cast<std::size_t>(c)][j] += m.at(r, j);
+  }
+  for (int c = 0; c < 3; ++c) {
+    ASSERT_GT(counts[static_cast<std::size_t>(c)], 100);
+    const auto centre = true_centre(spec, c);
+    for (index_t j = 0; j < 4; ++j) {
+      const double mean = sums[static_cast<std::size_t>(c)][j] /
+                          counts[static_cast<std::size_t>(c)];
+      EXPECT_NEAR(mean, centre[j], 0.15) << "component " << c;
+    }
+  }
+}
+
+TEST(Generator, PowerLawSkewsComponentSizes) {
+  GeneratorSpec spec;
+  spec.dist = Distribution::kNaturalClusters;
+  spec.n = 30000;
+  spec.d = 2;
+  spec.true_clusters = 8;
+  spec.power_law_alpha = 2.0;
+  std::vector<int> counts(8, 0);
+  for (index_t r = 0; r < spec.n; ++r)
+    ++counts[static_cast<std::size_t>(true_component_of_row(spec, r))];
+  EXPECT_GT(counts[0], 3 * counts[7]);  // heavy head, light tail
+}
+
+TEST(Generator, FullLocalityCreatesContiguousBands) {
+  GeneratorSpec spec;
+  spec.dist = Distribution::kNaturalClusters;
+  spec.n = 5000;
+  spec.d = 2;
+  spec.true_clusters = 6;
+  spec.locality = 1.0;  // component fully determined by position
+  int prev = -1;
+  for (index_t r = 0; r < spec.n; ++r) {
+    const int comp = true_component_of_row(spec, r);
+    EXPECT_GE(comp, prev) << "bands must be non-decreasing at row " << r;
+    prev = comp;
+  }
+  EXPECT_EQ(true_component_of_row(spec, 0), 0);
+  EXPECT_EQ(true_component_of_row(spec, spec.n - 1), 5);
+}
+
+TEST(Generator, ZeroLocalityShufflesComponents) {
+  GeneratorSpec spec;
+  spec.dist = Distribution::kNaturalClusters;
+  spec.n = 5000;
+  spec.d = 2;
+  spec.true_clusters = 6;
+  spec.locality = 0.0;
+  // Count order inversions; a shuffled sequence has many.
+  int inversions = 0;
+  int prev = true_component_of_row(spec, 0);
+  for (index_t r = 1; r < 1000; ++r) {
+    const int comp = true_component_of_row(spec, r);
+    if (comp < prev) ++inversions;
+    prev = comp;
+  }
+  EXPECT_GT(inversions, 100);
+}
+
+TEST(Generator, PartialLocalityStillCoversAllComponents) {
+  GeneratorSpec spec;
+  spec.dist = Distribution::kNaturalClusters;
+  spec.n = 20000;
+  spec.d = 2;
+  spec.true_clusters = 5;
+  spec.locality = 0.9;
+  std::vector<int> counts(5, 0);
+  for (index_t r = 0; r < spec.n; ++r)
+    ++counts[static_cast<std::size_t>(true_component_of_row(spec, r))];
+  for (int c = 0; c < 5; ++c) EXPECT_GT(counts[static_cast<std::size_t>(c)], 50);
+}
+
+TEST(Generator, DescribeIncludesParameters) {
+  GeneratorSpec spec;
+  spec.n = 42;
+  spec.d = 7;
+  EXPECT_NE(spec.describe().find("n=42"), std::string::npos);
+  EXPECT_NE(spec.describe().find("d=7"), std::string::npos);
+  EXPECT_EQ(spec.bytes(), 42u * 7u * sizeof(value_t));
+}
+
+TEST(Generator, ShapeMismatchThrows) {
+  GeneratorSpec spec;
+  spec.n = 10;
+  spec.d = 4;
+  DenseMatrix wrong(5, 3);
+  EXPECT_THROW(generate_rows(spec, 0, 5, wrong.view()),
+               std::invalid_argument);
+}
+
+TEST_F(TempDir, MatrixRoundTrip) {
+  GeneratorSpec spec;
+  spec.n = 300;
+  spec.d = 5;
+  const DenseMatrix m = generate(spec);
+  write_matrix(path("m.kmat"), m);
+  const DenseMatrix r = read_matrix(path("m.kmat"));
+  ASSERT_EQ(r.rows(), m.rows());
+  ASSERT_EQ(r.cols(), m.cols());
+  for (std::size_t i = 0; i < m.size(); ++i)
+    EXPECT_EQ(r.data()[i], m.data()[i]);
+}
+
+TEST_F(TempDir, HeaderOnlyRead) {
+  GeneratorSpec spec;
+  spec.n = 64;
+  spec.d = 3;
+  write_matrix(path("h.kmat"), generate(spec));
+  const MatrixHeader h = read_header(path("h.kmat"));
+  EXPECT_EQ(h.n, 64u);
+  EXPECT_EQ(h.d, 3u);
+  EXPECT_EQ(h.elem_size, sizeof(value_t));
+}
+
+TEST_F(TempDir, ReadRowsSlice) {
+  GeneratorSpec spec;
+  spec.n = 100;
+  spec.d = 4;
+  const DenseMatrix m = generate(spec);
+  write_matrix(path("s.kmat"), m);
+  DenseMatrix slice(20, 4);
+  read_rows(path("s.kmat"), 30, 50, slice.view());
+  for (index_t r = 0; r < 20; ++r)
+    for (index_t c = 0; c < 4; ++c) EXPECT_EQ(slice.at(r, c), m.at(30 + r, c));
+}
+
+TEST_F(TempDir, WriteGeneratedStreamsIdenticalToInMemory) {
+  GeneratorSpec spec;
+  spec.n = 1000;
+  spec.d = 6;
+  spec.dist = Distribution::kNaturalClusters;
+  write_generated(path("g.kmat"), spec, /*chunk_rows=*/128);
+  const DenseMatrix streamed = read_matrix(path("g.kmat"));
+  const DenseMatrix direct = generate(spec);
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    EXPECT_EQ(streamed.data()[i], direct.data()[i]);
+}
+
+TEST_F(TempDir, MissingFileThrows) {
+  EXPECT_THROW(read_matrix(path("nope.kmat")), std::runtime_error);
+  EXPECT_THROW(read_header(path("nope.kmat")), std::runtime_error);
+}
+
+TEST_F(TempDir, BadMagicThrows) {
+  std::ofstream out(path("bad.kmat"), std::ios::binary);
+  out << "NOTAKNORFILE________________________________________________";
+  out.close();
+  EXPECT_THROW(read_matrix(path("bad.kmat")), std::runtime_error);
+}
+
+TEST_F(TempDir, TruncatedHeaderThrows) {
+  std::ofstream out(path("trunc.kmat"), std::ios::binary);
+  out << "KNOR";
+  out.close();
+  EXPECT_THROW(read_header(path("trunc.kmat")), std::runtime_error);
+}
+
+TEST_F(TempDir, TruncatedBodyThrows) {
+  GeneratorSpec spec;
+  spec.n = 100;
+  spec.d = 8;
+  write_matrix(path("tb.kmat"), generate(spec));
+  std::filesystem::resize_file(path("tb.kmat"),
+                               kHeaderBytes + 50 * 8 * sizeof(value_t));
+  EXPECT_THROW(read_matrix(path("tb.kmat")), std::runtime_error);
+}
+
+TEST_F(TempDir, ReadRowsOutOfRangeThrows) {
+  GeneratorSpec spec;
+  spec.n = 10;
+  spec.d = 2;
+  write_matrix(path("r.kmat"), generate(spec));
+  DenseMatrix buf(5, 2);
+  EXPECT_THROW(read_rows(path("r.kmat"), 8, 13, buf.view()),
+               std::out_of_range);
+}
+
+TEST(NumaDataset, MatchesSourceRows) {
+  GeneratorSpec spec;
+  spec.n = 5000;
+  spec.d = 7;
+  const DenseMatrix m = generate(spec);
+  const auto topo = numa::Topology::simulated(2, 4);
+  const numa::Partitioner parts(spec.n, 4, topo);
+  sched::ThreadPool pool(4, topo);
+  const NumaDataset ds(m.const_view(), parts, pool);
+  for (index_t r = 0; r < spec.n; r += 13)
+    for (index_t c = 0; c < spec.d; ++c)
+      ASSERT_EQ(ds.row(r)[c], m.at(r, c)) << r;
+}
+
+TEST(NumaDataset, GeneratedEqualsCopied) {
+  GeneratorSpec spec;
+  spec.n = 3000;
+  spec.d = 5;
+  const DenseMatrix m = generate(spec);
+  const auto topo = numa::Topology::simulated(2, 4);
+  const numa::Partitioner parts(spec.n, 4, topo);
+  sched::ThreadPool pool(4, topo);
+  const NumaDataset generated(spec, parts, pool);
+  for (index_t r = 0; r < spec.n; ++r)
+    for (index_t c = 0; c < spec.d; ++c)
+      ASSERT_EQ(generated.row(r)[c], m.at(r, c)) << r;
+}
+
+TEST(NumaDataset, ThreadViewIsContiguousBlock) {
+  GeneratorSpec spec;
+  spec.n = 1000;
+  spec.d = 3;
+  const DenseMatrix m = generate(spec);
+  const auto topo = numa::Topology::simulated(2, 4);
+  const numa::Partitioner parts(spec.n, 4, topo);
+  sched::ThreadPool pool(4, topo);
+  const NumaDataset ds(m.const_view(), parts, pool);
+  for (int t = 0; t < 4; ++t) {
+    const auto range = ds.thread_rows(t);
+    const auto view = ds.thread_view(t);
+    ASSERT_EQ(view.rows(), range.size());
+    for (index_t r = 0; r < view.rows(); ++r)
+      ASSERT_EQ(view.row(r), ds.row(range.begin + r));
+  }
+}
+
+}  // namespace
+}  // namespace knor::data

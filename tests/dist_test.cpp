@@ -1,0 +1,288 @@
+// Tests for the distributed substrate: collectives (correctness and
+// determinism), the network cost model, and knord / MPI-baseline
+// equivalence with the in-memory reference.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/knori.hpp"
+#include "data/generator.hpp"
+#include "dist/comm.hpp"
+#include "dist/knord.hpp"
+#include "dist/netsim.hpp"
+
+namespace knor::dist {
+namespace {
+
+TEST(Comm, BarrierSynchronizes) {
+  Cluster cluster(4);
+  std::atomic<int> before{0};
+  std::atomic<bool> ok{true};
+  cluster.run([&](Communicator& comm) {
+    ++before;
+    comm.barrier();
+    if (before.load() != 4) ok = false;
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Comm, AllreduceSumDoubles) {
+  Cluster cluster(5);
+  std::vector<std::vector<double>> results(5);
+  cluster.run([&](Communicator& comm) {
+    std::vector<double> v = {static_cast<double>(comm.rank() + 1), 10.0};
+    comm.allreduce_sum(v.data(), v.size());
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  for (const auto& v : results) {
+    ASSERT_EQ(v.size(), 2u);
+    EXPECT_DOUBLE_EQ(v[0], 15.0);  // 1+2+3+4+5
+    EXPECT_DOUBLE_EQ(v[1], 50.0);
+  }
+}
+
+TEST(Comm, AllreduceSumIntegers) {
+  Cluster cluster(3);
+  std::vector<std::uint64_t> results(3);
+  cluster.run([&](Communicator& comm) {
+    std::uint64_t v = 1ull << (20 + comm.rank());
+    comm.allreduce_sum(&v, 1);
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  const std::uint64_t expect = (1ull << 20) + (1ull << 21) + (1ull << 22);
+  for (auto v : results) EXPECT_EQ(v, expect);
+}
+
+TEST(Comm, AllreduceDeterministicAcrossRuns) {
+  // FP reduction order is rank-ordered, so repeated runs must agree bitwise
+  // even with values that expose non-associativity.
+  std::vector<double> first;
+  for (int run = 0; run < 3; ++run) {
+    Cluster cluster(7);
+    std::vector<double> out(7);
+    cluster.run([&](Communicator& comm) {
+      double v = 1.0 / (1.0 + comm.rank()) * 1e-15 + comm.rank();
+      comm.allreduce_sum(&v, 1);
+      out[static_cast<std::size_t>(comm.rank())] = v;
+    });
+    for (double v : out) ASSERT_EQ(v, out[0]);
+    if (run == 0)
+      first = out;
+    else
+      EXPECT_EQ(out[0], first[0]);
+  }
+}
+
+TEST(Comm, SequentialCollectivesDoNotDeadlock) {
+  Cluster cluster(4);
+  cluster.run([&](Communicator& comm) {
+    for (int i = 0; i < 50; ++i) {
+      double v = 1.0;
+      comm.allreduce_sum(&v, 1);
+      ASSERT_DOUBLE_EQ(v, 4.0);
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Comm, BcastReplicatesRootData) {
+  Cluster cluster(4);
+  std::vector<double> results(4);
+  cluster.run([&](Communicator& comm) {
+    double v = comm.rank() == 2 ? 42.5 : 0.0;
+    comm.bcast(&v, sizeof(v), /*root=*/2);
+    results[static_cast<std::size_t>(comm.rank())] = v;
+  });
+  for (double v : results) EXPECT_DOUBLE_EQ(v, 42.5);
+}
+
+TEST(Comm, ExceptionsPropagateFromRanks) {
+  Cluster cluster(3);
+  EXPECT_THROW(cluster.run([&](Communicator& comm) {
+                 if (comm.rank() == 1) throw std::runtime_error("rank fail");
+                 // other ranks must not hang on collectives here
+               }),
+               std::runtime_error);
+}
+
+TEST(NetSimTest, DisabledIsFree) {
+  NetSim::disable();
+  const auto t0 = std::chrono::steady_clock::now();
+  NetSim::charge(1 << 20, 8);
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  EXPECT_LT(us, 2000);
+}
+
+TEST(NetSimTest, ChargesLatencyAndBandwidth) {
+  NetModel m;
+  m.latency_us = 200;
+  m.gigabytes_per_sec = 1.0;
+  NetSim::configure(m);
+  const auto t0 = std::chrono::steady_clock::now();
+  NetSim::charge(0, 4);  // 2 hops * 200us latency only
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  NetSim::disable();
+  EXPECT_GE(us, 300);
+}
+
+// --- knord end-to-end -------------------------------------------------------
+
+struct DistParam {
+  int ranks;
+  int threads_per_rank;
+  bool prune;
+};
+
+class KnordSweep : public ::testing::TestWithParam<DistParam> {};
+
+TEST_P(KnordSweep, MatchesKnoriClustering) {
+  const auto& p = GetParam();
+  data::GeneratorSpec spec;
+  spec.n = 6000;
+  spec.d = 10;
+  spec.true_clusters = 7;
+  spec.seed = 23;
+  const DenseMatrix m = data::generate(spec);
+
+  Options opts;
+  opts.k = 7;
+  opts.threads = 2;
+  opts.max_iters = 40;
+  opts.seed = 3;
+  opts.prune = p.prune;
+  const Result ref = kmeans(m.const_view(), opts);
+
+  DistOptions dopts;
+  dopts.ranks = p.ranks;
+  dopts.threads_per_rank = p.threads_per_rank;
+  const Result res = kmeans(m.const_view(), opts, dopts);
+
+  EXPECT_EQ(res.iters, ref.iters);
+  const double rel = std::abs(res.energy - ref.energy) / ref.energy;
+  EXPECT_LT(rel, 1e-9);
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < ref.assignments.size(); ++i)
+    if (res.assignments[i] != ref.assignments[i]) ++mismatched;
+  EXPECT_EQ(mismatched, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnordSweep,
+    ::testing::Values(DistParam{1, 1, true}, DistParam{2, 2, true},
+                      DistParam{3, 1, true}, DistParam{4, 2, true},
+                      DistParam{2, 2, false}, DistParam{5, 1, false}),
+    [](const auto& info) {
+      return "r" + std::to_string(info.param.ranks) + "_t" +
+             std::to_string(info.param.threads_per_rank) +
+             (info.param.prune ? "_mti" : "_nomti");
+    });
+
+TEST(Knord, GeneratorFormMatchesMatrixForm) {
+  data::GeneratorSpec spec;
+  spec.n = 4000;
+  spec.d = 8;
+  spec.true_clusters = 5;
+  spec.seed = 31;
+  const DenseMatrix m = data::generate(spec);
+
+  Options opts;
+  opts.k = 5;
+  opts.max_iters = 30;
+  opts.seed = 9;
+  DistOptions dopts;
+  dopts.ranks = 3;
+  dopts.threads_per_rank = 2;
+
+  const Result from_matrix = kmeans(m.const_view(), opts, dopts);
+  const Result from_generator = kmeans(spec, opts, dopts);
+
+  EXPECT_EQ(from_matrix.iters, from_generator.iters);
+  EXPECT_DOUBLE_EQ(from_matrix.energy, from_generator.energy);
+  for (std::size_t i = 0; i < from_matrix.assignments.size(); ++i)
+    ASSERT_EQ(from_matrix.assignments[i], from_generator.assignments[i]);
+}
+
+TEST(Knord, MpiBaselineMatchesKnord) {
+  data::GeneratorSpec spec;
+  spec.n = 5000;
+  spec.d = 6;
+  spec.true_clusters = 6;
+  const DenseMatrix m = data::generate(spec);
+  Options opts;
+  opts.k = 6;
+  opts.max_iters = 30;
+  DistOptions dopts;
+  dopts.ranks = 4;
+  dopts.threads_per_rank = 1;
+  const Result a = kmeans(m.const_view(), opts, dopts);
+  const Result b = mpi_kmeans(m.const_view(), opts, dopts);
+  EXPECT_EQ(a.iters, b.iters);
+  const double rel = std::abs(a.energy - b.energy) / a.energy;
+  EXPECT_LT(rel, 1e-9);
+  for (std::size_t i = 0; i < a.assignments.size(); ++i)
+    ASSERT_EQ(a.assignments[i], b.assignments[i]);
+}
+
+TEST(Knord, RankCountDoesNotChangeResult) {
+  data::GeneratorSpec spec;
+  spec.n = 3000;
+  spec.d = 8;
+  spec.true_clusters = 4;
+  const DenseMatrix m = data::generate(spec);
+  Options opts;
+  opts.k = 4;
+  opts.max_iters = 30;
+  double first_energy = -1;
+  std::size_t first_iters = 0;
+  for (int ranks : {1, 2, 4, 6}) {
+    DistOptions dopts;
+    dopts.ranks = ranks;
+    dopts.threads_per_rank = 1;
+    const Result res = kmeans(m.const_view(), opts, dopts);
+    if (first_energy < 0) {
+      first_energy = res.energy;
+      first_iters = res.iters;
+    } else {
+      EXPECT_EQ(res.iters, first_iters) << ranks;
+      EXPECT_LT(std::abs(res.energy - first_energy) / first_energy, 1e-9)
+          << ranks;
+    }
+  }
+}
+
+TEST(Knord, NetModelRestoredAfterRun) {
+  data::GeneratorSpec spec;
+  spec.n = 500;
+  spec.d = 4;
+  const DenseMatrix m = data::generate(spec);
+  Options opts;
+  opts.k = 2;
+  opts.max_iters = 5;
+  DistOptions dopts;
+  dopts.ranks = 2;
+  dopts.net.latency_us = 50;
+  kmeans(m.const_view(), opts, dopts);
+  EXPECT_FALSE(NetSim::current().enabled());
+}
+
+TEST(Knord, InvalidInputsThrow) {
+  DenseMatrix empty;
+  Options opts;
+  opts.k = 2;
+  EXPECT_THROW(kmeans(empty.const_view(), opts, DistOptions{}),
+               std::invalid_argument);
+
+  data::GeneratorSpec spec;
+  spec.n = 100;
+  spec.d = 4;
+  opts.init = Init::kKmeansPP;  // unsupported in generator form
+  EXPECT_THROW(kmeans(spec, opts, DistOptions{}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace knor::dist

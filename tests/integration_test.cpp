@@ -1,0 +1,228 @@
+// Cross-module integration tests: full pipelines exercising generation,
+// file I/O, and all three knor modules together, plus recovery of planted
+// cluster structure and the framework stand-ins.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+
+#include "baselines/frameworks.hpp"
+#include "common/memory_tracker.hpp"
+#include "core/engines.hpp"
+#include "core/knori.hpp"
+#include "data/generator.hpp"
+#include "data/matrix_io.hpp"
+#include "dist/knord.hpp"
+#include "sem/sem_kmeans.hpp"
+
+namespace knor {
+namespace {
+
+class IntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("knor_integration_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(IntegrationTest, AllThreeModulesAgreeEndToEnd) {
+  // The paper's core claim of algorithmic identity: knori, knors and knord
+  // run the same ||Lloyd's + MTI algorithm and must produce the same
+  // clustering from the same seed.
+  data::GeneratorSpec spec;
+  spec.n = 10000;
+  spec.d = 16;
+  spec.true_clusters = 12;
+  spec.seed = 77;
+  const std::string path = dir_ / "data.kmat";
+  data::write_generated(path, spec);
+  const DenseMatrix m = data::read_matrix(path);
+
+  Options opts;
+  opts.k = 12;
+  opts.threads = 4;
+  opts.max_iters = 50;
+  opts.seed = 13;
+  opts.numa_nodes = 2;
+
+  const Result im = kmeans(m.const_view(), opts);
+
+  sem::SemOptions sopts;
+  sopts.page_cache_bytes = 256 << 10;
+  sopts.row_cache_bytes = 256 << 10;
+  const Result sem_res = sem::kmeans(path, opts, sopts);
+
+  dist::DistOptions dopts;
+  dopts.ranks = 3;
+  dopts.threads_per_rank = 2;
+  const Result dist_res = dist::kmeans(m.const_view(), opts, dopts);
+
+  for (const Result* res : {&sem_res, &dist_res}) {
+    EXPECT_EQ(res->iters, im.iters);
+    EXPECT_LT(std::abs(res->energy - im.energy) / im.energy, 1e-9);
+    std::size_t mismatched = 0;
+    for (std::size_t i = 0; i < im.assignments.size(); ++i)
+      if (res->assignments[i] != im.assignments[i]) ++mismatched;
+    EXPECT_EQ(mismatched, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, RecoversPlantedClusters) {
+  // With well-separated planted components and k = #components, k-means
+  // must recover the planted partition almost perfectly.
+  data::GeneratorSpec spec;
+  spec.n = 12000;
+  spec.d = 8;
+  spec.true_clusters = 6;
+  spec.separation = 15.0;
+  spec.seed = 5;
+  const DenseMatrix m = data::generate(spec);
+
+  Options opts;
+  opts.k = 6;
+  opts.threads = 4;
+  opts.max_iters = 100;
+  opts.init = Init::kKmeansPP;  // avoids degenerate forgy draws
+  opts.seed = 2;
+  const Result res = kmeans(m.const_view(), opts);
+  EXPECT_TRUE(res.converged);
+
+  // Majority-label mapping from found cluster -> planted component.
+  std::vector<std::vector<index_t>> votes(
+      6, std::vector<index_t>(6, 0));
+  for (index_t r = 0; r < spec.n; ++r)
+    ++votes[res.assignments[r]][static_cast<std::size_t>(
+        data::true_component_of_row(spec, r))];
+  index_t agree = 0;
+  for (int c = 0; c < 6; ++c)
+    agree += *std::max_element(votes[static_cast<std::size_t>(c)].begin(),
+                               votes[static_cast<std::size_t>(c)].end());
+  EXPECT_GT(static_cast<double>(agree) / spec.n, 0.99);
+}
+
+TEST_F(IntegrationTest, FrameworkStandInsProduceSameClustering) {
+  // The stand-ins implement the identical naive algorithm; they must agree
+  // with knori- (pruning off) exactly.
+  data::GeneratorSpec spec;
+  spec.n = 4000;
+  spec.d = 8;
+  spec.true_clusters = 5;
+  const DenseMatrix m = data::generate(spec);
+  Options opts;
+  opts.k = 5;
+  opts.threads = 4;
+  opts.max_iters = 40;
+  opts.prune = false;
+  const Result ref = kmeans(m.const_view(), opts);
+
+  for (auto* fn : {&baselines::mllib_like, &baselines::h2o_like,
+                   &baselines::turi_like}) {
+    const Result res = (*fn)(m.const_view(), opts);
+    EXPECT_EQ(res.iters, ref.iters);
+    EXPECT_LT(std::abs(res.energy - ref.energy) / ref.energy, 1e-9);
+    std::size_t mismatched = 0;
+    for (std::size_t i = 0; i < ref.assignments.size(); ++i)
+      if (res.assignments[i] != ref.assignments[i]) ++mismatched;
+    EXPECT_EQ(mismatched, 0u);
+  }
+}
+
+TEST_F(IntegrationTest, MtiPruningRateGrowsOnNaturalClusters) {
+  // The phenomenon the paper exploits: once centroids settle, most points
+  // are clause-1 skipped. Measure the skip fraction over the run.
+  data::GeneratorSpec spec;
+  spec.n = 10000;
+  spec.d = 8;
+  spec.true_clusters = 8;
+  spec.separation = 10.0;
+  const DenseMatrix m = data::generate(spec);
+  Options opts;
+  opts.k = 8;
+  opts.threads = 2;
+  opts.max_iters = 60;
+  const Result res = kmeans(m.const_view(), opts);
+  const double point_iters =
+      static_cast<double>(spec.n) * static_cast<double>(res.iters);
+  const double skip_rate = res.counters.clause1_skips / point_iters;
+  EXPECT_GT(skip_rate, 0.1) << "clause-1 skipped " << skip_rate;
+  // Naive would be n*k*iters distances; MTI must cut >50% on this data.
+  EXPECT_LT(res.counters.dist_computations, 0.5 * point_iters * opts.k);
+}
+
+TEST_F(IntegrationTest, SemScalesToFileLargerThanCaches) {
+  // A file much larger than page+row caches must still cluster correctly.
+  data::GeneratorSpec spec;
+  spec.n = 50000;
+  spec.d = 16;  // ~6.4 MB
+  spec.true_clusters = 4;
+  const std::string path = dir_ / "big.kmat";
+  data::write_generated(path, spec);
+
+  Options opts;
+  opts.k = 4;
+  opts.threads = 2;
+  opts.max_iters = 25;
+  sem::SemOptions sopts;
+  sopts.page_cache_bytes = 64 << 10;  // 1% of the file
+  sopts.row_cache_bytes = 64 << 10;
+  sem::SemStats stats;
+  const Result res = sem::kmeans(path, opts, sopts, &stats);
+  EXPECT_EQ(res.assignments.size(), 50000u);
+  index_t total = 0;
+  for (index_t s : res.cluster_sizes) total += s;
+  EXPECT_EQ(total, 50000u);
+  EXPECT_GT(stats.total_read(), 0u);
+}
+
+TEST_F(IntegrationTest, MemoryFootprintOrdering) {
+  // Table 1's ordering: SEM in-memory state << in-memory dataset copy, and
+  // Elkan's O(nk) state >> MTI's O(n) state.
+  data::GeneratorSpec spec;
+  spec.n = 20000;
+  spec.d = 32;
+  spec.true_clusters = 4;
+  const std::string path = dir_ / "mem.kmat";
+  data::write_generated(path, spec);
+  const DenseMatrix m = data::read_matrix(path);
+
+  auto& mt = MemoryTracker::instance();
+  Options opts;
+  opts.k = 40;
+  opts.threads = 2;
+  opts.max_iters = 5;
+
+  mt.reset();
+  kmeans(m.const_view(), opts);
+  const auto knori_peak = mt.peak_bytes();
+
+  mt.reset();
+  sem::SemOptions sopts;
+  sopts.page_cache_bytes = 64 << 10;
+  sopts.row_cache_bytes = 64 << 10;
+  sem::kmeans(path, opts, sopts);
+  const auto knors_peak = mt.peak_bytes();
+
+  mt.reset();
+  elkan_ti(m.const_view(), opts);
+  const auto elkan_state = mt.peak_bytes();
+
+  // knors holds O(n) state, knori holds the O(nd) dataset: 32x ratio here.
+  EXPECT_LT(knors_peak, knori_peak / 2);
+  // Elkan's lower-bound matrix is k x larger than MTI's O(n) bounds.
+  mt.reset();
+  Options mti_opts = opts;
+  kmeans(m.const_view(), mti_opts);
+  EXPECT_GT(elkan_state, static_cast<std::int64_t>(
+                             spec.n * opts.k * sizeof(value_t) / 2));
+  mt.reset();
+}
+
+}  // namespace
+}  // namespace knor

@@ -1,0 +1,180 @@
+// Unit tests for the NUMA substrate: topology detection/simulation,
+// node-targeted allocation, thread binding, row partitioning, cost model.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "numa/cost_model.hpp"
+#include "numa/numa_alloc.hpp"
+#include "numa/partitioner.hpp"
+#include "numa/thread_bind.hpp"
+#include "numa/topology.hpp"
+
+namespace knor::numa {
+namespace {
+
+TEST(Topology, DetectReturnsAtLeastOneNode) {
+  const Topology topo = Topology::detect();
+  EXPECT_GE(topo.num_nodes(), 1);
+  EXPECT_GE(topo.num_cpus(), 1);
+  int cpus = 0;
+  for (const auto& node : topo.nodes()) cpus += node.cpus.size();
+  EXPECT_EQ(cpus, topo.num_cpus());
+}
+
+TEST(Topology, SimulatedStripesCpusRoundRobin) {
+  const Topology topo = Topology::simulated(4, 8);
+  ASSERT_EQ(topo.num_nodes(), 4);
+  EXPECT_EQ(topo.num_cpus(), 8);
+  EXPECT_TRUE(topo.is_simulated());
+  // cpu c belongs to node c % 4.
+  for (int c = 0; c < 8; ++c) EXPECT_EQ(topo.node_of_cpu(c), c % 4);
+  for (int node = 0; node < 4; ++node)
+    EXPECT_EQ(topo.node(node).cpus.size(), 2u);
+}
+
+TEST(Topology, SimulatedNodeNeverEmpty) {
+  // More nodes than CPUs: every node still gets at least one virtual CPU.
+  const Topology topo = Topology::simulated(8, 2);
+  for (const auto& node : topo.nodes()) EXPECT_GE(node.cpus.size(), 1u);
+}
+
+TEST(Topology, NodeOfUnknownCpuIsMinusOne) {
+  const Topology topo = Topology::simulated(2, 4);
+  EXPECT_EQ(topo.node_of_cpu(-1), -1);
+  EXPECT_EQ(topo.node_of_cpu(10000), -1);
+}
+
+TEST(Topology, DescribeMentionsNodeCount) {
+  const Topology topo = Topology::simulated(3, 6);
+  const std::string desc = topo.describe();
+  EXPECT_NE(desc.find("3 node"), std::string::npos);
+  EXPECT_NE(desc.find("simulated"), std::string::npos);
+}
+
+TEST(NumaAlloc, AllocZeroedAndWritable) {
+  const std::size_t bytes = 1 << 20;
+  void* p = alloc_on_node(bytes, 0);
+  ASSERT_NE(p, nullptr);
+  auto* c = static_cast<unsigned char*>(p);
+  for (std::size_t i = 0; i < bytes; i += 4096) EXPECT_EQ(c[i], 0);
+  std::memset(p, 0xab, bytes);
+  EXPECT_EQ(c[bytes - 1], 0xab);
+  free_on_node(p, bytes);
+}
+
+TEST(NumaAlloc, OutOfRangeNodeStillAllocates) {
+  // Simulated node ids beyond the physical node count must not fail.
+  void* p = alloc_on_node(4096, 17);
+  ASSERT_NE(p, nullptr);
+  free_on_node(p, 4096);
+}
+
+TEST(NumaAlloc, ZeroBytesReturnsNull) {
+  EXPECT_EQ(alloc_on_node(0, 0), nullptr);
+}
+
+TEST(NodeBuffer, TypedAccessAndMove) {
+  NodeBuffer<double> buf(100, 0);
+  buf[7] = 3.5;
+  NodeBuffer<double> moved(std::move(buf));
+  EXPECT_EQ(moved[7], 3.5);
+  EXPECT_EQ(moved.size(), 100u);
+  EXPECT_EQ(buf.data(), nullptr);
+}
+
+TEST(ThreadBind, BindToValidNodeSucceeds) {
+  const Topology topo = Topology::detect();
+  std::thread t([&] {
+    EXPECT_TRUE(bind_current_thread_to_node(topo, 0));
+    unbind_current_thread(topo);
+  });
+  t.join();
+}
+
+TEST(ThreadBind, BindToInvalidNodeFails) {
+  const Topology topo = Topology::detect();
+  EXPECT_FALSE(bind_current_thread_to_node(topo, -1));
+  EXPECT_FALSE(bind_current_thread_to_node(topo, topo.num_nodes()));
+}
+
+TEST(BlockRange, CoversAllRowsWithoutOverlap) {
+  const index_t n = 1003;
+  const int parts = 7;
+  index_t covered = 0;
+  index_t prev_end = 0;
+  for (int p = 0; p < parts; ++p) {
+    const RowRange r = block_range(n, parts, p);
+    EXPECT_EQ(r.begin, prev_end);
+    prev_end = r.end;
+    covered += r.size();
+  }
+  EXPECT_EQ(prev_end, n);
+  EXPECT_EQ(covered, n);
+}
+
+TEST(BlockRange, BalancedWithinOneRow) {
+  const index_t n = 1000;
+  const int parts = 3;
+  for (int p = 0; p < parts; ++p) {
+    const index_t size = block_range(n, parts, p).size();
+    EXPECT_GE(size, n / parts);
+    EXPECT_LE(size, n / parts + 1);
+  }
+}
+
+TEST(Partitioner, ThreadOfRowInverseOfThreadRows) {
+  const Topology topo = Topology::simulated(4, 8);
+  const Partitioner parts(997, 8, topo);
+  for (index_t r = 0; r < 997; ++r) {
+    const int t = parts.thread_of_row(r);
+    EXPECT_TRUE(parts.thread_rows(t).contains(r)) << "row " << r;
+  }
+}
+
+TEST(Partitioner, ThreadsRoundRobinOverNodes) {
+  const Topology topo = Topology::simulated(4, 8);
+  const Partitioner parts(1000, 8, topo);
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(parts.node_of_thread(t), t % 4);
+}
+
+TEST(Partitioner, MoreThreadsThanRows) {
+  const Topology topo = Topology::simulated(2, 4);
+  const Partitioner parts(3, 8, topo);
+  index_t covered = 0;
+  for (int t = 0; t < 8; ++t) covered += parts.thread_rows(t).size();
+  EXPECT_EQ(covered, 3u);
+}
+
+TEST(AccessCounter, PerThreadCountsAndTotals) {
+  AccessCounter counter(4);
+  counter.record(0, true);
+  counter.record(0, true);
+  counter.record(1, false);
+  EXPECT_EQ(counter.thread_counts(0).local, 2u);
+  EXPECT_EQ(counter.thread_counts(1).remote, 1u);
+  const AccessCounts total = counter.total();
+  EXPECT_EQ(total.local, 2u);
+  EXPECT_EQ(total.remote, 1u);
+  EXPECT_NEAR(total.remote_fraction(), 1.0 / 3.0, 1e-12);
+  counter.reset();
+  EXPECT_EQ(counter.total().total(), 0u);
+}
+
+TEST(RemotePenalty, DisabledByDefaultAndChargesWhenSet) {
+  EXPECT_EQ(RemotePenalty::ns().load(), 0u);
+  RemotePenalty::charge();  // no-op, must return immediately
+
+  RemotePenalty::ns().store(200000);  // 200us
+  const auto start = std::chrono::steady_clock::now();
+  RemotePenalty::charge();
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  RemotePenalty::ns().store(0);
+  EXPECT_GE(us, 150);
+}
+
+}  // namespace
+}  // namespace knor::numa

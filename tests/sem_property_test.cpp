@@ -1,0 +1,157 @@
+// Property sweep: the SEM engine's I/O geometry — page size, I/O batch
+// size, cache budgets, merge gap, thread count — must NEVER change the
+// clustering. Any page-boundary, cache-coherence or batching bug shows up
+// here as an assignment or energy mismatch against the in-memory reference.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <tuple>
+
+#include "core/knori.hpp"
+#include "data/generator.hpp"
+#include "data/matrix_io.hpp"
+#include "sem/sem_kmeans.hpp"
+
+namespace knor::sem {
+namespace {
+
+struct Fixture {
+  std::filesystem::path dir;
+  std::string matrix_path;
+  DenseMatrix matrix;
+  Result reference;
+
+  Fixture() {
+    dir = std::filesystem::temp_directory_path() /
+          ("knor_sem_prop_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir);
+    data::GeneratorSpec spec;
+    spec.n = 4096;  // not a multiple of most page/batch sizes below
+    spec.d = 7;     // 56B rows straddle every page size
+    spec.true_clusters = 6;
+    spec.seed = 99;
+    matrix_path = dir / "m.kmat";
+    data::write_generated(matrix_path, spec);
+    matrix = data::read_matrix(matrix_path);
+    Options opts = base_options();
+    reference = kmeans(matrix.const_view(), opts);
+  }
+  ~Fixture() { std::filesystem::remove_all(dir); }
+
+  static Options base_options() {
+    Options opts;
+    opts.k = 6;
+    opts.threads = 3;
+    opts.max_iters = 25;
+    opts.seed = 5;
+    return opts;
+  }
+};
+
+Fixture& fixture() {
+  static Fixture f;
+  return f;
+}
+
+using GeomParam = std::tuple<std::size_t /*page*/, index_t /*batch*/,
+                             std::size_t /*page cache*/, int /*threads*/>;
+
+class SemGeometry : public ::testing::TestWithParam<GeomParam> {};
+
+TEST_P(SemGeometry, ClusteringInvariantUnderIoGeometry) {
+  const auto [page, batch, page_cache, threads] = GetParam();
+  Fixture& f = fixture();
+
+  Options opts = Fixture::base_options();
+  opts.threads = threads;
+  SemOptions sopts;
+  sopts.page_size = page;
+  sopts.io_batch_rows = batch;
+  sopts.page_cache_bytes = page_cache;
+  sopts.row_cache_bytes = 16 << 10;
+
+  const Result res = kmeans(f.matrix_path, opts, sopts);
+  ASSERT_EQ(res.iters, f.reference.iters);
+  const double rel = std::abs(res.energy - f.reference.energy) /
+                     std::max(1e-30, f.reference.energy);
+  EXPECT_LT(rel, 1e-9);
+  for (std::size_t i = 0; i < f.reference.assignments.size(); ++i)
+    ASSERT_EQ(res.assignments[i], f.reference.assignments[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometry, SemGeometry,
+    ::testing::Values(
+        // Page smaller than a row: rows straddle several pages.
+        GeomParam{32, 64, 8 << 10, 2},
+        // Page not a multiple of the row size.
+        GeomParam{100, 128, 8 << 10, 1},
+        // Tiny page cache: constant eviction + re-read.
+        GeomParam{512, 256, 2 << 10, 3},
+        // Batch of 1 row: maximal prefetch/fetch alternation.
+        GeomParam{4096, 1, 64 << 10, 2},
+        // Batch larger than any partition.
+        GeomParam{4096, 100000, 64 << 10, 3},
+        // Large pages: every read overshoots heavily.
+        GeomParam{32768, 512, 256 << 10, 4},
+        // Default-ish configuration.
+        GeomParam{4096, 2048, 64 << 10, 3}),
+    [](const auto& info) {
+      return "p" + std::to_string(std::get<0>(info.param)) + "_b" +
+             std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param)) + "_t" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+class SemMergeGap : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(SemMergeGap, RequestMergingNeverChangesData) {
+  Fixture& f = fixture();
+  Options opts = Fixture::base_options();
+  SemOptions sopts;
+  sopts.page_size = 256;
+  sopts.merge_gap_pages = GetParam();
+  const Result res = kmeans(f.matrix_path, opts, sopts);
+  EXPECT_EQ(res.iters, f.reference.iters);
+  for (std::size_t i = 0; i < f.reference.assignments.size(); ++i)
+    ASSERT_EQ(res.assignments[i], f.reference.assignments[i]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Gaps, SemMergeGap,
+                         ::testing::Values(0u, 1u, 4u, 64u),
+                         [](const auto& info) {
+                           return "gap" + std::to_string(info.param);
+                         });
+
+TEST(SemGeometryEdge, RowCacheSmallerThanOneRowPerPartition) {
+  Fixture& f = fixture();
+  Options opts = Fixture::base_options();
+  SemOptions sopts;
+  sopts.row_cache_bytes = 8;  // less than a single 56B row
+  const Result res = kmeans(f.matrix_path, opts, sopts);
+  EXPECT_EQ(res.iters, f.reference.iters);
+}
+
+TEST(SemGeometryEdge, SingleRowDataset) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const std::string path =
+      dir / ("knor_single_" + std::to_string(::getpid()) + ".kmat");
+  data::GeneratorSpec spec;
+  spec.n = 1;
+  spec.d = 5;
+  data::write_generated(path, spec);
+  Options opts;
+  opts.k = 1;
+  opts.threads = 2;
+  opts.max_iters = 3;
+  const Result res = kmeans(path, opts, SemOptions{});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.cluster_sizes[0], 1u);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace knor::sem

@@ -1,0 +1,466 @@
+// Unit and integration tests for the SEM substrate: page file geometry,
+// page cache eviction, I/O engine request merging and prefetch, row cache
+// laziness, and knors end-to-end equivalence with knori.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <filesystem>
+#include <numeric>
+
+#include "core/knori.hpp"
+#include "data/generator.hpp"
+#include "data/matrix_io.hpp"
+#include "sem/io_engine.hpp"
+#include "sem/page_cache.hpp"
+#include "sem/page_file.hpp"
+#include "sem/row_cache.hpp"
+#include "sem/sem_kmeans.hpp"
+
+namespace knor::sem {
+namespace {
+
+class SemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("knor_sem_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string make_matrix(const data::GeneratorSpec& spec,
+                          const std::string& name = "m.kmat") {
+    const std::string p = dir_ / name;
+    data::write_generated(p, spec);
+    return p;
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(SemTest, PageFileGeometry) {
+  data::GeneratorSpec spec;
+  spec.n = 100;
+  spec.d = 8;  // 64B rows
+  const std::string p = make_matrix(spec);
+  PageFile file(p, 256);
+  EXPECT_EQ(file.n(), 100u);
+  EXPECT_EQ(file.d(), 8u);
+  EXPECT_EQ(file.row_bytes(), 64u);
+  // Header is 64B; row 0 at byte 64 -> page 0; row 3 at 64+192=256 -> page 1.
+  EXPECT_EQ(file.first_page_of_row(0), 0u);
+  EXPECT_EQ(file.first_page_of_row(3), 1u);
+  EXPECT_EQ(file.last_page_of_row(3), 1u);
+  const std::uint64_t file_bytes = 64 + 100 * 64;
+  EXPECT_EQ(file.num_pages(), (file_bytes + 255) / 256);
+}
+
+TEST_F(SemTest, PageFileReadMatchesData) {
+  data::GeneratorSpec spec;
+  spec.n = 64;
+  spec.d = 4;
+  const std::string p = make_matrix(spec);
+  const DenseMatrix m = data::generate(spec);
+  PageFile file(p, 4096);
+  std::vector<unsigned char> buf(4096);
+  file.read_pages(0, 1, buf.data());
+  // Row 0 lives at offset 64 within page 0.
+  value_t row0[4];
+  std::memcpy(row0, buf.data() + 64, sizeof(row0));
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(row0[j], m.at(0, j));
+  EXPECT_GT(file.bytes_read(), 0u);
+  EXPECT_EQ(file.read_requests(), 1u);
+}
+
+TEST_F(SemTest, PageFileEofZeroPadded) {
+  data::GeneratorSpec spec;
+  spec.n = 2;
+  spec.d = 2;
+  const std::string p = make_matrix(spec);
+  PageFile file(p, 4096);
+  std::vector<unsigned char> buf(2 * 4096, 0xff);
+  file.read_pages(0, 2, buf.data());  // file is only 96 bytes
+  EXPECT_EQ(buf[200], 0);             // past EOF must be zeroed
+}
+
+TEST_F(SemTest, PageFileRejectsGarbage) {
+  const std::string p = dir_ / "bad.kmat";
+  std::FILE* f = std::fopen(p.c_str(), "wb");
+  std::fputs("garbage", f);
+  std::fclose(f);
+  EXPECT_THROW(PageFile(p, 4096), std::runtime_error);
+}
+
+TEST(PageCacheTest, InsertLookupRoundTrip) {
+  PageCache cache(64 * 1024, 1024, 2);
+  std::vector<unsigned char> page(1024, 7);
+  cache.insert(42, page.data());
+  std::vector<unsigned char> out(1024);
+  EXPECT_TRUE(cache.lookup(42, out.data()));
+  EXPECT_EQ(out[500], 7);
+  EXPECT_FALSE(cache.lookup(43, out.data()));
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PageCacheTest, EvictsWhenFullButKeepsCapacityPages) {
+  PageCache cache(8 * 1024, 1024, 1);  // 8 slots
+  std::vector<unsigned char> page(1024);
+  for (std::uint64_t id = 0; id < 32; ++id) {
+    page[0] = static_cast<unsigned char>(id);
+    cache.insert(id, page.data());
+  }
+  int resident = 0;
+  for (std::uint64_t id = 0; id < 32; ++id)
+    if (cache.contains(id)) ++resident;
+  EXPECT_EQ(resident, 8);
+  // Recently inserted pages survive.
+  EXPECT_TRUE(cache.contains(31));
+}
+
+TEST(PageCacheTest, ClockSecondChanceEvictionOrder) {
+  PageCache cache(4 * 1024, 1024, 1);  // 4 slots
+  std::vector<unsigned char> page(1024);
+  for (std::uint64_t id = 0; id < 4; ++id) cache.insert(id, page.data());
+  // All four pages are referenced; the first insertion beyond capacity
+  // sweeps the full clock (granting every page its second chance, clearing
+  // the bits) and evicts slot 0; the next insertion evicts slot 1.
+  cache.insert(100, page.data());
+  cache.insert(101, page.data());
+  EXPECT_TRUE(cache.contains(100));
+  EXPECT_TRUE(cache.contains(101));
+  EXPECT_FALSE(cache.contains(0));
+  EXPECT_FALSE(cache.contains(1));
+  EXPECT_TRUE(cache.contains(2));
+  EXPECT_TRUE(cache.contains(3));
+}
+
+TEST(PageCacheTest, ClockSparesReferencedPageDuringSweep) {
+  PageCache cache(4 * 1024, 1024, 1);  // 4 slots
+  std::vector<unsigned char> page(1024);
+  std::vector<unsigned char> out(1024);
+  for (std::uint64_t id = 0; id < 4; ++id) cache.insert(id, page.data());
+  cache.insert(100, page.data());  // full sweep, evicts slot 0
+  // Page 1 sits in slot 1 with its bit cleared; touching it re-arms the bit
+  // so the next insertion skips it and evicts page 2 instead.
+  EXPECT_TRUE(cache.lookup(1, out.data()));
+  cache.insert(101, page.data());
+  EXPECT_TRUE(cache.contains(1));
+  EXPECT_FALSE(cache.contains(2));
+}
+
+TEST(PageCacheTest, ClearEmptiesEverything) {
+  PageCache cache(8 * 1024, 1024, 2);
+  std::vector<unsigned char> page(1024);
+  cache.insert(1, page.data());
+  cache.clear();
+  EXPECT_FALSE(cache.contains(1));
+}
+
+TEST_F(SemTest, IoEngineFetchesCorrectRows) {
+  data::GeneratorSpec spec;
+  spec.n = 500;
+  spec.d = 6;
+  const std::string p = make_matrix(spec);
+  const DenseMatrix m = data::generate(spec);
+  PageFile file(p, 512);
+  PageCache cache(16 * 1024, 512, 2);
+  IoEngine engine(file, cache, 1);
+  std::vector<index_t> rows = {3, 77, 210, 211, 499};
+  DenseMatrix out(5, 6);
+  engine.fetch_rows(rows, out.data());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (index_t j = 0; j < 6; ++j)
+      EXPECT_EQ(out.at(static_cast<index_t>(i), j), m.at(rows[i], j));
+  EXPECT_EQ(engine.bytes_requested(), 5u * 6 * sizeof(value_t));
+}
+
+TEST_F(SemTest, IoEngineMergesAdjacentPages) {
+  data::GeneratorSpec spec;
+  spec.n = 1000;
+  spec.d = 8;  // 64B rows, 64 rows/4KB page
+  const std::string p = make_matrix(spec);
+  PageFile file(p, 4096);
+  PageCache cache(1 << 20, 4096, 2);
+  IoEngine engine(file, cache, 1);
+  // 200 consecutive rows span ~4 pages -> a single merged extent read.
+  std::vector<index_t> rows(200);
+  std::iota(rows.begin(), rows.end(), 100);
+  DenseMatrix out(200, 8);
+  engine.fetch_rows(rows, out.data());
+  EXPECT_EQ(file.read_requests(), 1u);
+}
+
+TEST_F(SemTest, IoEngineServesRepeatsFromPageCache) {
+  data::GeneratorSpec spec;
+  spec.n = 300;
+  spec.d = 8;
+  const std::string p = make_matrix(spec);
+  PageFile file(p, 4096);
+  PageCache cache(1 << 20, 4096, 2);
+  IoEngine engine(file, cache, 1);
+  std::vector<index_t> rows = {10, 20, 30};
+  DenseMatrix out(3, 8);
+  engine.fetch_rows(rows, out.data());
+  const std::uint64_t reads_after_first = file.bytes_read();
+  engine.fetch_rows(rows, out.data());
+  EXPECT_EQ(file.bytes_read(), reads_after_first);  // all cache hits
+}
+
+TEST_F(SemTest, IoEnginePrefetchStagesPages) {
+  data::GeneratorSpec spec;
+  spec.n = 2000;
+  spec.d = 8;
+  const std::string p = make_matrix(spec);
+  const DenseMatrix m = data::generate(spec);
+  PageFile file(p, 4096);
+  PageCache cache(1 << 20, 4096, 2);
+  IoEngine engine(file, cache, 2);
+  std::vector<index_t> rows;
+  for (index_t r = 0; r < 2000; r += 10) rows.push_back(r);
+  auto ticket = engine.prefetch(rows);
+  ticket.wait();
+  const std::uint64_t staged = file.bytes_read();
+  EXPECT_GT(staged, 0u);
+  DenseMatrix out(static_cast<index_t>(rows.size()), 8);
+  engine.fetch_rows(rows, out.data());
+  EXPECT_EQ(file.bytes_read(), staged);  // fetch was served by the cache
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    EXPECT_EQ(out.at(static_cast<index_t>(i), 0), m.at(rows[i], 0));
+}
+
+TEST(RowCacheTest, LazyRefreshSchedule) {
+  RowCache rc(1 << 16, 8, 2);
+  rc.set_update_interval(5);
+  std::vector<int> refresh_iters;
+  for (int it = 1; it <= 45; ++it) {
+    if (rc.begin_iteration(it) == RowCache::Mode::kRefresh) {
+      refresh_iters.push_back(it);
+      rc.publish();
+    }
+  }
+  EXPECT_EQ(refresh_iters, (std::vector<int>{5, 10, 20, 40}));
+}
+
+TEST(RowCacheTest, OfferOnlyDuringRefreshAndLookupAfterPublish) {
+  RowCache rc(1 << 16, 4, 1);
+  rc.set_update_interval(1);
+  const value_t row[4] = {1, 2, 3, 4};
+
+  // Static iteration: offers are ignored.
+  rc.set_update_interval(5);
+  EXPECT_EQ(rc.begin_iteration(1), RowCache::Mode::kStatic);
+  rc.offer(0, 7, row);
+  rc.publish();
+  EXPECT_EQ(rc.lookup(0, 7), nullptr);
+
+  // Refresh iteration: offer then publish makes the row visible.
+  rc.set_update_interval(2);
+  EXPECT_EQ(rc.begin_iteration(2), RowCache::Mode::kRefresh);
+  rc.offer(0, 7, row);
+  EXPECT_EQ(rc.lookup(0, 7), nullptr);  // not yet published
+  rc.publish();
+  const value_t* got = rc.lookup(0, 7);
+  ASSERT_NE(got, nullptr);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(got[j], row[j]);
+  EXPECT_EQ(rc.resident_rows(), 1u);
+}
+
+TEST(RowCacheTest, RefreshFlushesPreviousContents) {
+  RowCache rc(1 << 16, 2, 1);
+  rc.set_update_interval(1);
+  const value_t a[2] = {1, 1};
+  const value_t b[2] = {2, 2};
+  rc.begin_iteration(1);
+  rc.offer(0, 100, a);
+  rc.publish();
+  ASSERT_NE(rc.lookup(0, 100), nullptr);
+  rc.begin_iteration(2);
+  rc.offer(0, 200, b);
+  rc.publish();
+  EXPECT_EQ(rc.lookup(0, 100), nullptr);  // flushed
+  EXPECT_NE(rc.lookup(0, 200), nullptr);
+}
+
+TEST(RowCacheTest, BudgetCapsResidency) {
+  RowCache rc(4 * 8 * sizeof(value_t), 8, 1);  // 4 rows
+  rc.set_update_interval(1);
+  const value_t row[8] = {};
+  rc.begin_iteration(1);
+  for (index_t r = 0; r < 100; ++r) rc.offer(0, r, row);
+  rc.publish();
+  EXPECT_EQ(rc.resident_rows(), 4u);
+}
+
+// --- knors end-to-end -------------------------------------------------------
+
+class KnorsConfig
+    : public SemTest,
+      public ::testing::WithParamInterface<std::tuple<bool, bool, int>> {};
+
+TEST_P(KnorsConfig, MatchesKnoriClustering) {
+  const auto [prune, row_cache, threads] = GetParam();
+  data::GeneratorSpec spec;
+  spec.n = 6000;
+  spec.d = 12;
+  spec.true_clusters = 8;
+  spec.seed = 17;
+  const std::string path = make_matrix(spec);
+  const DenseMatrix m = data::generate(spec);
+
+  Options opts;
+  opts.k = 8;
+  opts.threads = threads;
+  opts.max_iters = 40;
+  opts.seed = 5;
+  opts.prune = prune;
+
+  const Result ref = kmeans(m.const_view(), opts);
+
+  SemOptions sopts;
+  sopts.page_size = 512;
+  sopts.page_cache_bytes = 64 << 10;
+  sopts.row_cache_bytes = 128 << 10;
+  sopts.row_cache_enabled = row_cache;
+  sopts.io_batch_rows = 256;
+  SemStats stats;
+  const Result res = kmeans(path, opts, sopts, &stats);
+
+  EXPECT_EQ(res.iters, ref.iters);
+  EXPECT_EQ(res.converged, ref.converged);
+  const double rel = std::abs(res.energy - ref.energy) / ref.energy;
+  EXPECT_LT(rel, 1e-9);
+  std::size_t mismatched = 0;
+  for (std::size_t i = 0; i < ref.assignments.size(); ++i)
+    if (res.assignments[i] != ref.assignments[i]) ++mismatched;
+  EXPECT_EQ(mismatched, 0u);
+  EXPECT_EQ(stats.per_iter.size(), res.iters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, KnorsConfig,
+    ::testing::Combine(::testing::Bool(),      // prune
+                       ::testing::Bool(),      // row cache
+                       ::testing::Values(1, 4)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param) ? "mti" : "nomti") + "_" +
+             (std::get<1>(info.param) ? "rc" : "norc") + "_t" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST_F(SemTest, Clause1SkipsReduceRequestedBytes) {
+  data::GeneratorSpec spec;
+  spec.n = 8000;
+  spec.d = 16;
+  spec.true_clusters = 6;
+  const std::string path = make_matrix(spec);
+
+  Options opts;
+  opts.k = 6;
+  opts.threads = 2;
+  opts.max_iters = 30;
+
+  SemOptions sopts;
+  sopts.row_cache_enabled = false;  // isolate the pruning effect
+  SemStats pruned_stats;
+  opts.prune = true;
+  kmeans(path, opts, sopts, &pruned_stats);
+
+  SemStats full_stats;
+  opts.prune = false;
+  kmeans(path, opts, sopts, &full_stats);
+
+  // knors- requests the full matrix every iteration; knors must request
+  // strictly less after the first iteration.
+  EXPECT_LT(pruned_stats.total_requested(), full_stats.total_requested());
+  const auto row_bytes = 16 * sizeof(value_t);
+  for (const auto& iter : full_stats.per_iter)
+    EXPECT_EQ(iter.bytes_requested, 8000u * row_bytes);
+}
+
+TEST_F(SemTest, RowCacheReducesBytesRead) {
+  data::GeneratorSpec spec;
+  spec.n = 8000;
+  spec.d = 16;
+  spec.true_clusters = 6;
+  const std::string path = make_matrix(spec);
+
+  Options opts;
+  opts.k = 6;
+  opts.threads = 2;
+  opts.max_iters = 40;
+
+  SemOptions with_rc;
+  with_rc.page_cache_bytes = 32 << 10;  // tiny page cache isolates the RC
+  with_rc.row_cache_bytes = 1 << 20;
+  SemOptions without_rc = with_rc;
+  without_rc.row_cache_enabled = false;
+
+  SemStats rc_stats, norc_stats;
+  kmeans(path, opts, with_rc, &rc_stats);
+  kmeans(path, opts, without_rc, &norc_stats);
+
+  EXPECT_LT(rc_stats.total_read(), norc_stats.total_read());
+  std::uint64_t hits = 0;
+  for (const auto& iter : rc_stats.per_iter) hits += iter.row_cache_hits;
+  EXPECT_GT(hits, 0u);
+}
+
+TEST_F(SemTest, ActiveRowsShrinkOverIterations) {
+  data::GeneratorSpec spec;
+  spec.n = 6000;
+  spec.d = 8;
+  spec.true_clusters = 5;
+  const std::string path = make_matrix(spec);
+  Options opts;
+  opts.k = 5;
+  opts.threads = 2;
+  opts.max_iters = 30;
+  SemOptions sopts;
+  SemStats stats;
+  kmeans(path, opts, sopts, &stats);
+  ASSERT_GE(stats.per_iter.size(), 3u);
+  EXPECT_EQ(stats.per_iter[0].active_rows, 6000u);  // first iter: everything
+  // Convergence tail must be far below the first iteration.
+  EXPECT_LT(stats.per_iter.back().active_rows, 6000u);
+}
+
+TEST_F(SemTest, UnsupportedInitThrows) {
+  data::GeneratorSpec spec;
+  spec.n = 100;
+  spec.d = 4;
+  const std::string path = make_matrix(spec);
+  Options opts;
+  opts.k = 3;
+  opts.init = Init::kKmeansPP;
+  EXPECT_THROW(kmeans(path, opts, SemOptions{}), std::invalid_argument);
+}
+
+TEST_F(SemTest, MissingFileThrows) {
+  Options opts;
+  opts.k = 2;
+  EXPECT_THROW(kmeans(dir_ / "missing.kmat", opts, SemOptions{}),
+               std::runtime_error);
+}
+
+TEST_F(SemTest, SsdCostModelSlowsReads) {
+  data::GeneratorSpec spec;
+  spec.n = 2000;
+  spec.d = 8;
+  const std::string path = make_matrix(spec);
+  PageFile plain(path, 4096);
+  SsdCostModel cost;
+  cost.latency_us = 300;
+  PageFile slow(path, 4096, cost);
+  std::vector<unsigned char> buf(4096);
+  const auto t0 = std::chrono::steady_clock::now();
+  plain.read_pages(0, 1, buf.data());
+  const auto t1 = std::chrono::steady_clock::now();
+  slow.read_pages(0, 1, buf.data());
+  const auto t2 = std::chrono::steady_clock::now();
+  EXPECT_GT((t2 - t1).count(), (t1 - t0).count());
+}
+
+}  // namespace
+}  // namespace knor::sem

@@ -1,0 +1,233 @@
+// knor command-line interface.
+//
+//   knor_cli generate --out data.kmat --dist natural --n 1000000 --d 16
+//   knor_cli info data.kmat
+//   knor_cli cluster --data data.kmat --mode im  --k 10 [--no-prune] ...
+//   knor_cli cluster --data data.kmat --mode sem --k 10 --row-cache-mb 64
+//   knor_cli cluster --data data.kmat --mode dist --k 10 --ranks 4
+//
+// Exercises the full public API; run `knor_cli help` for every flag.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "knor/knor.hpp"
+
+namespace {
+
+using namespace knor;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(knor_cli — NUMA-optimized k-means (HPDC'17 reproduction)
+
+subcommands:
+  generate --out FILE [--dist natural|uniform|univariate] [--n N] [--d D]
+           [--components C] [--separation S] [--alpha A] [--locality L]
+           [--seed S]
+      Stream a synthetic dataset to a .kmat file (never materialized in
+      memory).
+
+  info FILE
+      Print a .kmat file's header.
+
+  cluster (--data FILE | --gen natural|uniform|univariate --n N --d D)
+          --mode im|sem|dist --k K
+          [--iters I] [--threads T] [--seed S] [--init forgy|random|
+           kmeans++] [--no-prune] [--numa-oblivious] [--numa-nodes N]
+          [--tolerance F]
+          sem:  [--page-kb K] [--page-cache-mb M] [--row-cache-mb M]
+                [--no-row-cache] [--cache-interval I]
+                [--checkpoint FILE] [--checkpoint-interval I] [--resume]
+          dist: [--ranks R] [--threads-per-rank T] [--net-latency-us U]
+                [--net-gbps G]
+      Run k-means and print the result summary (and SEM I/O statistics).
+)");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+/// Tiny --flag [value] parser: flags with values become map entries; bare
+/// flags map to "1".
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) usage(("unexpected argument " + key).c_str());
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
+        values_[key] = argv[++i];
+      else
+        values_[key] = "1";
+    }
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string str(const std::string& key, const std::string& dflt = "") const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+  long long num(const std::string& key, long long dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atoll(it->second.c_str());
+  }
+  double real(const std::string& key, double dflt) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::atof(it->second.c_str());
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::Distribution parse_dist(const std::string& name) {
+  if (name == "natural") return data::Distribution::kNaturalClusters;
+  if (name == "uniform") return data::Distribution::kUniformRandom;
+  if (name == "univariate") return data::Distribution::kUnivariateRandom;
+  usage(("unknown distribution " + name).c_str());
+}
+
+data::GeneratorSpec spec_from(const Args& args, const std::string& dist) {
+  data::GeneratorSpec spec;
+  spec.dist = parse_dist(dist);
+  spec.n = static_cast<index_t>(args.num("n", 100000));
+  spec.d = static_cast<index_t>(args.num("d", 16));
+  spec.true_clusters = static_cast<int>(args.num("components", 16));
+  spec.separation = args.real("separation", 8.0);
+  spec.power_law_alpha = args.real("alpha", 1.5);
+  spec.locality = args.real("locality", 0.0);
+  spec.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  return spec;
+}
+
+int cmd_generate(const Args& args) {
+  const std::string out = args.str("out");
+  if (out.empty()) usage("generate requires --out");
+  const data::GeneratorSpec spec = spec_from(args, args.str("dist", "natural"));
+  std::printf("generating %s -> %s (%.1f MB)\n", spec.describe().c_str(),
+              out.c_str(), spec.bytes() / 1e6);
+  data::write_generated(out, spec);
+  std::printf("done\n");
+  return 0;
+}
+
+int cmd_info(const std::string& path) {
+  const data::MatrixHeader header = data::read_header(path);
+  std::printf("%s: n=%llu d=%llu elem=%zuB total=%.1f MB\n", path.c_str(),
+              static_cast<unsigned long long>(header.n),
+              static_cast<unsigned long long>(header.d), header.elem_size,
+              static_cast<double>(header.n) * header.d * header.elem_size /
+                  1e6);
+  return 0;
+}
+
+Options options_from(const Args& args) {
+  Options opts;
+  opts.k = static_cast<int>(args.num("k", 8));
+  opts.max_iters = static_cast<int>(args.num("iters", 100));
+  opts.threads = static_cast<int>(args.num("threads", 0));
+  opts.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  opts.prune = !args.has("no-prune");
+  opts.numa_aware = !args.has("numa-oblivious");
+  opts.numa_nodes = static_cast<int>(args.num("numa-nodes", 0));
+  opts.tolerance = args.real("tolerance", 0.0);
+  const std::string init = args.str("init", "forgy");
+  if (init == "forgy")
+    opts.init = Init::kForgy;
+  else if (init == "random")
+    opts.init = Init::kRandom;
+  else if (init == "kmeans++")
+    opts.init = Init::kKmeansPP;
+  else
+    usage(("unknown init " + init).c_str());
+  return opts;
+}
+
+void print_result(const Result& res) {
+  std::printf("%s\n", res.summary().c_str());
+  std::printf("cluster sizes:");
+  for (index_t size : res.cluster_sizes)
+    std::printf(" %llu", static_cast<unsigned long long>(size));
+  std::printf("\n");
+}
+
+int cmd_cluster(const Args& args) {
+  const std::string mode = args.str("mode", "im");
+  Options opts = options_from(args);
+
+  // Acquire data: a .kmat file, or generated in memory.
+  const std::string path = args.str("data");
+  DenseMatrix matrix;
+  if (mode != "sem") {
+    if (!path.empty())
+      matrix = data::read_matrix(path);
+    else if (args.has("gen"))
+      matrix = data::generate(spec_from(args, args.str("gen")));
+    else
+      usage("cluster requires --data FILE or --gen DIST");
+  } else if (path.empty()) {
+    usage("--mode sem requires --data FILE");
+  }
+
+  if (mode == "im") {
+    print_result(kmeans(matrix.const_view(), opts));
+    return 0;
+  }
+  if (mode == "sem") {
+    sem::SemOptions sopts;
+    sopts.page_size = static_cast<std::size_t>(args.num("page-kb", 4)) << 10;
+    sopts.page_cache_bytes =
+        static_cast<std::size_t>(args.num("page-cache-mb", 4)) << 20;
+    sopts.row_cache_bytes =
+        static_cast<std::size_t>(args.num("row-cache-mb", 16)) << 20;
+    sopts.row_cache_enabled = !args.has("no-row-cache");
+    sopts.cache_update_interval =
+        static_cast<int>(args.num("cache-interval", 5));
+    sopts.checkpoint_path = args.str("checkpoint");
+    sopts.checkpoint_interval =
+        static_cast<int>(args.num("checkpoint-interval", 0));
+    sopts.resume = args.has("resume");
+    if (opts.init == Init::kKmeansPP || opts.init == Init::kRandom)
+      opts.init = Init::kForgy;  // SEM supports forgy/provided
+    sem::SemStats stats;
+    print_result(sem::kmeans(path, opts, sopts, &stats));
+    std::printf("io: requested %.1f MB, read %.1f MB over %zu iterations\n",
+                stats.total_requested() / 1e6, stats.total_read() / 1e6,
+                stats.per_iter.size());
+    return 0;
+  }
+  if (mode == "dist") {
+    dist::DistOptions dopts;
+    dopts.ranks = static_cast<int>(args.num("ranks", 2));
+    dopts.threads_per_rank =
+        static_cast<int>(args.num("threads-per-rank", 1));
+    dopts.net.latency_us = args.real("net-latency-us", 0);
+    dopts.net.gigabytes_per_sec = args.real("net-gbps", 0);
+    if (opts.init == Init::kRandom) opts.init = Init::kForgy;
+    print_result(dist::kmeans(matrix.const_view(), opts, dopts));
+    return 0;
+  }
+  usage(("unknown mode " + mode).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
+    if (cmd == "generate") return cmd_generate(Args(argc, argv, 2));
+    if (cmd == "info") {
+      if (argc < 3) usage("info requires a file argument");
+      return cmd_info(argv[2]);
+    }
+    if (cmd == "cluster") return cmd_cluster(Args(argc, argv, 2));
+    usage(("unknown subcommand " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
