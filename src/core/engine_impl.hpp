@@ -16,6 +16,7 @@
 
 #include <cmath>
 #include <cstring>
+#include <type_traits>
 #include <vector>
 
 #include "common/memory_tracker.hpp"
@@ -48,11 +49,17 @@ struct alignas(kCacheLine) PerThread {
   double busy_s = 0.0;  ///< CPU time in super-phases, whole run
 };
 
+/// `reducer` (nullable) is the cross-node hook: when set, the merged
+/// per-iteration accumulator plus the changed-count are allreduced across
+/// ranks in one collective before finalization, and the final energy is
+/// allreduced too — every rank then finalizes identical global centroids
+/// from its own shard's contribution. Single-node callers pass nullptr.
 template <typename Data>
 Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
                           const Options& opts, DenseMatrix initial,
                           sched::ThreadPool& pool,
-                          const numa::Partitioner& parts) {
+                          const numa::Partitioner& parts,
+                          GlobalReducer* reducer = nullptr) {
   const int T = pool.size();
   const int k = opts.k;
 
@@ -219,13 +226,64 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     });
   };
 
-  const auto tol_changes =
-      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+  // Convergence is judged on the *global* point count when a reducer is
+  // present (every rank sees the same global changed-count, so all ranks
+  // stop on the same iteration).
+  index_t global_n = n;
+  if (reducer != nullptr) {
+    double nd = static_cast<double>(n);
+    reducer->allreduce(&nd, 1);
+    global_n = static_cast<index_t>(nd);
+  }
+  const auto tol_changes = static_cast<std::uint64_t>(
+      opts.tolerance * static_cast<double>(global_n));
+
+  // Wire buffer for the one-collective-per-iteration reduction:
+  // k*d sums, then k counts, then the changed-count, all as doubles
+  // (counts are integers < 2^53, so the round-trip is exact). The sum
+  // pack/unpack memcpys assume the accumulators are doubles too.
+  static_assert(std::is_same_v<value_t, double>,
+                "the cross-node wire format packs value_t sums as doubles");
+  const std::size_t kd = static_cast<std::size_t>(k) * d;
+  std::vector<double> wire;
+  if (reducer != nullptr) wire.resize(kd + static_cast<std::size_t>(k) + 1);
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
     queue.reset();
     pool.run(iteration);
+
+    std::uint64_t changed = 0;
+    for (const auto& pt : per_thread) changed += pt.changed;
+
+    if (reducer != nullptr) {
+      // Pack the merged accumulator (slot 0) + changed, allreduce once,
+      // unpack: slot 0 now holds the global accumulator on every rank.
+      double* w = wire.data();
+      const auto pack = [&](value_t* s, auto* c) {
+        std::memcpy(w, s, kd * sizeof(double));
+        for (int i = 0; i < k; ++i) w[kd + static_cast<std::size_t>(i)] =
+            static_cast<double>(c[i]);
+        w[kd + static_cast<std::size_t>(k)] = static_cast<double>(changed);
+      };
+      const auto unpack = [&](value_t* s, auto* c) {
+        std::memcpy(s, w, kd * sizeof(double));
+        using count_t = std::remove_reference_t<decltype(c[0])>;
+        for (int i = 0; i < k; ++i) c[i] = static_cast<count_t>(
+            std::llround(w[kd + static_cast<std::size_t>(i)]));
+        changed = static_cast<std::uint64_t>(
+            std::llround(w[kd + static_cast<std::size_t>(k)]));
+      };
+      if (opts.prune)
+        pack(deltas[0].sums_data(), deltas[0].counts_data());
+      else
+        pack(locals[0].sums_data(), locals[0].counts_data());
+      reducer->allreduce(wire.data(), wire.size());
+      if (opts.prune)
+        unpack(deltas[0].sums_data(), deltas[0].counts_data());
+      else
+        unpack(locals[0].sums_data(), locals[0].counts_data());
+    }
 
     // Finalize next centroids from the merged accumulator (slot 0).
     std::memcpy(prev.data(), cur.data(), cur.size() * sizeof(value_t));
@@ -238,9 +296,6 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     }
     std::swap(cur, next);
     if (opts.prune) mti.prepare(prev, cur);
-
-    std::uint64_t changed = 0;
-    for (const auto& pt : per_thread) changed += pt.changed;
 
     res.iter_times.record(timer.elapsed());
     ++res.iters;
@@ -268,6 +323,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     res.counters += pt.counters;
     res.thread_busy_s.push_back(pt.busy_s);
   }
+  if (reducer != nullptr) reducer->allreduce(&res.energy, 1);
   const sched::StealStats steals = queue.total_stats();
   res.counters.tasks_own = steals.own;
   res.counters.tasks_same_node = steals.same_node;

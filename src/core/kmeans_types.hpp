@@ -91,4 +91,23 @@ struct Result {
   std::string summary() const;
 };
 
+namespace detail {
+
+/// Cross-node reduction hook for the parallel engine. Single-node runs pass
+/// nullptr; knord passes an adapter over Communicator::allreduce_sum so the
+/// per-iteration merged accumulators (k*d sums + k counts + changed-count,
+/// packed into one buffer = one collective per iteration) and the final
+/// energy become global sums replicated on every rank.
+///
+/// Implementations must be bitwise-deterministic elementwise sums: every
+/// participant receives the identical result, which keeps the replicated
+/// centroid update in lockstep across ranks.
+struct GlobalReducer {
+  virtual ~GlobalReducer() = default;
+  /// In-place elementwise sum of vals[0..n) across all participants.
+  virtual void allreduce(double* vals, std::size_t n) = 0;
+};
+
+}  // namespace detail
+
 }  // namespace knor

@@ -17,7 +17,10 @@ struct NumaData {
 
 }  // namespace
 
-Result kmeans(ConstMatrixView data, const Options& opts) {
+namespace detail {
+
+Result run_node(ConstMatrixView data, const Options& opts,
+                DenseMatrix initial, GlobalReducer* reducer) {
   if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
   const auto topo = opts.numa_nodes > 0
                         ? numa::Topology::simulated(opts.numa_nodes)
@@ -26,7 +29,6 @@ Result kmeans(ConstMatrixView data, const Options& opts) {
   const index_t n = data.rows();
   const index_t d = data.cols();
 
-  DenseMatrix initial = init_centroids(data, opts);
   numa::Partitioner parts(n, T, topo);
 
   if (!opts.numa_aware) {
@@ -35,7 +37,7 @@ Result kmeans(ConstMatrixView data, const Options& opts) {
     sched::ThreadPool pool(T, topo, /*bind=*/false);
     detail::FlatData flat{data};
     return detail::run_parallel_lloyd(flat, n, d, opts, std::move(initial),
-                                      pool, parts);
+                                      pool, parts, reducer);
   }
 
   sched::ThreadPool pool(T, topo, /*bind=*/true);
@@ -46,7 +48,15 @@ Result kmeans(ConstMatrixView data, const Options& opts) {
                  (opts.prune ? " mti=on" : " mti=off"));
   NumaData nd{&ds};
   return detail::run_parallel_lloyd(nd, n, d, opts, std::move(initial), pool,
-                                    parts);
+                                    parts, reducer);
+}
+
+}  // namespace detail
+
+Result kmeans(ConstMatrixView data, const Options& opts) {
+  if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
+  DenseMatrix initial = init_centroids(data, opts);
+  return detail::run_node(data, opts, std::move(initial), nullptr);
 }
 
 }  // namespace knor

@@ -41,6 +41,11 @@ class LocalCentroids {
     return sums_.data() + static_cast<std::size_t>(c) * d_;
   }
 
+  /// Raw accumulator access (k*d sums, k counts) for the cross-node
+  /// reduction hook: knord allreduces the merged accumulator in place.
+  value_t* sums_data() { return sums_.data(); }
+  index_t* counts_data() { return counts_.data(); }
+
   /// Compute means into `centroids` (k x d). Clusters with no members keep
   /// their previous centroid (standard Lloyd's behaviour; avoids NaNs and
   /// matches the serial reference exactly).
@@ -84,6 +89,11 @@ class SignedCentroids {
     return sums_.size() * sizeof(value_t) +
            counts_.size() * sizeof(std::int64_t);
   }
+
+  /// Raw delta access (k*d signed sums, k signed counts) for the
+  /// cross-node reduction hook.
+  value_t* sums_data() { return sums_.data(); }
+  std::int64_t* counts_data() { return counts_.data(); }
 
  private:
   void apply(cluster_t c, const value_t* v, value_t sign) {

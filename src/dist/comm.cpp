@@ -1,0 +1,90 @@
+#include "dist/comm.hpp"
+
+#include <stdexcept>
+#include <thread>
+
+namespace knor::dist {
+namespace detail {
+
+void CommState::sync() {
+  std::unique_lock<std::mutex> lk(mu);
+  if (aborted > 0) throw AbortError{};
+  if (departed > 0)
+    throw std::runtime_error(
+        "dist::Communicator: collective after a peer rank exited "
+        "(mismatched collective counts across ranks)");
+  const std::uint64_t gen = generation;
+  if (++arrived == nranks) {
+    arrived = 0;
+    ++generation;
+    cv.notify_all();
+    return;
+  }
+  cv.wait(lk, [&] {
+    return generation != gen || aborted > 0 || departed > 0;
+  });
+  if (generation != gen) return;  // barrier completed normally
+  if (aborted > 0) throw AbortError{};
+  throw std::runtime_error(
+      "dist::Communicator: peer rank exited while this rank was blocked "
+      "in a collective");
+}
+
+void CommState::mark_aborted() {
+  std::lock_guard<std::mutex> lk(mu);
+  ++aborted;
+  cv.notify_all();
+}
+
+void CommState::mark_departed() {
+  std::lock_guard<std::mutex> lk(mu);
+  ++departed;
+  cv.notify_all();
+}
+
+}  // namespace detail
+
+Cluster::Cluster(int n_ranks) : nranks_(n_ranks) {
+  if (n_ranks < 1)
+    throw std::invalid_argument("Cluster: need at least one rank");
+}
+
+void Cluster::run(const std::function<void(Communicator&)>& fn) {
+  detail::CommState state(nranks_);
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> ranks;
+  ranks.reserve(static_cast<std::size_t>(nranks_));
+  try {
+    for (int r = 0; r < nranks_; ++r) {
+      ranks.emplace_back([&, r] {
+        Communicator comm(r, &state);
+        try {
+          fn(comm);
+          state.mark_departed();
+        } catch (const detail::AbortError&) {
+          // Collective cancelled by a peer's failure; the peer's
+          // exception is the one worth reporting.
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lk(error_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+          state.mark_aborted();
+        }
+      });
+    }
+  } catch (...) {
+    // Thread creation failed partway (e.g. thread-limit pressure): abort
+    // the already-running ranks so their collectives unblock, join them,
+    // and let the spawn error propagate.
+    state.mark_aborted();
+    for (auto& t : ranks) t.join();
+    throw;
+  }
+  for (auto& t : ranks) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace knor::dist

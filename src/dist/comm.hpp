@@ -1,0 +1,171 @@
+// MPI-lite communicator: ranks-as-threads collectives for knord.
+//
+// A Cluster spawns one thread per rank; Cluster::run(fn) executes fn(comm)
+// SPMD-style on every rank and joins. Collectives are implemented over the
+// shared address space but keep MPI discipline — ranks exchange data only
+// through Communicator calls, so the same algorithm ports to real MPI by
+// swapping this substrate (DESIGN.md: ranks-as-threads).
+//
+// Determinism contract: allreduce_sum reduces contributions in rank order
+// (((r0 + r1) + r2) + ...), and every rank evaluates that same ordered sum,
+// so floating-point results are bitwise identical on every rank and across
+// repeated runs regardless of scheduling. This is what lets knord's
+// replicated centroid update stay bit-for-bit in lockstep on all ranks.
+//
+// Failure contract: an exception escaping any rank aborts the cluster —
+// ranks blocked in (or later entering) a collective are woken with an
+// internal abort signal instead of deadlocking, and Cluster::run rethrows
+// the first rank's original exception.
+//
+// Every collective charges the process-global NetSim interconnect model
+// (free when disabled), so benches can model a real cluster's network.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <type_traits>
+#include <vector>
+
+#include "dist/netsim.hpp"
+
+namespace knor::dist {
+
+namespace detail {
+
+/// Thrown into ranks whose collective was cancelled by a peer's failure.
+/// Swallowed by Cluster::run (the peer's original exception propagates).
+struct AbortError {};
+
+/// State shared by all ranks of one Cluster::run.
+struct CommState {
+  explicit CommState(int n)
+      : nranks(n), contrib(static_cast<std::size_t>(n), nullptr) {}
+
+  const int nranks;
+  std::mutex mu;
+  std::condition_variable cv;
+  int arrived = 0;            ///< ranks waiting at the current sync point
+  std::uint64_t generation = 0;
+  int aborted = 0;            ///< ranks that exited with an exception
+  int departed = 0;           ///< ranks that returned from fn normally
+  std::vector<const void*> contrib;  ///< per-rank staging pointers
+
+  /// Generation-counted barrier. Throws AbortError if a peer aborted, or
+  /// std::runtime_error if a peer already exited (mismatched collective
+  /// counts — a program bug that would otherwise deadlock).
+  void sync();
+  /// Mark this rank failed / finished and wake any waiting peers.
+  void mark_aborted();
+  void mark_departed();
+};
+
+}  // namespace detail
+
+/// Per-rank handle to the cluster's collectives. Only valid inside the
+/// fn passed to Cluster::run, on that rank's thread.
+class Communicator {
+ public:
+  int rank() const { return rank_; }
+  int size() const { return state_->nranks; }
+
+  /// Block until every rank has arrived.
+  void barrier() {
+    state_->sync();
+    NetSim::charge(0, size());
+  }
+
+  /// Elementwise sum of `data[0..n)` across all ranks, result replicated
+  /// into every rank's buffer. Reduction is rank-ordered: bitwise
+  /// deterministic for floating-point T across runs and identical on all
+  /// ranks. All ranks must pass the same n and T.
+  template <typename T>
+  void allreduce_sum(T* data, std::size_t n) {
+    static_assert(std::is_arithmetic_v<T>,
+                  "allreduce_sum requires an arithmetic element type");
+    detail::CommState* st = state_;
+    st->contrib[static_cast<std::size_t>(rank_)] = data;
+    st->sync();
+    // Every rank computes the identical rank-ordered sum.
+    std::vector<T> acc(n, T{});
+    for (int r = 0; r < st->nranks; ++r) {
+      const T* src =
+          static_cast<const T*>(st->contrib[static_cast<std::size_t>(r)]);
+      for (std::size_t i = 0; i < n; ++i) acc[i] += src[i];
+    }
+    // All ranks finish reading before anyone overwrites their input.
+    st->sync();
+    std::memcpy(data, acc.data(), n * sizeof(T));
+    NetSim::charge(n * sizeof(T), st->nranks);
+  }
+
+  /// Concatenate every rank's span into `out` (size `total`) on every
+  /// rank: this rank contributes `out[offset, offset + count)` from
+  /// `send`. Spans must tile [0, total) across ranks in rank order. Each
+  /// rank copies O(total) elements — the aggregate cost of a real
+  /// allgather — with no reduction arithmetic.
+  template <typename T>
+  void allgatherv(const T* send, std::size_t count, T* out,
+                  std::size_t offset, std::size_t total) {
+    struct Span {
+      const T* data;
+      std::size_t offset;
+      std::size_t count;
+    };
+    const Span mine{send, offset, count};
+    detail::CommState* st = state_;
+    st->contrib[static_cast<std::size_t>(rank_)] = &mine;
+    st->sync();
+    for (int r = 0; r < st->nranks; ++r) {
+      const Span* span =
+          static_cast<const Span*>(st->contrib[static_cast<std::size_t>(r)]);
+      std::memcpy(out + span->offset, span->data,
+                  span->count * sizeof(T));
+    }
+    // All ranks finish reading before anyone's `mine`/`send` goes away.
+    st->sync();
+    NetSim::charge(total * sizeof(T), st->nranks);
+  }
+
+  /// Replicate root's `bytes` at `data` into every rank's buffer.
+  void bcast(void* data, std::size_t bytes, int root) {
+    detail::CommState* st = state_;
+    st->contrib[static_cast<std::size_t>(rank_)] = data;
+    st->sync();
+    if (rank_ != root)
+      std::memcpy(data,
+                  st->contrib[static_cast<std::size_t>(root)], bytes);
+    st->sync();
+    NetSim::charge(bytes, st->nranks);
+  }
+
+ private:
+  friend class Cluster;
+  Communicator(int rank, detail::CommState* state)
+      : rank_(rank), state_(state) {}
+
+  int rank_;
+  detail::CommState* state_;
+};
+
+/// A set of in-process ranks. Reusable: each run() spawns fresh rank
+/// threads with fresh collective state.
+class Cluster {
+ public:
+  explicit Cluster(int n_ranks);
+
+  int size() const { return nranks_; }
+
+  /// Execute fn(comm) on every rank concurrently; block until all ranks
+  /// finish. Rethrows the first exception any rank threw; peers blocked in
+  /// collectives are aborted rather than deadlocked.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  int nranks_;
+};
+
+}  // namespace knor::dist

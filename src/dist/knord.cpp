@@ -1,0 +1,173 @@
+#include "dist/knord.hpp"
+
+#include <cstring>
+#include <functional>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/init.hpp"
+#include "core/knori.hpp"
+#include "dist/comm.hpp"
+#include "numa/partitioner.hpp"
+
+namespace knor::dist {
+namespace {
+
+/// Adapts the rank's Communicator to the engine's cross-node hook.
+class CommReducer final : public knor::detail::GlobalReducer {
+ public:
+  explicit CommReducer(Communicator& comm) : comm_(comm) {}
+  void allreduce(double* vals, std::size_t n) override {
+    comm_.allreduce_sum(vals, n);
+  }
+
+ private:
+  Communicator& comm_;
+};
+
+void validate(index_t n, index_t d, const Options& opts,
+              const DistOptions& dopts) {
+  if (n == 0 || d == 0)
+    throw std::invalid_argument("dist::kmeans: empty dataset");
+  if (opts.k < 1) throw std::invalid_argument("dist::kmeans: k < 1");
+  if (static_cast<index_t>(opts.k) > n)
+    throw std::invalid_argument("dist::kmeans: k > n");
+  if (dopts.ranks < 1)
+    throw std::invalid_argument("dist::kmeans: ranks < 1");
+  if (static_cast<index_t>(dopts.ranks) > n)
+    throw std::invalid_argument("dist::kmeans: more ranks than rows");
+}
+
+/// Produces the rank's shard view; `storage` keeps generated shards alive
+/// for the duration of the rank's run.
+using ShardFn =
+    std::function<ConstMatrixView(numa::RowRange, DenseMatrix& storage)>;
+
+/// SPMD driver shared by knord (matrix and generator forms) and the flat
+/// MPI baseline. `initial` must already be the replicated, deterministic
+/// k x d starting centroids — every rank copies it, exactly as every rank
+/// of a real deployment computes the same seeded initialization.
+Result run_cluster(index_t n, const Options& opts,
+                   const DistOptions& dopts, const DenseMatrix& initial,
+                   const ShardFn& shard_of, bool numa_engine) {
+  const int num_ranks = dopts.ranks;
+  NetModelGuard net_guard(dopts.net);
+  Cluster cluster(num_ranks);
+
+  std::vector<Result> rank_results(static_cast<std::size_t>(num_ranks));
+
+  cluster.run([&](Communicator& comm) {
+    const numa::RowRange rows =
+        numa::block_range(n, num_ranks, comm.rank());
+    DenseMatrix storage;
+    const ConstMatrixView shard = shard_of(rows, storage);
+
+    Options local = opts;
+    if (numa_engine) {
+      local.threads =
+          dopts.threads_per_rank > 0 ? dopts.threads_per_rank : 1;
+    } else {
+      // Flat MPI baseline: one NUMA-oblivious compute thread per rank.
+      local.threads = 1;
+      local.numa_aware = false;
+    }
+
+    CommReducer reducer(comm);
+    DenseMatrix start = initial;  // replicated copy
+    Result res =
+        knor::detail::run_node(shard, local, std::move(start), &reducer);
+
+    // Allgather the shard assignments into the full vector (and charge
+    // the O(n) wire cost of the real end-of-run gather).
+    std::vector<cluster_t> full(static_cast<std::size_t>(n));
+    comm.allgatherv(res.assignments.data(),
+                    static_cast<std::size_t>(rows.size()), full.data(),
+                    static_cast<std::size_t>(rows.begin),
+                    static_cast<std::size_t>(n));
+    res.assignments = std::move(full);
+    rank_results[static_cast<std::size_t>(comm.rank())] = std::move(res);
+  });
+
+  // Ranks hold identical centroids, cluster sizes, iteration count and
+  // (allreduced) energy; rank 0's result is the cluster's. Instrumentation
+  // is aggregated across ranks like the engine aggregates across threads.
+  Result out = std::move(rank_results[0]);
+  for (int r = 1; r < num_ranks; ++r) {
+    const Result& rr = rank_results[static_cast<std::size_t>(r)];
+    out.counters += rr.counters;
+    out.thread_busy_s.insert(out.thread_busy_s.end(),
+                             rr.thread_busy_s.begin(),
+                             rr.thread_busy_s.end());
+  }
+  return out;
+}
+
+/// Deterministic replicated initialization for the generator form: forgy
+/// rows are materialized individually (generate_rows is per-row
+/// deterministic), so no rank ever needs the full matrix.
+DenseMatrix generator_initial(const data::GeneratorSpec& spec,
+                              const Options& opts) {
+  if (opts.init == Init::kProvided) {
+    if (opts.initial_centroids.rows() != static_cast<index_t>(opts.k) ||
+        opts.initial_centroids.cols() != spec.d)
+      throw std::invalid_argument(
+          "dist::kmeans: provided centroids shape mismatch");
+    return opts.initial_centroids;
+  }
+  if (opts.init != Init::kForgy)
+    throw std::invalid_argument(
+        "dist::kmeans(generator): this initialization needs a full-data "
+        "scan; use forgy or provided centroids");
+  const std::vector<index_t> rows = sample_rows(spec.n, opts.k, opts.seed);
+  DenseMatrix centroids(static_cast<index_t>(opts.k), spec.d);
+  for (int c = 0; c < opts.k; ++c) {
+    MutMatrixView row_view(centroids.row(static_cast<index_t>(c)), 1,
+                           spec.d);
+    const index_t r = rows[static_cast<std::size_t>(c)];
+    data::generate_rows(spec, r, r + 1, row_view);
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Result kmeans(ConstMatrixView data, const Options& opts,
+              const DistOptions& dopts) {
+  validate(data.rows(), data.cols(), opts, dopts);
+  const DenseMatrix initial = init_centroids(data, opts);
+  return run_cluster(
+      data.rows(), opts, dopts, initial,
+      [&data](numa::RowRange rows, DenseMatrix&) {
+        return data.sub_rows(rows.begin, rows.size());
+      },
+      /*numa_engine=*/true);
+}
+
+Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
+              const DistOptions& dopts) {
+  validate(spec.n, spec.d, opts, dopts);
+  const DenseMatrix initial = generator_initial(spec, opts);
+  return run_cluster(
+      spec.n, opts, dopts, initial,
+      [&spec](numa::RowRange rows, DenseMatrix& storage) {
+        storage = DenseMatrix(rows.size(), spec.d);
+        data::generate_rows(spec, rows.begin, rows.end, storage.view());
+        return storage.const_view();
+      },
+      /*numa_engine=*/true);
+}
+
+Result mpi_kmeans(ConstMatrixView data, const Options& opts,
+                  const DistOptions& dopts) {
+  validate(data.rows(), data.cols(), opts, dopts);
+  const DenseMatrix initial = init_centroids(data, opts);
+  return run_cluster(
+      data.rows(), opts, dopts, initial,
+      [&data](numa::RowRange rows, DenseMatrix&) {
+        return data.sub_rows(rows.begin, rows.size());
+      },
+      /*numa_engine=*/false);
+}
+
+}  // namespace knor::dist

@@ -1,0 +1,66 @@
+// knord — the distributed k-means module (paper §6).
+//
+// Runs the same NUMA-optimized per-node engine as knori on every rank over
+// the MPI-lite substrate (dist/comm.hpp): each rank owns a contiguous row
+// shard, centroids are replicated, and one rank-ordered allreduce per
+// iteration exchanges the k*d partial sums + k counts + changed-count.
+// Because the allreduce is bitwise-deterministic and every rank finalizes
+// centroids from the identical global accumulator, all ranks hold
+// bit-identical centroids in lockstep and repeated runs are bit-identical.
+// Across *different* rank/thread layouts the partial-sum grouping differs,
+// so centroids agree to last-ulp rounding rather than bitwise — on
+// separated data (every test/bench dataset here) that never flips an
+// argmin, which is how knord's clustering stays invariant across rank
+// counts and matches single-node knori (see tests/dist_test.cpp and
+// DESIGN.md for the exact contract).
+//
+// Two data forms:
+//   * matrix form — the caller holds the full n x d matrix; each rank
+//     computes on a zero-copy view of its shard.
+//   * generator form — each rank *generates* only its own shard
+//     (data::generate_rows is per-row deterministic), so no process ever
+//     materializes the full dataset; this is how the paper runs
+//     billion-row datasets on a cluster.
+//
+// mpi_kmeans is the paper's flat "pure MPI" baseline: identical algorithm
+// and collectives, but one compute thread per rank and no NUMA placement —
+// the comparison behind Figures 11/12.
+#pragma once
+
+#include "core/kmeans_types.hpp"
+#include "data/generator.hpp"
+#include "dist/netsim.hpp"
+
+namespace knor::dist {
+
+struct DistOptions {
+  /// Simulated machines (ranks-as-threads; see DESIGN.md).
+  int ranks = 2;
+  /// Worker threads of each rank's per-node engine (the paper's per-machine
+  /// thread count). mpi_kmeans ignores this and uses 1.
+  int threads_per_rank = 1;
+  /// Interconnect cost model charged on every collective; zero (default)
+  /// makes collectives free. Installed for the duration of the run and
+  /// restored afterwards.
+  NetModel net;
+};
+
+/// Distributed k-means over a full in-memory matrix (each rank computes on
+/// its row-shard view). Deterministic: same clustering for any rank count,
+/// matching knor::kmeans on the same data and options.
+Result kmeans(ConstMatrixView data, const Options& opts,
+              const DistOptions& dopts);
+
+/// Distributed k-means where each rank generates only its own row shard.
+/// Supports Init::kForgy and Init::kProvided (initializations that need a
+/// full-data scan, like kmeans++, would defeat shard-wise generation and
+/// throw std::invalid_argument).
+Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
+              const DistOptions& dopts);
+
+/// Flat MPI baseline: one single-threaded, NUMA-oblivious worker per rank,
+/// same collectives and iteration protocol as knord.
+Result mpi_kmeans(ConstMatrixView data, const Options& opts,
+                  const DistOptions& dopts);
+
+}  // namespace knor::dist

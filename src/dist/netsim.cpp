@@ -1,0 +1,49 @@
+#include "dist/netsim.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <mutex>
+#include <thread>
+
+namespace knor::dist {
+namespace {
+
+std::mutex g_mu;
+NetModel g_model;  // zero-initialized: disabled
+
+/// Hops of a binomial-tree collective over `ranks` participants.
+int tree_hops(int ranks) {
+  int hops = 0;
+  for (int span = 1; span < ranks; span *= 2) ++hops;
+  return hops;
+}
+
+}  // namespace
+
+void NetSim::configure(const NetModel& model) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  g_model = model;
+}
+
+void NetSim::disable() { configure(NetModel{}); }
+
+NetModel NetSim::current() {
+  std::lock_guard<std::mutex> lk(g_mu);
+  return g_model;
+}
+
+void NetSim::charge(std::size_t bytes, int ranks) {
+  const NetModel m = current();
+  if (!m.enabled() || ranks < 2) return;
+  const int hops = tree_hops(ranks);
+  double us = static_cast<double>(hops) * m.latency_us;
+  if (m.gigabytes_per_sec > 0.0)
+    // bytes / (GB/s) in microseconds: bytes / (gbps * 1e9) * 1e6.
+    us += static_cast<double>(hops) * static_cast<double>(bytes) /
+          (m.gigabytes_per_sec * 1e3);
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<long long>(std::llround(us))));
+}
+
+}  // namespace knor::dist

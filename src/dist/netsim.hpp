@@ -1,0 +1,64 @@
+// Interconnect cost model for the in-process MPI-lite substrate.
+//
+// knord's ranks are threads sharing one address space (DESIGN.md §1), so a
+// collective's data movement is a memcpy and its real cost vanishes. NetSim
+// restores the missing cost: every collective charges the wall-clock a
+// tree-collective's worth of simulated latency and serialization time,
+// computed from a NetModel (e.g. 50us / 1.25 GB/s approximates the paper's
+// 10GbE EC2 interconnect). With the model disabled (the default) collectives
+// are free, which is the right baseline for correctness tests.
+//
+// The model is process-global — exactly one cluster runs at a time, matching
+// how knord configures it for the duration of a run and restores the prior
+// model afterwards (exception-safe; see NetModelGuard).
+#pragma once
+
+#include <cstddef>
+
+namespace knor::dist {
+
+/// Point-to-point link model. Zero-initialized means "free interconnect":
+/// the simulator charges nothing.
+struct NetModel {
+  double latency_us = 0.0;         ///< one-hop latency, microseconds
+  double gigabytes_per_sec = 0.0;  ///< link bandwidth; 0 = infinite
+
+  bool enabled() const { return latency_us > 0.0 || gigabytes_per_sec > 0.0; }
+};
+
+/// Process-global interconnect simulator.
+class NetSim {
+ public:
+  /// Install `model` as the active interconnect.
+  static void configure(const NetModel& model);
+  /// Remove any model: collectives become free.
+  static void disable();
+  /// The active model (zero/disabled when none installed).
+  static NetModel current();
+
+  /// Charge the calling thread the modeled cost of one `ranks`-wide
+  /// tree collective moving `bytes` per hop: ceil(log2(ranks)) hops, each
+  /// paying latency + bytes/bandwidth. No-op when disabled or ranks < 2.
+  /// Every rank of a collective calls this — ranks are concurrent threads,
+  /// so the sleeps overlap like the real collective's hops would.
+  static void charge(std::size_t bytes, int ranks);
+};
+
+/// RAII: install a model for the scope, restore the previous one on exit
+/// (including via exception). knord wraps every run in one of these.
+class NetModelGuard {
+ public:
+  explicit NetModelGuard(const NetModel& model)
+      : previous_(NetSim::current()) {
+    NetSim::configure(model);
+  }
+  ~NetModelGuard() { NetSim::configure(previous_); }
+
+  NetModelGuard(const NetModelGuard&) = delete;
+  NetModelGuard& operator=(const NetModelGuard&) = delete;
+
+ private:
+  NetModel previous_;
+};
+
+}  // namespace knor::dist

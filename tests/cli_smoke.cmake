@@ -1,0 +1,43 @@
+# CLI smoke test (run via ctest): generate a tiny dataset, inspect it, then
+# cluster it with every mode (im / sem / dist) and check exit codes.
+# Invoked as:
+#   cmake -DKNOR_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke.cmake
+if(NOT DEFINED KNOR_CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "cli_smoke: KNOR_CLI and WORK_DIR must be defined")
+endif()
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+set(DATA ${WORK_DIR}/tiny.kmat)
+
+function(run_step name)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+            "cli_smoke step '${name}' failed (exit ${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "cli_smoke ${name}: ok")
+endfunction()
+
+run_step(generate ${KNOR_CLI} generate --out ${DATA} --dist natural
+         --n 800 --d 6 --components 4 --seed 7)
+run_step(info ${KNOR_CLI} info ${DATA})
+run_step(cluster_im ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 2)
+run_step(cluster_sem ${KNOR_CLI} cluster --data ${DATA} --mode sem
+         --k 4 --iters 10 --threads 2 --page-kb 4 --row-cache-mb 1)
+run_step(cluster_dist ${KNOR_CLI} cluster --data ${DATA} --mode dist
+         --k 4 --iters 10 --ranks 2 --threads-per-rank 2
+         --net-latency-us 20 --net-gbps 1.25)
+
+# A bad invocation must fail loudly, not silently succeed. Pass valid data
+# so the only rejectable thing is the mode itself.
+execute_process(COMMAND ${KNOR_CLI} cluster --data ${DATA} --mode bogus --k 2
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "cli_smoke: bogus mode unexpectedly succeeded")
+endif()
+message(STATUS "cli_smoke bad_mode: rejected as expected")
+
+file(REMOVE_RECURSE ${WORK_DIR})
