@@ -1,25 +1,24 @@
 // Ablation — row cache update interval I_cache (the paper sets 5 for every
 // experiment, §6.2.2): refresh frequency trades cache freshness against
-// maintenance cost. Reports total bytes read, total hits, and refresh count
+// maintenance cost. Reports total bytes read, total hits, and hit rate
 // across the interval sweep (1 = refresh constantly; large = nearly
 // static).
-#include "bench_util.hpp"
+#include "harness/datasets.hpp"
 #include "sem/sem_kmeans.hpp"
 
+namespace {
+
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Ablation: row cache update interval (I_cache)",
-                "the I_cache = 5 default of §6.2.2");
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster32_proxy(ctx, 100000);
+  TempMatrixFile file(spec, "abl_icache");
+  ctx.dataset(spec);
+  ctx.config("k", 10);
+  ctx.config("mti", "on");
+  ctx.config("row_cache", "data/8");
 
-  data::GeneratorSpec spec = bench::friendster32_proxy();
-  spec.n = bench::scaled(100000);
-  bench::TempMatrixFile file(spec, "abl_icache");
-  std::printf("dataset: %s; k=10, MTI on, RC = data/8\n\n",
-              spec.describe().c_str());
-
-  std::printf("%-9s %12s %14s %14s %12s\n", "I_cache", "iters",
-              "read (MB)", "rc hits", "hit rate");
   for (const int interval : {1, 2, 5, 10, 20}) {
     Options opts;
     opts.k = 10;
@@ -37,14 +36,25 @@ int main() {
       hits += iter.row_cache_hits;
       active += iter.active_rows;
     }
-    std::printf("%-9d %12zu %14.1f %14llu %11.1f%%\n", interval, res.iters,
-                stats.total_read() / 1e6,
-                static_cast<unsigned long long>(hits),
-                active > 0 ? 100.0 * hits / active : 0.0);
+    // Read bytes depend on concurrent page-cache miss races, hence timing.
+    ctx.row()
+        .label("I_cache", interval)
+        .stat("iters", static_cast<double>(res.iters))
+        .stat("rc_hits", static_cast<double>(hits))
+        .stat("hit_rate_pct", active > 0 ? 100.0 * hits / active : 0.0)
+        .timing("read_mb", stats.total_read() / 1e6);
   }
-  std::printf("\nShape check: very small intervals refresh constantly for "
-              "little extra benefit; very large ones leave the cache cold "
-              "for most of the run; the paper's 5 captures most hits at a "
-              "handful of refreshes (exponential back-off does the rest).\n");
-  return 0;
+  ctx.chart("hit_rate_pct");
 }
+
+const Registration reg({
+    "abl_cache_interval",
+    "Ablation: row cache update interval (I_cache)",
+    "the I_cache = 5 default of §6.2.2",
+    "Very small intervals refresh constantly for little extra benefit; "
+    "very large ones leave the cache cold for most of the run; the paper's "
+    "5 captures most hits at a handful of refreshes (exponential back-off "
+    "does the rest).",
+    310, run});
+
+}  // namespace

@@ -7,23 +7,22 @@
 // bytes requested vs read and device request count: small pages read less
 // superfluous data but issue many more requests; large pages amortize
 // requests but amplify fragmentation waste.
-#include "bench_util.hpp"
+#include "harness/datasets.hpp"
 #include "sem/sem_kmeans.hpp"
 
+namespace {
+
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Ablation: SEM page size vs fragmentation",
-                "the 4KB minimum-read choice of §6.2.1");
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster32_proxy(ctx, 100000);
+  TempMatrixFile file(spec, "abl_page");
+  ctx.dataset(spec);
+  ctx.config("k", 10);
+  ctx.config("mti", "on");
+  ctx.config("row_cache", "off (isolates paging)");
 
-  data::GeneratorSpec spec = bench::friendster32_proxy();
-  spec.n = bench::scaled(100000);
-  bench::TempMatrixFile file(spec, "abl_page");
-  std::printf("dataset: %s; k=10, MTI on, row cache off (isolates paging)\n\n",
-              spec.describe().c_str());
-
-  std::printf("%-10s %14s %12s %16s %14s\n", "page", "requested(MB)",
-              "read(MB)", "read/requested", "device reqs");
   for (const std::size_t page : {512u, 1024u, 4096u, 16384u, 65536u}) {
     Options opts;
     opts.k = 10;
@@ -38,14 +37,26 @@ int main() {
     sem::kmeans(file.path(), opts, sopts, &stats);
     const double requested = stats.total_requested() / 1e6;
     const double read = stats.total_read() / 1e6;
-    std::printf("%-10zu %14.1f %12.1f %16.2f %14llu\n", page, requested,
-                read, read / requested,
-                static_cast<unsigned long long>(
-                    stats.total_device_requests()));
+    // Requested bytes are algorithmic (stat); read bytes / device requests
+    // depend on concurrent page-cache miss races (timings).
+    ctx.row()
+        .label("page_bytes", static_cast<long long>(page))
+        .stat("requested_mb", requested)
+        .timing("read_mb", read)
+        .timing("read_over_requested", requested > 0 ? read / requested : 0.0)
+        .timing("device_requests",
+                static_cast<double>(stats.total_device_requests()));
   }
-  std::printf("\nShape check: read/requested amplification grows with page "
-              "size (pruning requests scattered rows); request count grows "
-              "as pages shrink — 4KB balances the two, as the paper "
-              "argues.\n");
-  return 0;
+  ctx.chart("read_over_requested");
 }
+
+const Registration reg({
+    "abl_page_size",
+    "Ablation: SEM page size vs fragmentation",
+    "the 4KB minimum-read choice of §6.2.1",
+    "read/requested amplification grows with page size (pruning requests "
+    "scattered rows); request count grows as pages shrink — 4KB balances "
+    "the two, as the paper argues.",
+    320, run});
+
+}  // namespace

@@ -1,28 +1,31 @@
 // Ablation — scheduler task size (the paper fixes 8192 points per task,
 // "small enough to not artificially introduce skew", §8.4).
 //
-// Sweeps the task granularity under MTI skew and reports makespan proxy +
-// scheduler overhead: tiny tasks balance perfectly but pay queue-lock
-// traffic; huge tasks re-create static scheduling's skew.
+// Sweeps the task granularity under MTI skew and reports makespan proxy,
+// imbalance and queue traffic: tiny tasks balance perfectly but pay
+// queue-lock traffic; huge tasks re-create static scheduling's skew. All
+// three are scheduling-dependent, hence timings.
 #include <algorithm>
 
-#include "bench_util.hpp"
 #include "core/knori.hpp"
+#include "harness/datasets.hpp"
+
+namespace {
 
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Ablation: scheduler task size", "the 8192-point default of §8.4");
-
-  data::GeneratorSpec spec = bench::friendster8_proxy();
-  spec.n = bench::scaled(120000);
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster8_proxy(ctx, 120000);
   spec.locality = 0.9;  // skewed (crawl-ordered) data
   const DenseMatrix m = data::generate(spec);
-  std::printf("dataset: %s; T=8, k=50, MTI on\n\n", spec.describe().c_str());
+  ctx.dataset(spec);
+  ctx.config("threads", 8);
+  ctx.config("k", 50);
+  ctx.config("mti", "on");
 
-  std::printf("%-12s %13s %10s %14s\n", "task size", "makespan(ms)",
-              "imbalance", "queue ops/iter");
-  for (const index_t task_size : {256u, 1024u, 4096u, 8192u, 32768u, 131072u}) {
+  for (const index_t task_size : {256u, 1024u, 4096u, 8192u, 32768u,
+                                  131072u}) {
     Options opts;
     opts.k = 50;
     opts.threads = 8;
@@ -30,23 +33,34 @@ int main() {
     opts.max_iters = 8;
     opts.task_size = task_size;
     opts.seed = 42;
-    const Result res = kmeans(m.const_view(), opts);
+    TimingAgg makespan;
+    const Result res =
+        ctx.run([&] { return kmeans(m.const_view(), opts); }, &makespan);
     double mean_busy = 0, max_busy = 0;
-    for (double busy : res.thread_busy_s) {
+    for (const double busy : res.thread_busy_s) {
       mean_busy += busy;
       max_busy = std::max(max_busy, busy);
     }
     mean_busy /= static_cast<double>(res.thread_busy_s.size());
     const auto tasks = res.counters.tasks_own + res.counters.tasks_same_node +
                        res.counters.tasks_remote_node;
-    std::printf("%-12llu %13.2f %10.2f %14.1f\n",
-                static_cast<unsigned long long>(task_size),
-                res.makespan_per_iter() * 1e3,
-                mean_busy > 0 ? max_busy / mean_busy : 1.0,
+    ctx.row()
+        .label("task_size", static_cast<long long>(task_size))
+        .timing("makespan_ms", makespan.scaled(1e3))
+        .timing("imbalance", mean_busy > 0 ? max_busy / mean_busy : 1.0)
+        .timing("queue_ops_per_iter",
                 static_cast<double>(tasks) / static_cast<double>(res.iters));
   }
-  std::printf("\nShape check: imbalance rises at the largest task sizes "
-              "(tasks ~= partitions) while queue traffic explodes at the "
-              "smallest; the paper's 8192 sits in the flat middle.\n");
-  return 0;
+  ctx.chart("makespan_ms");
 }
+
+const Registration reg({
+    "abl_task_size",
+    "Ablation: scheduler task size",
+    "the 8192-point default of §8.4",
+    "Imbalance rises at the largest task sizes (tasks ~= partitions, "
+    "stragglers keep their backlog) while queue traffic explodes at the "
+    "smallest; the paper's 8192 sits in the flat middle.",
+    330, run});
+
+}  // namespace

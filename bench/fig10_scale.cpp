@@ -4,42 +4,41 @@
 //  10a: time per iteration of knori / knors / stand-ins.
 //  10b: memory consumption of the same.
 //
-// Shape to reproduce: uniform data is the pruning worst case, so the
-// knori/knors gap narrows (the paper: knors only 3-4x slower than knori
-// once compute masks I/O); the stand-ins trail knori by large factors; and
-// on the largest dataset only the SEM routine stays within a (simulated)
-// memory budget — the paper's "at 2B points ... all other algorithms fail".
-#include "bench_util.hpp"
+// RU2B models the paper's beyond-memory dataset: in-memory engines are
+// "unable to run" under the simulated budget (rows emitted with
+// feasible=no), only the SEM routine completes.
 #include "baselines/frameworks.hpp"
 #include "common/memory_tracker.hpp"
 #include "core/knori.hpp"
+#include "harness/datasets.hpp"
 #include "sem/sem_kmeans.hpp"
 
+namespace {
+
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Figure 10: single-node scalability on uniform data",
-                "Figures 10a/10b of the paper");
-
+void run(Context& ctx) {
   struct DatasetCase {
     const char* name;
     data::GeneratorSpec spec;
     bool in_memory_feasible;  // simulated memory budget (paper: 1TB box)
   };
   std::vector<DatasetCase> cases;
-  cases.push_back({"RM-proxy", bench::rm_proxy(300000), true});
-  data::GeneratorSpec rm_big = bench::rm_proxy(600000);
+  cases.push_back({"RM-proxy", rm_proxy(ctx, 300000), true});
+  data::GeneratorSpec rm_big = rm_proxy(ctx, 600000);
   rm_big.d = 32;
   cases.push_back({"RM1B-proxy", rm_big, true});
   // RU2B: the dataset that exceeds memory on the paper's machine. We model
   // the budget: in-memory engines are "unable to run" (skipped), SEM runs.
-  cases.push_back({"RU2B-proxy", bench::ru_proxy(), false});
+  cases.push_back({"RU2B-proxy", ru_proxy(ctx), false});
+
+  ctx.config("k", 10);
+  for (const auto& c : cases) ctx.dataset(c.spec, c.name);
 
   auto& mt = MemoryTracker::instance();
-  std::printf("%-12s %-8s %14s %14s %12s\n", "dataset", "system",
-              "time/iter(ms)", "makespan(ms)", "peak MB");
   for (const auto& dataset : cases) {
-    bench::TempMatrixFile file(dataset.spec, dataset.name);
+    TempMatrixFile file(dataset.spec, dataset.name);
     Options opts;
     opts.k = 10;
     opts.threads = 4;
@@ -49,41 +48,73 @@ int main() {
     if (dataset.in_memory_feasible) {
       const DenseMatrix m = data::generate(dataset.spec);
       mt.reset();
-      const Result knori = kmeans(m.const_view(), opts);
-      std::printf("%-12s %-8s %14.2f %14.2f %12.1f\n", dataset.name, "knori",
-                  knori.iter_times.mean() * 1e3,
-                  knori.makespan_per_iter() * 1e3, mt.peak_bytes() / 1e6);
+      TimingAgg wall, makespan;
+      ctx.run([&] { return kmeans(m.const_view(), opts); }, &makespan, &wall);
+      ctx.row()
+          .label("dataset", dataset.name)
+          .label("system", "knori")
+          .label("feasible", "yes")
+          .timing("iter_ms", wall.scaled(1e3))
+          .timing("makespan_ms", makespan.scaled(1e3))
+          .timing("peak_mb", mt.peak_bytes() / 1e6);
       Options nop = opts;
       nop.prune = false;
       const std::size_t rss0 = current_rss_bytes();
-      const Result h2o = baselines::h2o_like(m.const_view(), nop);
-      std::printf("%-12s %-8s %14.2f %14.2f %12.1f\n", dataset.name, "H2O*",
-                  h2o.iter_times.mean() * 1e3, h2o.makespan_per_iter() * 1e3,
-                  (current_rss_bytes() - rss0) / 1e6 +
-                      dataset.spec.bytes() / 1e6);
-      const Result mllib = baselines::mllib_like(m.const_view(), nop);
-      std::printf("%-12s %-8s %14.2f %14.2f %12s\n", dataset.name, "MLlib*",
-                  mllib.iter_times.mean() * 1e3,
-                  mllib.makespan_per_iter() * 1e3, "(shuffle 2x)");
+      ctx.run([&] { return baselines::h2o_like(m.const_view(), nop); },
+              &makespan, &wall);
+      ctx.row()
+          .label("dataset", dataset.name)
+          .label("system", "H2O*")
+          .label("feasible", "yes")
+          .timing("iter_ms", wall.scaled(1e3))
+          .timing("makespan_ms", makespan.scaled(1e3))
+          .timing("peak_mb", (current_rss_bytes() - rss0) / 1e6 +
+                                 dataset.spec.bytes() / 1e6);
+      ctx.run([&] { return baselines::mllib_like(m.const_view(), nop); },
+              &makespan, &wall);
+      ctx.row()
+          .label("dataset", dataset.name)
+          .label("system", "MLlib* (shuffle 2x mem)")
+          .label("feasible", "yes")
+          .timing("iter_ms", wall.scaled(1e3))
+          .timing("makespan_ms", makespan.scaled(1e3));
     } else {
-      for (const char* system : {"knori", "H2O*", "MLlib*"})
-        std::printf("%-12s %-8s %14s %14s %12s\n", dataset.name, system,
-                    "exceeds budget", "-", "-");
+      for (const char* system : {"knori", "H2O*", "MLlib*"}) {
+        ctx.row()
+            .label("dataset", dataset.name)
+            .label("system", system)
+            .label("feasible", "no (exceeds simulated memory budget)")
+            .stat("completed", 0);
+      }
     }
 
     sem::SemOptions sopts;
     sopts.page_cache_bytes = 4 << 20;
     sopts.row_cache_bytes = 2 << 20;
     mt.reset();
-    const Result knors = sem::kmeans(file.path(), opts, sopts);
-    std::printf("%-12s %-8s %14.2f %14.2f %12.1f\n\n", dataset.name, "knors",
-                knors.iter_times.mean() * 1e3, knors.makespan_per_iter() * 1e3,
-                mt.peak_bytes() / 1e6);
+    TimingAgg wall, makespan;
+    ctx.run([&] { return sem::kmeans(file.path(), opts, sopts); }, &makespan,
+            &wall);
+    ctx.row()
+        .label("dataset", dataset.name)
+        .label("system", "knors")
+        .label("feasible", "yes")
+        .timing("iter_ms", wall.scaled(1e3))
+        .timing("makespan_ms", makespan.scaled(1e3))
+        .timing("peak_mb", mt.peak_bytes() / 1e6);
   }
-
-  std::printf("Shape check: on uniform data the knors/knori gap is a small "
-              "factor (compute-bound, paper: 3-4x); only knors completes "
-              "the beyond-memory dataset; knors memory stays O(n), far "
-              "below every in-memory system.\n");
-  return 0;
+  ctx.chart("iter_ms");
 }
+
+const Registration reg({
+    "fig10_scale",
+    "Figure 10: single-node scalability on uniform data",
+    "Figures 10a/10b of the paper",
+    "On uniform data (the pruning worst case) the knors/knori gap narrows "
+    "to a small factor (compute masks I/O; paper: 3-4x); the stand-ins "
+    "trail knori by large factors; only knors completes the beyond-memory "
+    "dataset — the paper's 'at 2B points ... all other algorithms fail' — "
+    "and knors memory stays O(n), far below every in-memory system.",
+    100, run});
+
+}  // namespace

@@ -2,27 +2,27 @@
 // MLlib stand-in, normalized to each system's own 1-worker performance
 // (Friendster-32 and RM proxies).
 //
-// Substitution note: ranks are in-process threads on one core, so raw wall
-// time cannot show parallel speedup. The interconnect cost model is enabled
-// (10GbE-like), and we report each system's *communication + coordination
-// overhead per iteration* alongside wall time: the quantity whose growth
-// with rank count is what separates the systems' speedup curves in the
-// paper (knord/MPI pay one small allreduce; the MLlib stand-in reshuffles
-// data every iteration).
-#include "bench_util.hpp"
+// Substitution note (DESIGN.md §1.7): ranks are in-process threads on one
+// core, so raw wall time cannot show parallel speedup. The interconnect
+// cost model is enabled (10GbE-like), and each system's *per-iteration
+// communication volume* is reported alongside wall time: the quantity whose
+// growth with rank count separates the systems' speedup curves in the paper
+// (knord/MPI pay one small O(kd) allreduce; the MLlib stand-in reshuffles
+// the full dataset every iteration).
 #include "baselines/frameworks.hpp"
 #include "core/knori.hpp"
 #include "dist/knord.hpp"
-
-using namespace knor;
+#include "harness/datasets.hpp"
 
 namespace {
 
-void run_dataset(const char* name, const data::GeneratorSpec& spec, int k) {
+using namespace knor;
+using namespace knor::bench;
+
+void run_dataset(Context& ctx, const char* name,
+                 const data::GeneratorSpec& spec, int k) {
   const DenseMatrix m = data::generate(spec);
-  std::printf("\n--- %s: %s, k=%d ---\n", name, spec.describe().c_str(), k);
-  std::printf("%-10s %8s %14s %20s\n", "system", "ranks", "time/iter(ms)",
-              "per-iter comm bytes");
+  ctx.dataset(spec, name);
 
   Options opts;
   opts.k = k;
@@ -38,38 +38,56 @@ void run_dataset(const char* name, const data::GeneratorSpec& spec, int k) {
     dopts.net.latency_us = 50;
     dopts.net.gigabytes_per_sec = 1.25;
 
-    const Result knord = dist::kmeans(m.const_view(), opts, dopts);
-    std::printf("%-10s %8d %14.2f %20.0f\n", "knord", ranks,
-                knord.iter_times.mean() * 1e3, payload_bytes);
+    TimingAgg wall;
+    ctx.run([&] { return dist::kmeans(m.const_view(), opts, dopts); },
+            nullptr, &wall);
+    ctx.row()
+        .label("dataset", name)
+        .label("system", "knord")
+        .label("ranks", ranks)
+        .stat("comm_bytes_per_iter", payload_bytes)
+        .timing("iter_ms", wall.scaled(1e3));
 
-    const Result mpi = dist::mpi_kmeans(m.const_view(), opts, dopts);
-    std::printf("%-10s %8d %14.2f %20.0f\n", "MPI", ranks,
-                mpi.iter_times.mean() * 1e3, payload_bytes);
+    ctx.run([&] { return dist::mpi_kmeans(m.const_view(), opts, dopts); },
+            nullptr, &wall);
+    ctx.row()
+        .label("dataset", name)
+        .label("system", "MPI")
+        .label("ranks", ranks)
+        .stat("comm_bytes_per_iter", payload_bytes)
+        .timing("iter_ms", wall.scaled(1e3));
   }
   // MLlib stand-in: shuffle moves the full dataset every iteration, so its
   // per-iteration communication is O(nd), not O(kd).
   Options nop = opts;
   nop.prune = false;
   nop.threads = 4;
-  const Result mllib = baselines::mllib_like(m.const_view(), nop);
-  std::printf("%-10s %8s %14.2f %20.0f  (shuffle = full data)\n", "MLlib*",
-              "4w", mllib.iter_times.mean() * 1e3,
-              static_cast<double>(spec.bytes()));
+  TimingAgg wall;
+  ctx.run([&] { return baselines::mllib_like(m.const_view(), nop); }, nullptr,
+          &wall);
+  ctx.row()
+      .label("dataset", name)
+      .label("system", "MLlib* (4w, shuffle = full data)")
+      .label("ranks", "4")
+      .stat("comm_bytes_per_iter", static_cast<double>(spec.bytes()))
+      .timing("iter_ms", wall.scaled(1e3));
 }
+
+void run(Context& ctx) {
+  ctx.config("net", "latency 50us, 1.25 GB/s (10GbE-like)");
+  run_dataset(ctx, "Friendster-32", friendster32_proxy(ctx, 60000), 10);
+  run_dataset(ctx, "RM1B-proxy", rm_proxy(ctx, 150000), 10);
+  ctx.chart("comm_bytes_per_iter");
+}
+
+const Registration reg({
+    "fig11_dist_speedup",
+    "Figure 11: distributed speedup — knord vs MPI vs MLlib*",
+    "Figures 11a/11b of the paper",
+    "knord/MPI per-iteration communication is O(kd) — constant in n and "
+    "tiny — which is why their speedup stays near-linear in the paper, "
+    "while the MLlib stand-in moves the entire dataset every iteration "
+    "(its speedup flattens).",
+    110, run});
 
 }  // namespace
-
-int main() {
-  bench::header("Figure 11: distributed speedup — knord vs MPI vs MLlib*",
-                "Figures 11a/11b of the paper");
-  data::GeneratorSpec f32 = bench::friendster32_proxy();
-  f32.n = bench::scaled(60000);
-  run_dataset("Friendster-32", f32, 10);
-  data::GeneratorSpec rm = bench::rm_proxy(150000);
-  run_dataset("RM1B-proxy", rm, 10);
-  std::printf("\nShape check: knord/MPI per-iteration communication is O(kd) "
-              "— constant in n and tiny — which is why their speedup stays "
-              "near-linear in the paper, while the MLlib stand-in moves the "
-              "entire dataset every iteration (its speedup flattens).\n");
-  return 0;
-}

@@ -1,25 +1,20 @@
 // Figure 12 — distributed time-per-iteration comparison of knord / knord- /
 // MPI / MPI- / MLlib* across core counts (Friendster and RM proxies,
 // k = 100 and k = 10 respectively, matching the paper's parameters).
-//
-// Shape to reproduce: knord <= MPI (NUMA optimizations help 20-50%),
-// knord- <= MPI- by the same mechanism, MTI variants beat their unpruned
-// twins on clustered data, and every knor variant beats the MLlib stand-in
-// by ~5x or more.
-#include "bench_util.hpp"
 #include "baselines/frameworks.hpp"
 #include "core/knori.hpp"
 #include "dist/knord.hpp"
-#include "numa/cost_model.hpp"
-
-using namespace knor;
+#include "harness/datasets.hpp"
 
 namespace {
 
-void run_dataset(const char* name, const data::GeneratorSpec& spec, int k) {
+using namespace knor;
+using namespace knor::bench;
+
+void run_dataset(Context& ctx, const char* name,
+                 const data::GeneratorSpec& spec, int k) {
   const DenseMatrix m = data::generate(spec);
-  std::printf("\n--- %s: %s, k=%d ---\n", name, spec.describe().c_str(), k);
-  std::printf("%-9s %8s %14s\n", "system", "ranks", "time/iter(ms)");
+  ctx.dataset(spec, name);
 
   for (const int ranks : {2, 4}) {
     dist::DistOptions dopts;
@@ -36,20 +31,31 @@ void run_dataset(const char* name, const data::GeneratorSpec& spec, int k) {
       opts.prune = prune;
       opts.numa_nodes = 2;
 
-      numa::RemotePenalty::ns().store(100);
-      const Result knord = dist::kmeans(m.const_view(), opts, dopts);
       // The flat MPI baseline is NUMA-oblivious: single compute thread per
       // rank; to compare at equal core count give it ranks*threads ranks.
       dist::DistOptions mpi_opts = dopts;
       mpi_opts.ranks = ranks * dopts.threads_per_rank;
       mpi_opts.threads_per_rank = 1;
-      const Result mpi = dist::mpi_kmeans(m.const_view(), opts, mpi_opts);
-      numa::RemotePenalty::ns().store(0);
 
-      std::printf("%-9s %8d %14.2f\n", prune ? "knord" : "knord-", ranks,
-                  knord.iter_times.mean() * 1e3);
-      std::printf("%-9s %8d %14.2f\n", prune ? "MPI" : "MPI-",
-                  mpi_opts.ranks, mpi.iter_times.mean() * 1e3);
+      const RemotePenaltyGuard penalty(100);
+      TimingAgg knord_wall, mpi_wall;
+      ctx.run([&] { return dist::kmeans(m.const_view(), opts, dopts); },
+              nullptr, &knord_wall);
+      ctx.run([&] { return dist::mpi_kmeans(m.const_view(), opts, mpi_opts); },
+              nullptr, &mpi_wall);
+
+      ctx.row()
+          .label("dataset", name)
+          .label("k", k)
+          .label("system", prune ? "knord" : "knord-")
+          .label("ranks", ranks)
+          .timing("iter_ms", knord_wall.scaled(1e3));
+      ctx.row()
+          .label("dataset", name)
+          .label("k", k)
+          .label("system", prune ? "MPI" : "MPI-")
+          .label("ranks", mpi_opts.ranks)
+          .timing("iter_ms", mpi_wall.scaled(1e3));
     }
   }
 
@@ -58,24 +64,33 @@ void run_dataset(const char* name, const data::GeneratorSpec& spec, int k) {
   mllib_opts.max_iters = 3;
   mllib_opts.prune = false;
   mllib_opts.threads = 4;
-  const Result mllib = baselines::mllib_like(m.const_view(), mllib_opts);
-  std::printf("%-9s %8s %14.2f\n", "MLlib*", "4w",
-              mllib.iter_times.mean() * 1e3);
+  TimingAgg wall;
+  ctx.run([&] { return baselines::mllib_like(m.const_view(), mllib_opts); },
+          nullptr, &wall);
+  ctx.row()
+      .label("dataset", name)
+      .label("k", k)
+      .label("system", "MLlib*")
+      .label("ranks", "4w")
+      .timing("iter_ms", wall.scaled(1e3));
 }
+
+void run(Context& ctx) {
+  ctx.config("net", "latency 50us, 1.25 GB/s (10GbE-like)");
+  ctx.config("remote_penalty_ns", 100);
+  run_dataset(ctx, "Friendster-8", friendster8_proxy(ctx, 60000), 100);
+  run_dataset(ctx, "RM856M-proxy", rm_proxy(ctx, 150000), 10);
+  ctx.chart("iter_ms");
+}
+
+const Registration reg({
+    "fig12_dist_compare",
+    "Figure 12: distributed comparison (knord/MPI/MLlib*)",
+    "Figures 12a/12b of the paper",
+    "knord <= MPI at equal core count (NUMA placement helps 20-50%), and "
+    "knord- <= MPI- by the same mechanism; MTI variants beat their unpruned "
+    "twins on Friendster (clustered) more than on RM (uniform); every knor "
+    "variant beats the MLlib stand-in by ~5x or more.",
+    120, run});
 
 }  // namespace
-
-int main() {
-  bench::header("Figure 12: distributed comparison (knord/MPI/MLlib*)",
-                "Figures 12a/12b of the paper");
-  data::GeneratorSpec f8 = bench::friendster8_proxy();
-  f8.n = bench::scaled(60000);
-  run_dataset("Friendster-8", f8, 100);
-  data::GeneratorSpec rm = bench::rm_proxy(150000);
-  run_dataset("RM856M-proxy", rm, 10);
-  std::printf("\nShape check: knord <= MPI at equal cores (NUMA placement); "
-              "MTI variants beat unpruned twins on Friendster (clustered) "
-              "more than on RM (uniform); all beat MLlib* by large "
-              "factors.\n");
-  return 0;
-}

@@ -1,53 +1,54 @@
 // Figure 13 — knors on a single node vs distributed packages (knord, MPI,
 // MLlib*) running on a (simulated) cluster, across four datasets.
-//
-// Shape to reproduce: single-node semi-external knors is comparable to the
-// distributed exact systems and beats the MLlib stand-in even though the
-// latter has "more cores" — the paper's argument that SEM scale-up should
-// be considered before scale-out.
-#include "bench_util.hpp"
 #include "baselines/frameworks.hpp"
 #include "core/knori.hpp"
 #include "dist/knord.hpp"
+#include "harness/datasets.hpp"
 #include "sem/sem_kmeans.hpp"
 
+namespace {
+
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Figure 13: knors (1 node) vs distributed packages",
-                "Figure 13 of the paper");
-
+void run(Context& ctx) {
   struct DatasetCase {
     const char* name;
     data::GeneratorSpec spec;
     int k;
   };
-  data::GeneratorSpec f8 = bench::friendster8_proxy();
-  f8.n = bench::scaled(80000);
-  data::GeneratorSpec f32 = bench::friendster32_proxy();
-  f32.n = bench::scaled(50000);
   const std::vector<DatasetCase> cases = {
-      {"Friendster-8", f8, 10},
-      {"Friendster-32", f32, 10},
-      {"RM856-proxy", bench::rm_proxy(150000), 10},
-      {"RU1B-proxy", bench::ru_proxy(), 10},
+      {"Friendster-8", friendster8_proxy(ctx, 80000), 10},
+      {"Friendster-32", friendster32_proxy(ctx, 50000), 10},
+      {"RM856-proxy", rm_proxy(ctx, 150000), 10},
+      {"RU1B-proxy", ru_proxy(ctx), 10},
   };
+  ctx.config("net", "latency 50us, 1.25 GB/s (10GbE-like)");
+  ctx.config("cluster", "knord 3 ranks x 2 threads, MPI 6 ranks x 1");
+  for (const auto& c : cases) ctx.dataset(c.spec, c.name);
 
-  std::printf("%-14s %-8s %14s\n", "dataset", "system", "time/iter(ms)");
   for (const auto& dataset : cases) {
-    bench::TempMatrixFile file(dataset.spec, dataset.name);
+    TempMatrixFile file(dataset.spec, dataset.name);
     Options opts;
     opts.k = dataset.k;
     opts.threads = 4;
     opts.max_iters = 4;
     opts.seed = 42;
 
+    const auto emit = [&](const char* system, const TimingAgg& wall) {
+      ctx.row()
+          .label("dataset", dataset.name)
+          .label("system", system)
+          .timing("iter_ms", wall.scaled(1e3));
+    };
+
     sem::SemOptions sopts;
     sopts.page_cache_bytes = 4 << 20;
     sopts.row_cache_bytes = 2 << 20;
-    const Result knors = sem::kmeans(file.path(), opts, sopts);
-    std::printf("%-14s %-8s %14.2f\n", dataset.name, "knors",
-                knors.iter_times.mean() * 1e3);
+    TimingAgg wall;
+    ctx.run([&] { return sem::kmeans(file.path(), opts, sopts); }, nullptr,
+            &wall);
+    emit("knors (1 node)", wall);
 
     const DenseMatrix m = data::generate(dataset.spec);
     dist::DistOptions dopts;
@@ -55,26 +56,35 @@ int main() {
     dopts.threads_per_rank = 2;
     dopts.net.latency_us = 50;
     dopts.net.gigabytes_per_sec = 1.25;
-    const Result knord = dist::kmeans(m.const_view(), opts, dopts);
-    std::printf("%-14s %-8s %14.2f\n", dataset.name, "knord",
-                knord.iter_times.mean() * 1e3);
+    ctx.run([&] { return dist::kmeans(m.const_view(), opts, dopts); }, nullptr,
+            &wall);
+    emit("knord", wall);
 
     dist::DistOptions mpi_opts = dopts;
     mpi_opts.ranks = 6;
     mpi_opts.threads_per_rank = 1;
-    const Result mpi = dist::mpi_kmeans(m.const_view(), opts, mpi_opts);
-    std::printf("%-14s %-8s %14.2f\n", dataset.name, "MPI",
-                mpi.iter_times.mean() * 1e3);
+    ctx.run([&] { return dist::mpi_kmeans(m.const_view(), opts, mpi_opts); },
+            nullptr, &wall);
+    emit("MPI", wall);
 
     Options nop = opts;
     nop.prune = false;
-    const Result mllib = baselines::mllib_like(m.const_view(), nop);
-    std::printf("%-14s %-8s %14.2f\n\n", dataset.name, "MLlib*",
-                mllib.iter_times.mean() * 1e3);
+    ctx.run([&] { return baselines::mllib_like(m.const_view(), nop); },
+            nullptr, &wall);
+    emit("MLlib*", wall);
   }
-  std::printf("Shape check: knors (one 'machine', data on disk) is within a "
-              "small factor of knord/MPI (cluster, data in RAM) and beats "
-              "the MLlib stand-in on every dataset — scale-up before "
-              "scale-out.\n");
-  return 0;
+  ctx.chart("iter_ms");
 }
+
+const Registration reg({
+    "fig13_sem_vs_dist",
+    "Figure 13: knors (1 node) vs distributed packages",
+    "Figure 13 of the paper",
+    "Single-node semi-external knors (data on disk) is within a small "
+    "factor of the distributed exact systems (cluster, data in RAM) and "
+    "beats the MLlib stand-in on every dataset even though the latter has "
+    "'more cores' — the paper's argument that SEM scale-up should be "
+    "considered before scale-out.",
+    130, run});
+
+}  // namespace

@@ -4,74 +4,74 @@
 // pruning is disabled, statically scheduling thread tasks to locally
 // allocated data partitions is sufficient").
 //
-// Substitution note (DESIGN.md §1): this container has one physical core,
+// Substitution note (DESIGN.md §1.6): this container has one physical core,
 // so wall-clock cannot show parallel speedup. Each routine's *makespan
 // proxy* — the slowest worker's CPU time per iteration, with the
 // remote-access latency model charged on every remote row — is what a
-// dedicated-core machine's wall clock would track. We report, per thread
-// count: the makespan-proxy speedup relative to that routine's own T=1 run
-// (the paper's normalization) and the remote-access fraction that causes
-// the gap.
-#include "bench_util.hpp"
+// dedicated-core machine's wall clock would track. Per thread count we
+// report the makespan-proxy speedup relative to that routine's own T=1 run
+// (the paper's normalization) and the remote-access fraction causing the
+// gap. The remote fraction is deterministic here because static scheduling
+// has no work stealing.
 #include "core/knori.hpp"
-#include "numa/cost_model.hpp"
+#include "harness/datasets.hpp"
+
+namespace {
 
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Figure 4: NUMA-aware vs NUMA-oblivious thread scaling",
-                "Figure 4 of the paper");
-
-  data::GeneratorSpec spec = bench::friendster8_proxy();
-  spec.n = bench::scaled(60000);
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster8_proxy(ctx, 60000);
   const DenseMatrix m = data::generate(spec);
-  std::printf("dataset: %s; simulated 4-node topology; remote access "
-              "penalty 100ns/row (~2x local access cost, the 4-socket Xeon ratio)\n\n", spec.describe().c_str());
+  ctx.dataset(spec);
+  ctx.config("topology", "simulated 4-node");
+  ctx.config("remote_penalty_ns", 100);
+  ctx.config("k", 10);
+  ctx.config("sched", "static (no MTI, per the paper)");
 
   Options base;
   base.k = 10;
   base.max_iters = 6;
-  base.prune = false;              // Figure 4 measures raw parallelization
+  base.prune = false;  // Figure 4 measures raw parallelization
   base.sched = sched::SchedPolicy::kStatic;
   base.numa_nodes = 4;
   base.seed = 42;
 
-  numa::RemotePenalty::ns().store(100);
+  const RemotePenaltyGuard penalty(100);
   double aware_t1 = 0, oblivious_t1 = 0;
-  std::printf("%-8s | %-30s | %-30s\n", "", "knori (NUMA-aware)",
-              "NUMA-oblivious");
-  std::printf("%-8s | %13s %16s | %13s %16s\n", "threads", "speedup",
-              "remote-frac", "speedup", "remote-frac");
   for (const int threads : {1, 2, 4, 8, 16, 32}) {
-    Options aware = base;
-    aware.threads = threads;
-    aware.numa_aware = true;
-    const Result a = kmeans(m.const_view(), aware);
-
-    Options oblivious = base;
-    oblivious.threads = threads;
-    oblivious.numa_aware = false;
-    const Result o = kmeans(m.const_view(), oblivious);
-
-    if (threads == 1) {
-      aware_t1 = a.makespan_per_iter();
-      oblivious_t1 = o.makespan_per_iter();
-    }
-    const auto frac = [](const Result& res) {
+    for (const bool aware : {true, false}) {
+      Options opts = base;
+      opts.threads = threads;
+      opts.numa_aware = aware;
+      TimingAgg makespan;
+      const Result res =
+          ctx.run([&] { return kmeans(m.const_view(), opts); }, &makespan);
+      double& t1 = aware ? aware_t1 : oblivious_t1;
+      if (threads == 1) t1 = makespan.median;
       const double total = static_cast<double>(res.counters.local_accesses +
                                                res.counters.remote_accesses);
-      return total == 0 ? 0.0 : res.counters.remote_accesses / total;
-    };
-    std::printf("%-8d | %12.2fx %15.1f%% | %12.2fx %15.1f%%\n", threads,
-                aware_t1 / a.makespan_per_iter(), 100 * frac(a),
-                oblivious_t1 / o.makespan_per_iter(), 100 * frac(o));
+      ctx.row()
+          .label("threads", threads)
+          .label("routine", aware ? "knori (NUMA-aware)" : "NUMA-oblivious")
+          .stat("remote_frac_pct",
+                total == 0 ? 0.0 : 100.0 * res.counters.remote_accesses / total)
+          .timing("speedup_vs_t1", makespan.median > 0 ? t1 / makespan.median : 0.0)
+          .timing("makespan_ms", makespan.scaled(1e3));
+    }
   }
-  numa::RemotePenalty::ns().store(0);
-
-  std::printf("\nShape check (paper Fig. 4): both scale near-linearly but "
-              "the oblivious routine has the lower constant — its remote "
-              "fraction converges to (N-1)/N = 75%%, every remote access "
-              "paying the interconnect penalty, while knori stays 0%% "
-              "remote at every T.\n");
-  return 0;
+  ctx.chart("speedup_vs_t1");
 }
+
+const Registration reg({
+    "fig4_numa_speedup",
+    "Figure 4: NUMA-aware vs NUMA-oblivious thread scaling",
+    "Figure 4 of the paper",
+    "Both routines scale near-linearly, but the oblivious routine has the "
+    "lower constant: its remote fraction converges to (N-1)/N = 75%, every "
+    "remote access paying the interconnect penalty, while knori stays 0% "
+    "remote at every thread count.",
+    40, run});
+
+}  // namespace

@@ -1,22 +1,27 @@
 // Figure 7 — row cache hits per iteration vs the maximum achievable number
-// of hits (= active points) on the Friendster-32 proxy.
-//
-// Shape to reproduce: after each lazy refresh (iterations 5, 10, 20, 40 by
-// the exponential schedule) the hit count climbs toward the active-point
-// curve; by late iterations hits ~= active points (near-100% hit rate), the
-// paper's justification for lazy updates.
-#include "bench_util.hpp"
+// of hits (= active points) on the Friendster-32 proxy, I_cache = 5 (lazy
+// refreshes at iterations 5, 10, 20, 40 by the exponential schedule).
+#include <cstdio>
+
+#include "harness/datasets.hpp"
 #include "sem/sem_kmeans.hpp"
 
+namespace {
+
 using namespace knor;
+using namespace knor::bench;
 
-int main() {
-  bench::header("Figure 7: row cache hits vs active points per iteration",
-                "Figure 7 of the paper");
+bool is_refresh_iter(std::size_t iter) {
+  return iter == 5 || iter == 10 || iter == 20 || iter == 40;
+}
 
-  data::GeneratorSpec spec = bench::friendster32_proxy();
-  spec.n = bench::scaled(100000);
-  bench::TempMatrixFile file(spec, "fig7");
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster32_proxy(ctx, 100000);
+  TempMatrixFile file(spec, "fig7");
+  ctx.dataset(spec);
+  ctx.config("k", 10);
+  ctx.config("cache_update_interval", 5);
+  ctx.config("row_cache", "sized to hold every active row");
 
   Options opts;
   opts.k = 10;
@@ -33,22 +38,18 @@ int main() {
   sem::SemStats stats;
   sem::kmeans(file.path(), opts, sopts, &stats);
 
-  std::printf("dataset: %s; I_cache=5 (refresh at 5,10,20,40)\n\n",
-              spec.describe().c_str());
-  std::printf("%-5s %14s %14s %10s\n", "iter", "cache hits", "active points",
-              "hit rate");
   for (std::size_t i = 0; i < stats.per_iter.size(); ++i) {
     const auto& io = stats.per_iter[i];
     const double rate =
         io.active_rows == 0
             ? 0.0
             : static_cast<double>(io.row_cache_hits) / io.active_rows;
-    std::printf("%-5zu %14llu %14llu %9.1f%%%s\n", i + 1,
-                static_cast<unsigned long long>(io.row_cache_hits),
-                static_cast<unsigned long long>(io.active_rows), 100 * rate,
-                (i + 1 == 5 || i + 1 == 10 || i + 1 == 20 || i + 1 == 40)
-                    ? "  <- RC refresh"
-                    : "");
+    ctx.row()
+        .label("iter", static_cast<long long>(i + 1))
+        .label("rc_refresh", is_refresh_iter(i + 1) ? "yes" : "")
+        .stat("cache_hits", static_cast<double>(io.row_cache_hits))
+        .stat("active_points", static_cast<double>(io.active_rows))
+        .stat("hit_rate_pct", 100 * rate);
   }
   if (!stats.per_iter.empty()) {
     const auto& last = stats.per_iter.back();
@@ -56,9 +57,23 @@ int main() {
                             ? 1.0
                             : static_cast<double>(last.row_cache_hits) /
                                   last.active_rows;
-    std::printf("\nShape check: final-iteration hit rate %.1f%% (paper: "
-                "near-100%% — knors runs at in-memory speed late in the "
-                "run).\n", 100 * rate);
+    char note[128];
+    std::snprintf(note, sizeof note,
+                  "final-iteration hit rate %.1f%% (paper: near-100%%)",
+                  100 * rate);
+    ctx.note(note);
   }
-  return 0;
+  ctx.chart("hit_rate_pct");
 }
+
+const Registration reg({
+    "fig7_rowcache_hits",
+    "Figure 7: row cache hits vs active points per iteration",
+    "Figure 7 of the paper",
+    "After each lazy refresh (iterations 5, 10, 20, 40) the hit count "
+    "climbs toward the active-point curve; by late iterations hits ~= "
+    "active points (near-100% hit rate) — the paper's justification for "
+    "lazy updates: knors runs at in-memory speed late in the run.",
+    70, run});
+
+}  // namespace

@@ -1,33 +1,27 @@
 // Figure 9 — knori and knors vs the framework stand-ins (H2O / MLlib /
 // Turi behavioural proxies) on the Friendster proxies, k = 10..100, plus
-// peak memory at k=10 (9c).
-//
-// Shape to reproduce: knori (MTI on) is the fastest by a wide margin;
-// knori- (algorithmically identical to the frameworks) still wins through
-// parallelization alone; knors stays within a small factor of in-memory
-// speeds; the stand-ins carry large memory overheads (shuffle
-// materialization, row boxing) exactly where the paper's Figure 9c shows
-// MLlib/H2O/Turi blowing up.
-#include "bench_util.hpp"
+// peak memory at k=10 (9c). The stand-ins' memory overhead is measured via
+// RSS growth around the run — inherently noisy, hence a timing.
+#include <string>
+#include <utility>
+
 #include "baselines/frameworks.hpp"
 #include "common/memory_tracker.hpp"
 #include "core/knori.hpp"
+#include "harness/datasets.hpp"
 #include "sem/sem_kmeans.hpp"
-
-using namespace knor;
 
 namespace {
 
-void run_dataset(const char* name, const data::GeneratorSpec& spec) {
-  const DenseMatrix m = data::generate(spec);
-  bench::TempMatrixFile file(spec, std::string("fig9_") + name);
+using namespace knor;
+using namespace knor::bench;
 
-  std::printf("\n--- %s: %s ---\n", name, spec.describe().c_str());
-  // makespan = slowest worker's CPU + serial driver share per iteration —
-  // the dedicated-core figure (this container timeshares one core, so wall
-  // time only measures total work; see DESIGN.md §1).
-  std::printf("%-6s %-12s %14s %14s\n", "k", "system", "time/iter(ms)",
-              "makespan(ms)");
+void run_dataset(Context& ctx, const char* name,
+                 const data::GeneratorSpec& spec) {
+  const DenseMatrix m = data::generate(spec);
+  TempMatrixFile file(spec, std::string("fig9_") + name);
+  ctx.dataset(spec, name);
+
   for (const int k : {10, 20, 50, 100}) {
     Options opts;
     opts.k = k;
@@ -35,31 +29,40 @@ void run_dataset(const char* name, const data::GeneratorSpec& spec) {
     opts.max_iters = 25;
     opts.seed = 42;
 
-    const Result knori = kmeans(m.const_view(), opts);
-    sem::SemOptions sopts;
-    sopts.page_cache_bytes = 2 << 20;
-    sopts.row_cache_bytes = spec.bytes() / 8;
-    const Result knors = sem::kmeans(file.path(), opts, sopts);
-    opts.prune = false;
-    const Result h2o = baselines::h2o_like(m.const_view(), opts);
-    const Result mllib = baselines::mllib_like(m.const_view(), opts);
-    const Result turi = baselines::turi_like(m.const_view(), opts);
-
-    const auto row = [&](const char* system, const Result& res) {
-      std::printf("%-6d %-12s %14.2f %14.2f\n", k, system,
-                  res.iter_times.mean() * 1e3, res.makespan_per_iter() * 1e3);
+    const auto emit = [&](const char* system, const TimingAgg& iter_wall,
+                          const TimingAgg& makespan) {
+      ctx.row()
+          .label("dataset", name)
+          .label("k", k)
+          .label("system", system)
+          .timing("iter_ms", iter_wall.scaled(1e3))
+          .timing("makespan_ms", makespan.scaled(1e3));
     };
-    row("knori", knori);
-    row("knors", knors);
-    row("H2O*", h2o);
-    row("MLlib*", mllib);
-    row("Turi*", turi);
-    std::printf("\n");
+    TimingAgg wall, makespan;
+    ctx.run([&] { return kmeans(m.const_view(), opts); }, &makespan, &wall);
+    emit("knori", wall, makespan);
+    ctx.run(
+        [&] {
+          sem::SemOptions sopts;
+          sopts.page_cache_bytes = 2 << 20;
+          sopts.row_cache_bytes = spec.bytes() / 8;
+          return sem::kmeans(file.path(), opts, sopts);
+        },
+        &makespan, &wall);
+    emit("knors", wall, makespan);
+    Options nop = opts;
+    nop.prune = false;
+    for (auto [system, fn] :
+         {std::pair{"H2O*", &baselines::h2o_like},
+          std::pair{"MLlib*", &baselines::mllib_like},
+          std::pair{"Turi*", &baselines::turi_like}}) {
+      ctx.run([&] { return (*fn)(m.const_view(), nop); }, &makespan, &wall);
+      emit(system, wall, makespan);
+    }
   }
 
   // 9c: peak memory at k=10. Tracked logical bytes for knor routines; the
   // stand-ins' overhead is measured via RSS growth around the run.
-  std::printf("peak memory at k=10 (MB):\n");
   auto& mt = MemoryTracker::instance();
   Options opts;
   opts.k = 10;
@@ -67,41 +70,56 @@ void run_dataset(const char* name, const data::GeneratorSpec& spec) {
   opts.max_iters = 4;
   mt.reset();
   kmeans(m.const_view(), opts);
-  std::printf("  %-8s %10.1f (tracked)\n", "knori", mt.peak_bytes() / 1e6);
+  ctx.row()
+      .label("dataset", name)
+      .label("k", "10 (9c memory)")
+      .label("system", "knori")
+      .timing("peak_mb", mt.peak_bytes() / 1e6);
   mt.reset();
   sem::SemOptions sopts;
   sopts.page_cache_bytes = 2 << 20;
   sopts.row_cache_bytes = spec.bytes() / 8;
   sem::kmeans(file.path(), opts, sopts);
-  std::printf("  %-8s %10.1f (tracked)\n", "knors", mt.peak_bytes() / 1e6);
+  ctx.row()
+      .label("dataset", name)
+      .label("k", "10 (9c memory)")
+      .label("system", "knors")
+      .timing("peak_mb", mt.peak_bytes() / 1e6);
   opts.prune = false;
-  for (auto [label, fn] :
+  for (auto [system, fn] :
        {std::pair{"MLlib*", &baselines::mllib_like},
         std::pair{"H2O*", &baselines::h2o_like},
         std::pair{"Turi*", &baselines::turi_like}}) {
     const std::size_t before = current_rss_bytes();
     (*fn)(m.const_view(), opts);
     const std::size_t after = current_rss_bytes();
-    std::printf("  %-8s %10.1f (RSS growth + dataset)\n", label,
-                (after > before ? after - before : 0) / 1e6 +
-                    spec.bytes() / 1e6);
+    ctx.row()
+        .label("dataset", name)
+        .label("k", "10 (9c memory)")
+        .label("system", system)
+        .timing("peak_mb", (after > before ? after - before : 0) / 1e6 +
+                               spec.bytes() / 1e6);
   }
 }
 
-}  // namespace
-
-int main() {
-  bench::header(
-      "Figure 9: knori/knors vs framework stand-ins (time + memory)",
-      "Figures 9a/9b/9c of the paper; * = behavioural stand-in");
-  data::GeneratorSpec f8 = bench::friendster8_proxy();
-  f8.n = bench::scaled(100000);
-  data::GeneratorSpec f32 = bench::friendster32_proxy();
-  f32.n = bench::scaled(60000);
-  run_dataset("Friendster-8", f8);
-  run_dataset("Friendster-32", f32);
-  std::printf("\nShape check: knori fastest at every k; knori's win over the "
-              "stand-ins exceeds the MTI factor alone (parallelization + "
-              "no shuffle/locking/boxing); stand-ins' memory >> knor's.\n");
-  return 0;
+void run(Context& ctx) {
+  ctx.note("* = behavioural stand-in (DESIGN.md §1.5); knor peak_mb is "
+           "tracked logical bytes, stand-in peak_mb is RSS growth + dataset");
+  run_dataset(ctx, "Friendster-8", friendster8_proxy(ctx, 100000));
+  run_dataset(ctx, "Friendster-32", friendster32_proxy(ctx, 60000));
+  ctx.chart("makespan_ms");
 }
+
+const Registration reg({
+    "fig9_frameworks",
+    "Figure 9: knori/knors vs framework stand-ins (time + memory)",
+    "Figures 9a/9b/9c of the paper",
+    "knori (MTI on) is the fastest by a wide margin at every k; knori's win "
+    "over the stand-ins exceeds the MTI factor alone (parallelization + no "
+    "shuffle/locking/boxing); knors stays within a small factor of "
+    "in-memory speeds; the stand-ins carry large memory overheads (shuffle "
+    "materialization, row boxing) exactly where Figure 9c shows "
+    "MLlib/H2O/Turi blowing up.",
+    90, run});
+
+}  // namespace

@@ -1,10 +1,7 @@
-// Shared helpers for the table/figure reproduction benches.
+// Proxy datasets shared by every suite (Table 2 substitutes — DESIGN.md
+// §1.3). Paper-scale row counts are passed through Context::scaled() so one
+// suite body serves every scale tier.
 //
-// Every bench binary regenerates one table or figure from the paper's
-// evaluation (Section 8) at container-feasible scale. Scale factors and the
-// shape criteria each bench must exhibit are recorded in EXPERIMENTS.md.
-//
-// Proxy datasets (Table 2 substitutes — DESIGN.md §1):
 //   friendster8_proxy / friendster32_proxy — natural clusters with
 //     power-law sizes, d = 8 / 32 (eigenvector embeddings of a power-law
 //     graph).
@@ -12,37 +9,41 @@
 //   ru_proxy  — univariate normal rows, wide d (the RU2B dataset).
 #pragma once
 
-#include <cstdio>
 #include <filesystem>
 #include <string>
 #include <unistd.h>
 
 #include "data/generator.hpp"
 #include "data/matrix_io.hpp"
+#include "harness/harness.hpp"
+#include "numa/cost_model.hpp"
 
 namespace knor::bench {
 
-/// Benches honor KNOR_BENCH_SCALE (float; default 1.0) so the suite can be
-/// shrunk for smoke runs or grown on beefier machines.
-inline double scale() {
-  static const double s = [] {
-    const char* env = std::getenv("KNOR_BENCH_SCALE");
-    const double v = env != nullptr ? std::atof(env) : 1.0;
-    return v > 0 ? v : 1.0;
-  }();
-  return s;
-}
+/// RAII for the remote-access latency emulation: restores the previous
+/// penalty even when a suite throws, so one suite can never leak its cost
+/// model into the next one in the same knor_bench process.
+class RemotePenaltyGuard {
+ public:
+  explicit RemotePenaltyGuard(std::uint32_t ns)
+      : prev_(numa::RemotePenalty::ns().load()) {
+    numa::RemotePenalty::ns().store(ns);
+  }
+  ~RemotePenaltyGuard() { numa::RemotePenalty::ns().store(prev_); }
+  RemotePenaltyGuard(const RemotePenaltyGuard&) = delete;
+  RemotePenaltyGuard& operator=(const RemotePenaltyGuard&) = delete;
 
-inline index_t scaled(index_t n) {
-  return std::max<index_t>(1000, static_cast<index_t>(n * scale()));
-}
+ private:
+  std::uint32_t prev_;
+};
 
-inline data::GeneratorSpec friendster8_proxy() {
+inline data::GeneratorSpec friendster8_proxy(const Context& ctx,
+                                             index_t paper_n = 120000) {
   data::GeneratorSpec spec;
   spec.dist = data::Distribution::kNaturalClusters;
-  spec.n = scaled(120000);
+  spec.n = ctx.scaled(paper_n);
   spec.d = 8;
-  // Many distinct communities (>= any k the benches sweep): a power-law
+  // Many distinct communities (>= any k the suites sweep): a power-law
   // graph's eigenvector embedding has hundreds of strongly rooted
   // clusters, which is what keeps centroids separated and MTI's clause-1
   // effective. With fewer components than k, k-means packs centroids
@@ -54,32 +55,35 @@ inline data::GeneratorSpec friendster8_proxy() {
   return spec;
 }
 
-inline data::GeneratorSpec friendster32_proxy() {
-  data::GeneratorSpec spec = friendster8_proxy();
+inline data::GeneratorSpec friendster32_proxy(const Context& ctx,
+                                              index_t paper_n = 120000) {
+  data::GeneratorSpec spec = friendster8_proxy(ctx, paper_n);
   spec.d = 32;
   spec.seed = 1332;
   return spec;
 }
 
-inline data::GeneratorSpec rm_proxy(index_t n = 400000) {
+inline data::GeneratorSpec rm_proxy(const Context& ctx,
+                                    index_t paper_n = 400000) {
   data::GeneratorSpec spec;
   spec.dist = data::Distribution::kUniformRandom;
-  spec.n = scaled(n);
+  spec.n = ctx.scaled(paper_n);
   spec.d = 16;
   spec.seed = 856;
   return spec;
 }
 
-inline data::GeneratorSpec ru_proxy() {
+inline data::GeneratorSpec ru_proxy(const Context& ctx,
+                                    index_t paper_n = 250000) {
   data::GeneratorSpec spec;
   spec.dist = data::Distribution::kUnivariateRandom;
-  spec.n = scaled(250000);
+  spec.n = ctx.scaled(paper_n);
   spec.d = 64;
   spec.seed = 2100;
   return spec;
 }
 
-/// Temp file for SEM benches, removed on destruction.
+/// Temp .kmat file for SEM suites, removed on destruction.
 class TempMatrixFile {
  public:
   explicit TempMatrixFile(const data::GeneratorSpec& spec, std::string tag) {
@@ -96,12 +100,5 @@ class TempMatrixFile {
  private:
   std::string path_;
 };
-
-inline void header(const char* title, const char* paper_ref) {
-  std::printf("\n================================================================\n");
-  std::printf("%s\n  (reproduces %s; scale=%.2f — see EXPERIMENTS.md)\n",
-              title, paper_ref, scale());
-  std::printf("================================================================\n");
-}
 
 }  // namespace knor::bench

@@ -1,0 +1,217 @@
+#include "harness/harness.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/timer.hpp"
+
+namespace knor::bench {
+
+const char* to_string(Scale scale) {
+  return scale == Scale::kSmoke ? "smoke" : "paper";
+}
+
+TimingAgg TimingAgg::from_samples(std::vector<double> samples) {
+  TimingAgg agg;
+  if (samples.empty()) return agg;
+  std::sort(samples.begin(), samples.end());
+  agg.repeats = static_cast<int>(samples.size());
+  agg.min = samples.front();
+  agg.max = samples.back();
+  const std::size_t mid = samples.size() / 2;
+  agg.median = samples.size() % 2 == 1
+                   ? samples[mid]
+                   : 0.5 * (samples[mid - 1] + samples[mid]);
+  return agg;
+}
+
+RunOptions RunOptions::for_scale(Scale scale) {
+  RunOptions opts;
+  opts.scale = scale;
+  if (scale == Scale::kSmoke) {
+    opts.scale_factor = 0.02;
+    opts.repeats = 1;
+    opts.warmup = 0;
+  } else {
+    opts.scale_factor = 1.0;
+    opts.repeats = 3;
+    opts.warmup = 1;
+  }
+  if (const char* env = std::getenv("KNOR_BENCH_SCALE")) {
+    const double v = std::atof(env);
+    if (v > 0) opts.scale_factor *= v;
+  }
+  return opts;
+}
+
+index_t Context::scaled(index_t paper_n) const {
+  return std::max<index_t>(
+      1000, static_cast<index_t>(static_cast<double>(paper_n) *
+                                 opts_.scale_factor));
+}
+
+void Context::config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), std::move(value));
+}
+
+void Context::config(std::string key, double value) {
+  config(std::move(key), format_double(value));
+}
+
+void Context::dataset(const data::GeneratorSpec& spec, const std::string& tag) {
+  config(tag.empty() ? "dataset" : "dataset:" + tag, spec.describe());
+}
+
+Row& Context::row() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+void Context::note(std::string text) { notes_.push_back(std::move(text)); }
+
+void Context::chart(std::string metric) { chart_metric_ = std::move(metric); }
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(const Suite& suite) { suites_.push_back(suite); }
+
+std::vector<Suite> Registry::suites() const {
+  std::vector<Suite> sorted = suites_;
+  std::sort(sorted.begin(), sorted.end(), [](const Suite& a, const Suite& b) {
+    if (a.order != b.order) return a.order < b.order;
+    return std::string(a.name) < b.name;
+  });
+  return sorted;
+}
+
+const Suite* Registry::find(const std::string& name) const {
+  for (const Suite& suite : suites_)
+    if (name == suite.name) return &suite;
+  return nullptr;
+}
+
+bool SuiteRun::has_samples() const {
+  for (const Row& r : rows)
+    if (!r.stats.empty() || !r.timings.empty()) return true;
+  return false;
+}
+
+std::uint64_t config_fingerprint(const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>& config) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](const std::string& s) {
+    for (const unsigned char c : s) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+    h ^= 0xff;  // field separator so ("ab","c") != ("a","bc")
+    h *= 1099511628211ull;
+  };
+  mix(suite_name);
+  for (const auto& [key, value] : config) {
+    mix(key);
+    mix(value);
+  }
+  return h;
+}
+
+SuiteRun run_suite(const Suite& suite, const RunOptions& opts) {
+  SuiteRun run;
+  run.suite = suite;
+  Context ctx(opts);
+  ctx.config("scale", to_string(opts.scale));
+  ctx.config("scale_factor", opts.scale_factor);
+  const WallTimer timer;
+  try {
+    suite.fn(ctx);
+    run.ok = true;
+  } catch (const std::exception& e) {
+    run.error = e.what();
+  } catch (...) {
+    run.error = "unknown exception";
+  }
+  run.wall_s = timer.elapsed();
+  run.config = std::move(ctx.config_);
+  run.rows = std::move(ctx.rows_);
+  run.notes = std::move(ctx.notes_);
+  run.chart_metric = std::move(ctx.chart_metric_);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(
+                    config_fingerprint(suite.name, run.config)));
+  run.fingerprint = buf;
+  return run;
+}
+
+const std::vector<std::string>& timing_keys() {
+  static const std::vector<std::string> keys = {"timings", "wall_s"};
+  return keys;
+}
+
+namespace {
+
+Json agg_json(const TimingAgg& agg) {
+  Json j = Json::object();
+  j.set("median", agg.median);
+  j.set("min", agg.min);
+  j.set("max", agg.max);
+  j.set("repeats", agg.repeats);
+  return j;
+}
+
+}  // namespace
+
+Json results_json(const std::vector<SuiteRun>& runs, const RunOptions& opts) {
+  Json doc = Json::object();
+  doc.set("schema_version", 1);
+  doc.set("generator", "knor_bench");
+  doc.set("scale", to_string(opts.scale));
+  doc.set("scale_factor", opts.scale_factor);
+  doc.set("repeats", opts.repeats);
+  doc.set("warmup", opts.warmup);
+  Json suites = Json::array();
+  for (const SuiteRun& run : runs) {
+    Json s = Json::object();
+    s.set("name", run.suite.name);
+    s.set("title", run.suite.title);
+    s.set("paper_ref", run.suite.paper_ref);
+    s.set("fingerprint", run.fingerprint);
+    s.set("ok", run.ok);
+    if (!run.error.empty()) s.set("error", run.error);
+    Json config = Json::object();
+    for (const auto& [key, value] : run.config) config.set(key, value);
+    s.set("config", std::move(config));
+    Json rows = Json::array();
+    for (const Row& row : run.rows) {
+      Json r = Json::object();
+      Json labels = Json::object();
+      for (const auto& [key, value] : row.labels) labels.set(key, value);
+      r.set("labels", std::move(labels));
+      Json stats = Json::object();
+      for (const auto& [key, value] : row.stats) stats.set(key, value);
+      r.set("stats", std::move(stats));
+      Json timings = Json::object();
+      for (const auto& [key, agg] : row.timings)
+        timings.set(key, agg_json(agg));
+      r.set("timings", std::move(timings));
+      rows.push(std::move(r));
+    }
+    s.set("rows", std::move(rows));
+    if (!run.notes.empty()) {
+      Json notes = Json::array();
+      for (const std::string& note : run.notes) notes.push(note);
+      s.set("notes", std::move(notes));
+    }
+    s.set("wall_s", run.wall_s);
+    suites.push(std::move(s));
+  }
+  doc.set("suites", std::move(suites));
+  return doc;
+}
+
+}  // namespace knor::bench

@@ -1,0 +1,245 @@
+// Bench harness — the substrate every paper-reproduction suite runs on.
+//
+// Each bench/*.cpp file registers one Suite (a named function that fills a
+// Context with rows); the harness supplies scale resolution, warmup/repeat
+// timing aggregation over Result::makespan_per_iter(), config
+// fingerprinting, the BENCH_results.json emitter and the RESULTS.md
+// renderer. `tools/knor_bench` links every suite and drives them all; each
+// per-figure binary links exactly one suite plus standalone_main.cpp.
+//
+// Determinism contract (DESIGN.md §6): everything a suite stores outside a
+// Row's `timings` bucket — config entries, labels, `stats` — must be
+// bit-identical across two runs of the same suite at the same scale. Timing
+// and other machine-dependent measurements (wall/CPU time, RSS, scheduler
+// steal counts) go in `timings`; `knor_bench --strip` removes them, and CI
+// diffs two stripped runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/kmeans_types.hpp"
+#include "data/generator.hpp"
+#include "harness/json.hpp"
+
+namespace knor::bench {
+
+/// Dataset scale tier. kSmoke shrinks every dataset ~50x for CI
+/// (single-repeat, seconds per suite); kPaper is the container-feasible
+/// reproduction scale the per-figure binaries default to.
+enum class Scale { kSmoke, kPaper };
+
+const char* to_string(Scale scale);
+
+/// Median-and-spread aggregate of repeated timing samples. `median` is the
+/// harness's headline number (robust to one-off scheduler noise); spread =
+/// (max - min) / median indicates run-to-run stability.
+struct TimingAgg {
+  double median = 0;
+  double min = 0;
+  double max = 0;
+  int repeats = 0;
+
+  static TimingAgg from_samples(std::vector<double> samples);
+  /// Single-sample aggregate (derived scalars, single measurements).
+  static TimingAgg single(double v) { return {v, v, v, 1}; }
+  /// Unit conversion, e.g. seconds -> ms: agg.scaled(1e3).
+  TimingAgg scaled(double factor) const {
+    return {median * factor, min * factor, max * factor, repeats};
+  }
+  /// (max - min) / median in percent; 0 when median is 0.
+  double spread_pct() const {
+    return median == 0 ? 0.0 : 100.0 * (max - min) / median;
+  }
+};
+
+/// One result row: ordered labels (the table's key columns), deterministic
+/// stats, and machine-dependent timings. Insertion order is rendering order.
+struct Row {
+  std::vector<std::pair<std::string, std::string>> labels;
+  std::vector<std::pair<std::string, double>> stats;
+  std::vector<std::pair<std::string, TimingAgg>> timings;
+
+  Row& label(std::string key, std::string value) {
+    labels.emplace_back(std::move(key), std::move(value));
+    return *this;
+  }
+  Row& label(std::string key, long long value) {
+    return label(std::move(key), std::to_string(value));
+  }
+  Row& stat(std::string key, double value) {
+    stats.emplace_back(std::move(key), value);
+    return *this;
+  }
+  Row& timing(std::string key, TimingAgg agg) {
+    timings.emplace_back(std::move(key), agg);
+    return *this;
+  }
+  Row& timing(std::string key, double value) {
+    return timing(std::move(key), TimingAgg::single(value));
+  }
+};
+
+class Context;
+
+/// A registered paper-reproduction suite. `expected` is the paper's trend
+/// for this figure/table — rendered under every report section so a reader
+/// can check the reproduced numbers against the claim.
+struct Suite {
+  const char* name;       ///< registry key, e.g. "fig4_numa_speedup"
+  const char* title;      ///< human title, e.g. "Figure 4: ..."
+  const char* paper_ref;  ///< "Figure 4", "Table 1", "§6.2.2 ablation", ...
+  const char* expected;   ///< paper-expected trend, one paragraph
+  int order;              ///< report position (figures 40-130, tables 210+,
+                          ///< ablations 310+, micro 400+)
+  void (*fn)(Context&);
+};
+
+/// How a run is executed: scale tier, effective dataset factor
+/// (tier base x KNOR_BENCH_SCALE env x --factor), timing repeats/warmup.
+struct RunOptions {
+  Scale scale = Scale::kPaper;
+  double scale_factor = 1.0;
+  int repeats = 3;
+  int warmup = 1;
+  bool verbose = false;  ///< progress lines on stderr
+
+  /// Tier defaults (smoke: factor 0.02, 1 repeat / 0 warmup; paper: factor
+  /// 1.0, 3 repeats / 1 warmup), then multiplied by KNOR_BENCH_SCALE when
+  /// the env var is set.
+  static RunOptions for_scale(Scale scale);
+};
+
+/// Everything a suite produced, plus run metadata. `wall_s` and the rows'
+/// `timings` are the only machine-dependent fields.
+struct SuiteRun {
+  Suite suite{};
+  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<Row> rows;
+  std::vector<std::string> notes;
+  std::string chart_metric;
+  std::string fingerprint;  ///< "0x" + 16 hex digits; see fingerprint docs
+  double wall_s = 0;
+  bool ok = false;
+  std::string error;
+
+  /// A run is useful when it completed and emitted at least one sample
+  /// (a stat or timing in some row) — the bench-smoke CI gate.
+  bool has_samples() const;
+};
+
+/// The handle a suite body receives: scale resolution, config recording
+/// (fingerprinted), row emission, and warmup/repeat timing helpers.
+class Context {
+ public:
+  explicit Context(const RunOptions& opts) : opts_(opts) {}
+
+  Scale scale() const { return opts_.scale; }
+  double scale_factor() const { return opts_.scale_factor; }
+  int repeats() const { return opts_.repeats; }
+  int warmup() const { return opts_.warmup; }
+
+  /// Paper-scale row count -> this run's row count (factor applied, floored
+  /// at 1000 rows so every algorithm still has work to do).
+  index_t scaled(index_t paper_n) const;
+
+  /// Record a config entry. Config is fingerprinted in insertion order, so
+  /// record everything that determines the workload: dataset specs,
+  /// topology, NetSim parameters, k/iteration sweeps.
+  void config(std::string key, std::string value);
+  void config(std::string key, double value);
+  /// Shorthand: config("dataset[:tag]", spec.describe()).
+  void dataset(const data::GeneratorSpec& spec, const std::string& tag = "");
+
+  /// Append and return a new result row (reference valid until next call).
+  Row& row();
+
+  /// Free-form line rendered under the suite's table.
+  void note(std::string text);
+
+  /// Name the metric (a timing or stat key) the report's ASCII chart plots.
+  /// Unset = first timing key, else first stat key.
+  void chart(std::string metric);
+
+  /// Warmup + repeat `fn` (returning seconds) and aggregate.
+  template <class Fn>
+  TimingAgg measure(Fn&& fn) {
+    for (int i = 0; i < opts_.warmup; ++i) fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(opts_.repeats));
+    for (int i = 0; i < opts_.repeats; ++i) samples.push_back(fn());
+    return TimingAgg::from_samples(std::move(samples));
+  }
+
+  /// Warmup + repeat a k-means run; aggregates makespan_per_iter() (the
+  /// harness's canonical per-iteration figure, DESIGN.md §1.6) into
+  /// *makespan and mean wall time per iteration into *iter_wall; returns
+  /// the last repeat's Result (all repeats are identical modulo timing).
+  template <class Fn>
+  Result run(Fn&& fn, TimingAgg* makespan = nullptr,
+             TimingAgg* iter_wall = nullptr) {
+    for (int i = 0; i < opts_.warmup; ++i) fn();
+    std::vector<double> makespans, walls;
+    Result last;
+    for (int i = 0; i < opts_.repeats; ++i) {
+      last = fn();
+      makespans.push_back(last.makespan_per_iter());
+      walls.push_back(last.iter_times.mean());
+    }
+    if (makespan != nullptr)
+      *makespan = TimingAgg::from_samples(std::move(makespans));
+    if (iter_wall != nullptr)
+      *iter_wall = TimingAgg::from_samples(std::move(walls));
+    return last;
+  }
+
+  // Internal: run_suite() harvests these.
+  std::vector<std::pair<std::string, std::string>> config_;
+  std::vector<Row> rows_;
+  std::vector<std::string> notes_;
+  std::string chart_metric_;
+
+ private:
+  RunOptions opts_;
+};
+
+/// Process-wide suite registry, populated by static Registration objects in
+/// each suite's translation unit.
+class Registry {
+ public:
+  static Registry& instance();
+  void add(const Suite& suite);
+  /// All registered suites, sorted by (order, name) — static-init link
+  /// order is unspecified, so callers must not rely on insertion order.
+  std::vector<Suite> suites() const;
+  /// Lookup by name; nullptr when absent.
+  const Suite* find(const std::string& name) const;
+
+ private:
+  std::vector<Suite> suites_;
+};
+
+struct Registration {
+  explicit Registration(const Suite& suite) { Registry::instance().add(suite); }
+};
+
+/// Execute one suite: builds the Context, times the run, computes the
+/// config fingerprint. Exceptions become ok=false + error (never thrown).
+SuiteRun run_suite(const Suite& suite, const RunOptions& opts);
+
+/// FNV-1a 64 over the suite name and its config entries in insertion order
+/// — the config fingerprint. Bit-identical across two runs of the same
+/// suite at the same scale (tested in tests/harness_test.cpp).
+std::uint64_t config_fingerprint(const std::string& suite_name,
+    const std::vector<std::pair<std::string, std::string>>& config);
+
+/// The BENCH_results.json document (schema: DESIGN.md §6).
+Json results_json(const std::vector<SuiteRun>& runs, const RunOptions& opts);
+
+/// Keys results_json puts machine-dependent data under; stripping them
+/// canonicalizes the document for determinism comparison.
+const std::vector<std::string>& timing_keys();
+
+}  // namespace knor::bench

@@ -1,0 +1,304 @@
+#include "harness/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace knor::bench {
+
+std::string format_double(double v) {
+  if (std::isnan(v) || std::isinf(v)) return "0";
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {  // 2^53: exact integer range
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+void json_escape(const std::string& s, std::string& out) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+Json& Json::set(std::string key, Json value) {
+  type_ = Type::kObject;
+  obj_.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  type_ = Type::kArray;
+  arr_.push_back(std::move(value));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+Json* Json::find(const std::string& key) {
+  for (auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool Json::remove(const std::string& key) {
+  const std::size_t before = obj_.size();
+  for (std::size_t i = obj_.size(); i-- > 0;)
+    if (obj_[i].first == key) obj_.erase(obj_.begin() + i);
+  return obj_.size() != before;
+}
+
+bool Json::operator==(const Json& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == o.bool_;
+    case Type::kNumber: return num_ == o.num_;
+    case Type::kString: return str_ == o.str_;
+    case Type::kArray: return arr_ == o.arr_;
+    case Type::kObject: return obj_ == o.obj_;
+  }
+  return false;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: out += format_double(num_); break;
+    case Type::kString:
+      out += '"';
+      json_escape(str_, out);
+      out += '"';
+      break;
+    case Type::kArray: {
+      if (arr_.empty()) { out += "[]"; break; }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (obj_.empty()) { out += "{}"; break; }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        out += '"';
+        json_escape(obj_[i].first, out);
+        out += "\": ";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  if (indent > 0) out += '\n';
+  return out;
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  bool fail(const std::string& msg) {
+    if (error.empty())
+      error = msg + " at offset " + std::to_string(pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\t' || text[pos] == '\n' ||
+            text[pos] == '\r'))
+      ++pos;
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) { ++pos; return true; }
+    return fail(std::string("expected '") + c + "'");
+  }
+  bool literal(const char* lit) {
+    const std::size_t len = std::strlen(lit);
+    if (text.compare(pos, len, lit) != 0) return fail("bad literal");
+    pos += len;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) return false;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (c != '\\') { out += c; continue; }
+      if (pos >= text.size()) break;
+      const char esc = text[pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos + 4 > text.size()) return fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return fail("bad \\u escape");
+          }
+          // UTF-8 encode (BMP only; surrogate pairs unsupported — the
+          // harness never emits them).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Json& out) {
+    skip_ws();
+    if (pos >= text.size()) return fail("unexpected end of input");
+    const char c = text[pos];
+    if (c == 'n') { if (!literal("null")) return false; out = Json(); return true; }
+    if (c == 't') { if (!literal("true")) return false; out = Json(true); return true; }
+    if (c == 'f') { if (!literal("false")) return false; out = Json(false); return true; }
+    if (c == '"') {
+      std::string s;
+      if (!parse_string(s)) return false;
+      out = Json(std::move(s));
+      return true;
+    }
+    if (c == '[') {
+      ++pos;
+      out = Json::array();
+      skip_ws();
+      if (pos < text.size() && text[pos] == ']') { ++pos; return true; }
+      while (true) {
+        Json elem;
+        if (!parse_value(elem)) return false;
+        out.push(std::move(elem));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') { ++pos; continue; }
+        return consume(']');
+      }
+    }
+    if (c == '{') {
+      ++pos;
+      out = Json::object();
+      skip_ws();
+      if (pos < text.size() && text[pos] == '}') { ++pos; return true; }
+      while (true) {
+        std::string key;
+        if (!parse_string(key)) return false;
+        if (!consume(':')) return false;
+        Json value;
+        if (!parse_value(value)) return false;
+        out.set(std::move(key), std::move(value));
+        skip_ws();
+        if (pos < text.size() && text[pos] == ',') { ++pos; skip_ws(); continue; }
+        return consume('}');
+      }
+    }
+    // Number.
+    char* end = nullptr;
+    const double v = std::strtod(text.c_str() + pos, &end);
+    if (end == text.c_str() + pos) return fail("unexpected character");
+    pos = static_cast<std::size_t>(end - text.c_str());
+    out = Json(v);
+    return true;
+  }
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text, std::string* error) {
+  Parser p{text, 0, {}};
+  Json out;
+  if (!p.parse_value(out)) {
+    if (error != nullptr) *error = p.error;
+    return Json();
+  }
+  p.skip_ws();
+  if (p.pos != text.size()) {
+    if (error != nullptr)
+      *error = "trailing data at offset " + std::to_string(p.pos);
+    return Json();
+  }
+  if (error != nullptr) error->clear();
+  return out;
+}
+
+void erase_keys_recursive(Json& value, const std::vector<std::string>& keys) {
+  if (value.is_object()) {
+    for (const auto& key : keys) value.remove(key);
+    for (auto& [k, v] : value.members()) erase_keys_recursive(v, keys);
+  } else if (value.is_array()) {
+    for (auto& elem : value.elements()) erase_keys_recursive(elem, keys);
+  }
+}
+
+}  // namespace knor::bench

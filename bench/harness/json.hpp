@@ -1,0 +1,92 @@
+// Dependency-free JSON value: build, serialize, parse (bench harness only —
+// the library proper has no JSON needs). Objects preserve insertion order so
+// serialization is deterministic: the same value tree always dumps to the
+// same bytes, which is what makes `BENCH_results.json` diffable across runs
+// (see DESIGN.md §6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace knor::bench {
+
+/// Shortest decimal string that strtod round-trips to exactly `v`
+/// (integral values print without a decimal point; NaN/Inf degrade to "0",
+/// JSON has no representation for them).
+std::string format_double(double v);
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  using Object = std::vector<std::pair<std::string, Json>>;
+  using Array = std::vector<Json>;
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double v) : type_(Type::kNumber), num_(v) {}
+  Json(int v) : Json(static_cast<double>(v)) {}
+  Json(long long v) : Json(static_cast<double>(v)) {}
+  Json(std::uint64_t v) : Json(static_cast<double>(v)) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(const char* s) : Json(std::string(s)) {}
+
+  static Json object() { Json j; j.type_ = Type::kObject; return j; }
+  static Json array() { Json j; j.type_ = Type::kArray; return j; }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  /// Object append (keys are not deduplicated; callers keep them unique).
+  Json& set(std::string key, Json value);
+  /// Array append.
+  Json& push(Json value);
+
+  /// First member with `key`, or nullptr (objects only).
+  const Json* find(const std::string& key) const;
+  Json* find(const std::string& key);
+  /// Remove every member named `key`; returns true if any was removed.
+  bool remove(const std::string& key);
+
+  const Object& members() const { return obj_; }
+  Object& members() { return obj_; }
+  const Array& elements() const { return arr_; }
+  Array& elements() { return arr_; }
+  double number() const { return num_; }
+  bool boolean() const { return bool_; }
+  const std::string& str() const { return str_; }
+
+  bool operator==(const Json& o) const;
+  bool operator!=(const Json& o) const { return !(*this == o); }
+
+  /// Pretty-print with `indent` spaces per level (0 = compact single line).
+  std::string dump(int indent = 2) const;
+
+  /// Parse `text`; on failure returns null and sets *error (if non-null)
+  /// to a message with the byte offset.
+  static Json parse(const std::string& text, std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  Object obj_;
+  Array arr_;
+};
+
+/// Append `s` JSON-escaped (quotes, backslash, control chars) to `out`,
+/// without surrounding quotes.
+void json_escape(const std::string& s, std::string& out);
+
+/// Recursively remove every object member named in `keys` — how the bench
+/// driver canonicalizes BENCH_results.json for determinism diffs (strips
+/// the timing fields; see `knor_bench --strip`).
+void erase_keys_recursive(Json& value, const std::vector<std::string>& keys);
+
+}  // namespace knor::bench

@@ -1,0 +1,24 @@
+// Renderers over SuiteRun: the RESULTS.md markdown report (figure-by-figure
+// tables + ASCII bar charts + paper-expected trend) and the plain-text form
+// the per-figure standalone binaries print.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/harness.hpp"
+
+namespace knor::bench {
+
+/// Full RESULTS.md: hand-written preamble (scale caveats, DESIGN.md §1
+/// links), contents list, then one section per suite.
+std::string render_report(const std::vector<SuiteRun>& runs,
+                          const RunOptions& opts);
+
+/// One suite, console form (what `./fig4_numa_speedup` prints).
+std::string render_text(const SuiteRun& run);
+
+/// Human-friendly number: integers plain, else 4 significant digits.
+std::string pretty_number(double v);
+
+}  // namespace knor::bench

@@ -1,0 +1,55 @@
+// Thin main for the per-figure compatibility binaries: each one links this
+// file plus exactly one suite translation unit, so "run every registered
+// suite" runs that one figure/table and prints the console report.
+//
+// Defaults to paper scale; KNOR_BENCH_SCALE still multiplies the dataset
+// factor (the pre-harness contract), and `--scale smoke` / `--repeats N` /
+// `--warmup N` are accepted for parity with knor_bench.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "harness/harness.hpp"
+#include "harness/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace knor::bench;
+  // Resolve the scale tier first, then apply overrides, so --repeats/
+  // --warmup take effect regardless of argument order.
+  Scale scale = Scale::kPaper;
+  int repeats = 0, warmup = -1;
+  const auto fail = [&]() -> int {
+    std::fprintf(stderr,
+                 "usage: %s [--scale smoke|paper] [--repeats N] [--warmup N]\n",
+                 argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (std::strcmp(argv[i], "--scale") == 0) {
+      const char* tier = next();
+      if (std::strcmp(tier, "smoke") == 0) scale = Scale::kSmoke;
+      else if (std::strcmp(tier, "paper") == 0) scale = Scale::kPaper;
+      else return fail();
+    } else if (std::strcmp(argv[i], "--repeats") == 0) {
+      repeats = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--warmup") == 0) {
+      warmup = std::atoi(next());
+    } else {
+      return fail();
+    }
+  }
+  RunOptions opts = RunOptions::for_scale(scale);
+  if (repeats > 0) opts.repeats = repeats;
+  if (warmup >= 0) opts.warmup = warmup;
+
+  bool failed = false;
+  for (const Suite& suite : Registry::instance().suites()) {
+    const SuiteRun run = run_suite(suite, opts);
+    std::fputs(render_text(run).c_str(), stdout);
+    failed = failed || !run.ok || !run.has_samples();
+  }
+  return failed ? 1 : 0;
+}

@@ -1,31 +1,43 @@
-// Table 2 — the datasets under evaluation. Prints the proxy dataset
-// inventory used by every other bench, alongside the paper's originals and
-// the scale factor (this reproduction runs in a container; DESIGN.md §1
-// documents the substitution).
-#include "bench_util.hpp"
-
-using namespace knor;
+// Table 2 — the datasets under evaluation. Emits the proxy dataset
+// inventory used by every other suite, alongside the paper's originals and
+// the scale substitution (DESIGN.md §1.3). Fully deterministic: the
+// canonical fingerprint/determinism reference suite.
+#include "harness/datasets.hpp"
 
 namespace {
-void row(const char* paper_name, const char* paper_dims,
-         const char* paper_size, const data::GeneratorSpec& proxy) {
-  std::printf("%-18s %-16s %-8s | %-52s %8.1f MB\n", paper_name, paper_dims,
-              paper_size, proxy.describe().c_str(), proxy.bytes() / 1e6);
-}
-}  // namespace
 
-int main() {
-  bench::header("Table 2: datasets under evaluation (paper vs proxy)",
-                "Table 2 of the paper");
-  std::printf("%-18s %-16s %-8s | %-52s %11s\n", "paper dataset", "n x d",
-              "size", "proxy (this reproduction)", "proxy size");
-  row("Friendster-8", "66M x 8", "4GB", bench::friendster8_proxy());
-  row("Friendster-32", "66M x 32", "16GB", bench::friendster32_proxy());
-  row("RM856M", "856M x 16", "103GB", bench::rm_proxy());
-  row("RM1B", "1.1B x 32", "251GB", bench::rm_proxy(1000000));
-  row("RU2B", "2.1B x 64", "1.1TB", bench::ru_proxy());
-  std::printf("\nProxies preserve the property each experiment depends on: "
-              "natural clusters (pruning-friendly) for Friendster, uniform "
-              "randomness (pruning-hostile worst case) for RM/RU.\n");
-  return 0;
+using namespace knor;
+using namespace knor::bench;
+
+void emit(Context& ctx, const char* paper_name, const char* paper_dims,
+          const char* paper_size, const data::GeneratorSpec& proxy) {
+  ctx.row()
+      .label("paper_dataset", paper_name)
+      .label("paper_n_x_d", paper_dims)
+      .label("paper_size", paper_size)
+      .label("proxy", proxy.describe())
+      .stat("proxy_mb", proxy.bytes() / 1e6);
 }
+
+void run(Context& ctx) {
+  emit(ctx, "Friendster-8", "66M x 8", "4GB", friendster8_proxy(ctx));
+  emit(ctx, "Friendster-32", "66M x 32", "16GB", friendster32_proxy(ctx));
+  emit(ctx, "RM856M", "856M x 16", "103GB", rm_proxy(ctx));
+  emit(ctx, "RM1B", "1.1B x 32", "251GB", rm_proxy(ctx, 1000000));
+  emit(ctx, "RU2B", "2.1B x 64", "1.1TB", ru_proxy(ctx));
+  ctx.note("Proxies preserve the property each experiment depends on: "
+           "natural clusters (pruning-friendly) for Friendster, uniform "
+           "randomness (pruning-hostile worst case) for RM/RU.");
+  ctx.chart("proxy_mb");
+}
+
+const Registration reg({
+    "table2_datasets",
+    "Table 2: datasets under evaluation (paper vs proxy)",
+    "Table 2 of the paper",
+    "Inventory, not a measurement: each paper dataset maps to a generated "
+    "proxy thousands of times smaller that preserves the property the "
+    "experiments depend on (cluster structure vs uniform randomness).",
+    220, run});
+
+}  // namespace

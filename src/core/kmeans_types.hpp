@@ -49,7 +49,12 @@ struct Options {
   DenseMatrix initial_centroids;
 };
 
-/// Per-run instrumentation, aggregated over threads.
+/// Per-run instrumentation, aggregated over threads. The algorithmic
+/// counters (dist_computations, clause*_skips) are deterministic — pure
+/// functions of (data, opts) like the clustering itself; the attribution
+/// counters (local/remote accesses under work stealing, tasks_*) depend on
+/// the thread schedule and vary run to run (the bench harness reports them
+/// as timings, DESIGN.md §6).
 struct Counters {
   std::uint64_t dist_computations = 0;  ///< point-centroid distances evaluated
   std::uint64_t clause1_skips = 0;      ///< points skipped entirely (MTI c1)

@@ -9,6 +9,14 @@ namespace knor {
 /// NUMA-optimized ||Lloyd's engine. This is the paper's knori when
 /// opts.prune is true and knori- when false; opts.numa_aware = false gives
 /// the NUMA-oblivious baseline of Figure 4.
+///
+/// Determinism: assignments, centroids and iteration count are a pure
+/// function of (data, opts) — invariant across thread counts, scheduling
+/// policies and repeated runs, with or without MTI (per-thread partial
+/// sums merge in a fixed pairwise tree, so even floating point is
+/// reproducible for a given thread count; across different thread counts
+/// centroids agree to last-ulp rounding). Only Result's timing fields and
+/// the scheduler/NUMA attribution counters vary run to run.
 Result kmeans(ConstMatrixView data, const Options& opts);
 
 namespace detail {

@@ -33,6 +33,8 @@
 
 namespace knor::dist {
 
+/// knord cluster shape + interconnect model. Plain data; the same
+/// DistOptions value always describes the same simulated cluster.
 struct DistOptions {
   /// Simulated machines (ranks-as-threads; see DESIGN.md).
   int ranks = 2;
@@ -59,7 +61,10 @@ Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
               const DistOptions& dopts);
 
 /// Flat MPI baseline: one single-threaded, NUMA-oblivious worker per rank,
-/// same collectives and iteration protocol as knord.
+/// same collectives and iteration protocol as knord
+/// (dopts.threads_per_rank is ignored). Same determinism contract as
+/// kmeans: the clustering is invariant across rank counts and repeated
+/// runs.
 Result mpi_kmeans(ConstMatrixView data, const Options& opts,
                   const DistOptions& dopts);
 

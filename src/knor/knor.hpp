@@ -7,6 +7,14 @@
 //   knor::sem::kmeans(path, opts, sopts) — knors, semi-external memory
 //   knor::dist::kmeans(spec, opts, dopts)— knord, distributed (MPI-lite)
 //
+// Determinism (the contract every entry point shares): given the same
+// data, Options and seed, every module produces the same clustering —
+// assignments, centroids, iteration count — independent of thread count,
+// rank count or scheduling; only timing fields and instrumentation that
+// attributes work to threads vary between runs. The per-module headers
+// state the precise guarantee (bitwise vs last-ulp) and DESIGN.md §5
+// derives it.
+//
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once
 

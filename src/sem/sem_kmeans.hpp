@@ -22,6 +22,8 @@
 
 namespace knor::sem {
 
+/// knors configuration: I/O substrate sizes plus the paper's row-cache and
+/// checkpoint knobs. Plain data; every field has an independent default.
 struct SemOptions {
   std::size_t page_size = 4096;           ///< minimum device read (paper: 4KB)
   std::size_t page_cache_bytes = 4 << 20; ///< SAFS-style page cache budget
@@ -48,16 +50,27 @@ struct IterIo {
   std::uint64_t active_rows = 0;      ///< rows needing data this iteration
 };
 
+/// Whole-run I/O accounting: one IterIo per executed iteration.
 struct SemStats {
   std::vector<IterIo> per_iter;
+  /// Sum of bytes_requested over all iterations.
   std::uint64_t total_requested() const;
+  /// Sum of bytes_read over all iterations.
   std::uint64_t total_read() const;
+  /// Sum of device_requests over all iterations.
   std::uint64_t total_device_requests() const;
 };
 
 /// Run knors over the .kmat file at `path`. Same Options semantics as
 /// knor::kmeans (opts.prune toggles MTI -> knors vs knors-). Restrictions:
 /// init must be kForgy or kProvided (streaming k-means++ is future work).
+///
+/// Determinism: the clustering (assignments, centroids, iteration count)
+/// and the *demand-side* I/O statistics (bytes_requested, active_rows,
+/// row_cache_hits) are pure functions of (file contents, opts, sem_opts);
+/// the *supply-side* counters (bytes_read, device_requests) may vary
+/// slightly between runs because concurrent workers can race to fault the
+/// same page (see DESIGN.md §6's stat/timing split).
 Result kmeans(const std::string& path, const Options& opts,
               const SemOptions& sem_opts, SemStats* stats = nullptr);
 
