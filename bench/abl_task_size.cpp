@@ -3,9 +3,12 @@
 //
 // Sweeps the task granularity under MTI skew and reports makespan proxy,
 // imbalance and queue traffic: tiny tasks balance perfectly but pay
-// queue-lock traffic; huge tasks re-create static scheduling's skew. All
-// three are scheduling-dependent, hence timings.
+// claim traffic (and per-chunk accumulator churn, DESIGN.md §7); huge
+// tasks re-create static scheduling's skew. All three are
+// scheduling-dependent, hence timings. task_size 0 is the adaptive
+// default (Scheduler::auto_task_size), included as the first sweep point.
 #include <algorithm>
+#include <string>
 
 #include "core/knori.hpp"
 #include "harness/datasets.hpp"
@@ -24,7 +27,7 @@ void run(Context& ctx) {
   ctx.config("k", 50);
   ctx.config("mti", "on");
 
-  for (const index_t task_size : {256u, 1024u, 4096u, 8192u, 32768u,
+  for (const index_t task_size : {0u, 256u, 1024u, 4096u, 8192u, 32768u,
                                   131072u}) {
     Options opts;
     opts.k = 50;
@@ -45,7 +48,9 @@ void run(Context& ctx) {
     const auto tasks = res.counters.tasks_own + res.counters.tasks_same_node +
                        res.counters.tasks_remote_node;
     ctx.row()
-        .label("task_size", static_cast<long long>(task_size))
+        .label("task_size", task_size == 0
+                                ? std::string("adaptive")
+                                : std::to_string(task_size))
         .timing("makespan_ms", makespan.scaled(1e3))
         .timing("imbalance", mean_busy > 0 ? max_busy / mean_busy : 1.0)
         .timing("queue_ops_per_iter",

@@ -1,23 +1,45 @@
-// Figure 5 — the partitioned NUMA-aware task scheduler vs FIFO and static
-// scheduling, with MTI enabled (pruning is the skew source), k = 10..100.
+// Figure 5 — the NUMA-partitioned work-stealing scheduler vs the flat
+// shared queue (the frameworks' thread-pool model) and static scheduling.
 //
-// On one core the wall-time gap compresses, so besides the makespan proxy
-// the suite reports the scheduler's task distribution (own / same-node
-// steals / remote steals): static has no steals by construction
-// (stragglers keep their backlog), while the NUMA-aware queue rebalances
-// with mostly same-node steals. Steal counts depend on thread timing, so
-// they live in the timings bucket, not stats.
+// Two configurations:
+//
+//  * kmeans-mti — the paper's setup: knori with MTI enabled (pruning is the
+//    skew source), k = 10..100. On one physical socket the wall-time gap
+//    compresses, so besides the makespan proxy the rows report the
+//    scheduler's task distribution (own / same-node steals / remote
+//    steals) and the busy-time imbalance.
+//
+//  * skewed-synthetic — an adversarial scheduler-only workload: the first
+//    half of the chunk grid costs ~16x per item, which with 8 threads over
+//    4 nodes means every node holds one heavy thread (0-3) and one light
+//    thread (4-7); every item executed off its home node is charged the
+//    modeled interconnect penalty. The REAL per-node deques and steal
+//    policy are exercised, but through a deterministic discrete-event
+//    simulation — the virtual worker with the earliest finish time claims
+//    next — because on this container's single core (DESIGN.md §1) a
+//    wall-clock race can't exhibit load balancing at all: timeslice bursts
+//    let one thread drain every queue. The simulated makespans are pure
+//    functions of the policy, so they are *stats* (bit-identical across
+//    runs, diffed by the --strip determinism gate). Static scheduling
+//    strands each heavy block on its single owner (~2x the balanced
+//    makespan); the flat queue balances but executes ~3/4 of all items
+//    remotely (penalty on every one); hierarchical work stealing balances
+//    *within* each node's shared deque — penalty-free — and must be
+//    strictly fastest.
 #include <algorithm>
+#include <cmath>
 
 #include "core/knori.hpp"
 #include "harness/datasets.hpp"
+#include "numa/partitioner.hpp"
+#include "sched/scheduler.hpp"
 
 namespace {
 
 using namespace knor;
 using namespace knor::bench;
 
-void run(Context& ctx) {
+void kmeans_mti_config(Context& ctx) {
   data::GeneratorSpec spec = friendster8_proxy(ctx, 120000);
   // Real-world matrices arrive crawl-/community-ordered: rows of the same
   // cluster are adjacent, so MTI's pruning rate differs *across partitions*
@@ -25,12 +47,6 @@ void run(Context& ctx) {
   spec.locality = 0.9;
   const DenseMatrix m = data::generate(spec);
   ctx.dataset(spec);
-  ctx.config("threads", 8);
-  ctx.config("topology", "simulated 4-node");
-  ctx.config("remote_penalty_ns", 100);
-  ctx.config("task_size", 2048);
-  ctx.config("mti", "on");
-
   const RemotePenaltyGuard penalty(100);
   for (const int k : {10, 20, 50, 100}) {
     for (const auto policy :
@@ -55,6 +71,7 @@ void run(Context& ctx) {
       }
       mean_busy /= static_cast<double>(res.thread_busy_s.size());
       ctx.row()
+          .label("config", "kmeans-mti")
           .label("k", k)
           .label("scheduler", sched::to_string(policy))
           .timing("makespan_ms", makespan.scaled(1e3))
@@ -66,17 +83,100 @@ void run(Context& ctx) {
                   static_cast<double>(res.counters.tasks_remote_node));
     }
   }
+}
+
+void skewed_synthetic_config(Context& ctx) {
+  const int threads = 8;
+  const index_t items = ctx.scaled(2000000);
+  // Resolve the knob exactly like begin_chunks will (explicit sizes are
+  // floored to the kMaxChunks grid cap), so the heavy-half predicate below
+  // matches the grid the scheduler actually lays.
+  const index_t task_size = sched::Scheduler::resolve_task_size(items, 256);
+  constexpr double kUnitNs = 10.0;      // modeled cost of one local access
+  constexpr double kPenaltyNs = 100.0;  // extra cost of a remote access
+  constexpr int kHeavyWeight = 16;
+  ctx.config("skew_items", static_cast<double>(items));
+  ctx.config("skew_task_size", static_cast<double>(task_size));
+  ctx.config("skew_heavy_fraction", 0.5);
+  ctx.config("skew_heavy_weight", kHeavyWeight);
+  ctx.config("skew_unit_ns", kUnitNs);
+  ctx.config("skew_remote_penalty_ns", kPenaltyNs);
+
+  const auto topo = numa::Topology::simulated(4, threads);
+  const numa::Partitioner parts(items, threads, topo);
+  const auto chunks = static_cast<std::size_t>(
+      sched::Scheduler::num_chunks(items, task_size));
+
+  for (const auto policy :
+       {sched::SchedPolicy::kNumaAware, sched::SchedPolicy::kFifo,
+        sched::SchedPolicy::kStatic}) {
+    sched::Scheduler sched(threads, topo, /*bind=*/true, policy);
+    sched.begin_chunks(items, task_size, &parts);
+
+    // Discrete-event simulation of the parallel schedule: the idle worker
+    // with the earliest virtual clock (ties: lowest id) claims its next
+    // chunk from the real deques and advances by the modeled cost.
+    std::vector<double> clock_ns(static_cast<std::size_t>(threads), 0.0);
+    std::vector<bool> done(static_cast<std::size_t>(threads), false);
+    double checksum = 0.0;
+    int active = threads;
+    while (active > 0) {
+      int w = -1;
+      for (int t = 0; t < threads; ++t)
+        if (!done[static_cast<std::size_t>(t)] &&
+            (w < 0 || clock_ns[static_cast<std::size_t>(t)] <
+                          clock_ns[static_cast<std::size_t>(w)]))
+          w = t;
+      sched::Task task;
+      if (!sched.next_chunk(w, task)) {
+        done[static_cast<std::size_t>(w)] = true;
+        --active;
+        continue;
+      }
+      const bool remote = task.home_node != sched.node_of_thread(w);
+      const double weight = task.chunk < chunks / 2 ? kHeavyWeight : 1.0;
+      const auto size = static_cast<double>(task.size());
+      clock_ns[static_cast<std::size_t>(w)] +=
+          size * (weight * kUnitNs + (remote ? kPenaltyNs : 0.0));
+      checksum += static_cast<double>(task.chunk) * weight;
+    }
+    double makespan_ns = 0.0;
+    for (const double c : clock_ns) makespan_ns = std::max(makespan_ns, c);
+
+    // Everything here is a pure function of the policy: stats, not timings
+    // — the --strip determinism gate diffs them across runs.
+    const sched::StealStats steals = sched.total_stats();
+    ctx.row()
+        .label("config", "skewed-synthetic")
+        .label("scheduler", sched::to_string(policy))
+        .stat("makespan_model_ms", makespan_ns / 1e6)
+        .stat("checksum", checksum)
+        .stat("tasks_own", static_cast<double>(steals.own))
+        .stat("tasks_same_node", static_cast<double>(steals.same_node))
+        .stat("tasks_remote_node", static_cast<double>(steals.remote_node));
+  }
+}
+
+void run(Context& ctx) {
+  ctx.config("threads", 8);
+  ctx.config("topology", "simulated 4-node");
+  ctx.config("remote_penalty_ns", 100);
+  ctx.config("task_size", 2048);
+  ctx.config("mti", "on");
+  kmeans_mti_config(ctx);
+  skewed_synthetic_config(ctx);
   ctx.chart("makespan_ms");
 }
 
 const Registration reg({
     "fig5_scheduler",
-    "Figure 5: task scheduler comparison under MTI skew",
+    "Figure 5: task scheduler comparison under MTI and synthetic skew",
     "Figure 5 of the paper",
-    "Static scheduling's imbalance (and thus makespan) grows with k as MTI "
-    "skew concentrates work; the NUMA-aware queue stays balanced with "
-    "predominantly same-node steals; FIFO balances too but steals remote, "
-    "paying the interconnect on stolen tasks.",
+    "Static scheduling's imbalance (and thus makespan) grows with skew as "
+    "stragglers keep their backlog; the flat shared queue balances but pays "
+    "the interconnect on ~3/4 of its accesses; the NUMA-partitioned "
+    "work-stealing scheduler balances with predominantly node-local claims "
+    "and is strictly fastest on the skewed-task configuration.",
     50, run});
 
 }  // namespace

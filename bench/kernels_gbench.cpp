@@ -12,7 +12,7 @@
 #include "data/generator.hpp"
 #include "dist/comm.hpp"
 #include "numa/partitioner.hpp"
-#include "sched/task_queue.hpp"
+#include "sched/scheduler.hpp"
 
 namespace {
 
@@ -81,14 +81,14 @@ BENCHMARK(BM_MtiPrepare)->Arg(10)->Arg(50)->Arg(100);
 void BM_TaskQueueDrain(benchmark::State& state) {
   const auto topo = numa::Topology::simulated(4, 8);
   const numa::Partitioner parts(1 << 20, 8, topo);
-  sched::TaskQueue queue(parts, sched::SchedPolicy::kNumaAware, 8192);
+  sched::Scheduler sched(8, topo, /*bind=*/false);
   for (auto _ : state) {
     state.PauseTiming();
-    queue.reset();
+    sched.begin_chunks(1 << 20, 8192, &parts);
     state.ResumeTiming();
     sched::Task task;
     for (int t = 0; t < 8; ++t)
-      while (queue.next(t, task)) benchmark::DoNotOptimize(task.begin);
+      while (sched.next_chunk(t, task)) benchmark::DoNotOptimize(task.begin);
   }
   state.SetItemsProcessed(state.iterations() * ((1 << 20) / 8192));
 }

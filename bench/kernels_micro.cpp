@@ -12,7 +12,7 @@
 #include "dist/comm.hpp"
 #include "harness/datasets.hpp"
 #include "numa/partitioner.hpp"
-#include "sched/task_queue.hpp"
+#include "sched/scheduler.hpp"
 
 namespace {
 
@@ -106,21 +106,22 @@ void run(Context& ctx) {
   {
     const auto topo = numa::Topology::simulated(4, 8);
     const numa::Partitioner parts(1 << 18, 8, topo);
-    sched::TaskQueue queue(parts, sched::SchedPolicy::kNumaAware, 8192);
+    sched::Scheduler sched(8, topo, /*bind=*/false);
     const std::size_t tasks_per_drain = (1 << 18) / 8192;
     const TimingAgg ns = ctx.measure([&] {
       const std::size_t drains = 200;
       const WallTimer timer;
       for (std::size_t i = 0; i < drains; ++i) {
-        queue.reset();
+        sched.begin_chunks(1 << 18, 8192, &parts);
         sched::Task task;
         for (int t = 0; t < 8; ++t)
-          while (queue.next(t, task)) g_sink = static_cast<double>(task.begin);
+          while (sched.next_chunk(t, task))
+            g_sink = static_cast<double>(task.begin);
       }
       return timer.elapsed() /
              static_cast<double>(drains * tasks_per_drain) * 1e9;
     });
-    ctx.row().label("kernel", "task_queue_pop").label("arg", "8T, 32 tasks")
+    ctx.row().label("kernel", "ws_chunk_claim").label("arg", "8T, 32 tasks")
         .timing("ns_per_op", ns);
   }
 

@@ -7,7 +7,7 @@
 #include "core/init.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor::baselines {
 
@@ -25,7 +25,7 @@ Result h2o_like(ConstMatrixView data, const Options& opts) {
   std::vector<index_t> counts(static_cast<std::size_t>(k));
 
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/false);
+  sched::Scheduler sched(T, topo, /*bind=*/false);
   std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
   std::vector<double> tbusy(static_cast<std::size_t>(T), 0.0);
 
@@ -36,7 +36,7 @@ Result h2o_like(ConstMatrixView data, const Options& opts) {
     WallTimer timer;
 
     // Phase I: parallel assignment only. Global barrier at the join.
-    pool.run([&](int tid) {
+    sched.run([&](int tid) {
       const double cpu_start = thread_cpu_seconds();
       tchanged[static_cast<std::size_t>(tid)] = 0;
       const numa::RowRange rows = parts.thread_rows(tid);

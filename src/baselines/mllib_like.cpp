@@ -7,7 +7,7 @@
 #include "core/init.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor::baselines {
 
@@ -23,7 +23,7 @@ Result mllib_like(ConstMatrixView data, const Options& opts) {
   DenseMatrix cur = init_centroids(data, opts);
 
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/false);
+  sched::Scheduler sched(T, topo, /*bind=*/false);
 
   // Map output: per-thread vectors of (key, value-copy) pairs — the
   // materialized intermediate data a shuffle-based engine produces.
@@ -45,7 +45,7 @@ Result mllib_like(ConstMatrixView data, const Options& opts) {
     WallTimer timer;
 
     // --- Map: assign, emit (cluster, row copy). ---
-    pool.run([&](int tid) {
+    sched.run([&](int tid) {
       const double cpu_start = thread_cpu_seconds();
       auto& out = map_out[static_cast<std::size_t>(tid)];
       out.clear();
@@ -81,7 +81,7 @@ Result mllib_like(ConstMatrixView data, const Options& opts) {
     // skewed by bucket sizes (the paper's reduce-phase skew). ---
     DenseMatrix next(static_cast<index_t>(k), d);
     std::vector<index_t> sizes(static_cast<std::size_t>(k));
-    pool.run([&](int tid) {
+    sched.run([&](int tid) {
       const double cpu_start = thread_cpu_seconds();
       for (int c = tid; c < k; c += T) {
         const auto& bucket = buckets[static_cast<std::size_t>(c)];

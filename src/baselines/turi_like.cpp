@@ -9,7 +9,7 @@
 #include "core/init.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor::baselines {
 namespace {
@@ -58,7 +58,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
   std::vector<index_t> counts(static_cast<std::size_t>(k));
 
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/false);
+  sched::Scheduler sched(T, topo, /*bind=*/false);
   std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
   std::vector<double> tbusy(static_cast<std::size_t>(T), 0.0);
   // Per-thread accumulation through row *copies* (the engine materializes
@@ -76,7 +76,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
-    pool.run([&](int tid) {
+    sched.run([&](int tid) {
       const double cpu_start = thread_cpu_seconds();
       auto& ts = tsums[static_cast<std::size_t>(tid)];
       auto& tc = tcounts[static_cast<std::size_t>(tid)];

@@ -3,15 +3,25 @@
 // upper bounds; prunes with all of Elkan's clauses. Included both as a
 // correctness oracle for MTI and to let the Table 1 / Figure 8 benches show
 // the memory trade-off the paper makes (O(nk) vs O(n) extra state).
+//
+// Runs on the work-stealing scheduler: every per-point step (bounds, argmin)
+// is row-local, so the assignment pass and the bounds-drift pass both
+// parallelize as chunked loops; centroid sums accumulate per chunk and fold
+// with the fixed tree, keeping results bitwise independent of thread count
+// and steal order like the main engine (DESIGN.md §7).
 #include <limits>
 #include <vector>
 
 #include "common/memory_tracker.hpp"
 #include "common/timer.hpp"
+#include "core/chunk_accum.hpp"
 #include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
 #include "core/local_centroids.hpp"
+#include "numa/partitioner.hpp"
+#include "numa/topology.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 
@@ -24,7 +34,24 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
   DenseMatrix cur = init_centroids(data, opts);
   DenseMatrix next(static_cast<index_t>(k), d);
-  LocalCentroids acc(k, d);
+
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+  numa::Partitioner parts(n, T, topo);
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_aware && opts.numa_bind,
+                         opts.sched);
+  const index_t task_size =
+      sched::Scheduler::resolve_task_size(n, opts.task_size);
+  const auto chunks =
+      static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size));
+  ChunkAccum<LocalCentroids> acc(chunks, k, d);
+  struct alignas(kCacheLine) PerThread {
+    Counters counters;
+    std::uint64_t changed = 0;
+  };
+  std::vector<PerThread> per_thread(static_cast<std::size_t>(T));
 
   // Elkan state: upper bound u(x), lower bounds l(x,c) — the O(nk) matrix —
   // plus the c2c distances and per-centroid separations.
@@ -57,101 +84,123 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
     }
   };
 
-  const auto tol_changes =
-      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
-
-  for (int it = 0; it < opts.max_iters; ++it) {
-    WallTimer timer;
-    prepare();
-    acc.clear();
-    std::uint64_t changed = 0;
-
-    for (index_t r = 0; r < n; ++r) {
-      const value_t* v = data.row(r);
-      cluster_t a = res.assignments[r];
-      if (a == kInvalidCluster) {
-        // First iteration: full scan seeds both bound structures.
-        value_t best_d = euclidean(v, cur.row(0), d);
-        ++res.counters.dist_computations;
-        lbi(r, 0) = best_d;
-        cluster_t best = 0;
-        for (int c = 1; c < k; ++c) {
-          const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
-          ++res.counters.dist_computations;
-          lbi(r, c) = dc;
-          if (dc < best_d) {
-            best_d = dc;
-            best = static_cast<cluster_t>(c);
-          }
-        }
-        ub[r] = best_d;
-        res.assignments[r] = best;
-        ++changed;
-        acc.add(best, v);
-        continue;
-      }
-
-      // Elkan step 2: skip the whole point when u(x) <= s(c(x)).
-      if (ub[r] <= s_half[a]) {
-        ++res.counters.clause1_skips;
-        acc.add(a, v);
-        continue;
-      }
-      bool tight = false;
-      value_t best_d = ub[r];
-      cluster_t best = a;
-      for (int c = 0; c < k; ++c) {
-        if (static_cast<cluster_t>(c) == best) continue;
-        // Step 3 conditions: candidate must beat both its lower bound and
-        // the inter-centroid separation.
-        if (best_d <= lbi(r, c)) {
-          ++res.counters.clause2_skips;
-          continue;
-        }
-        if (best_d <= value_t(0.5) *
-                          c2c[static_cast<std::size_t>(best) * k + c]) {
-          ++res.counters.clause3_skips;
-          continue;
-        }
-        if (!tight) {
-          // 3a: tighten u(x) = d(x, c(x)).
-          best_d = euclidean(v, cur.row(best), d);
-          ++res.counters.dist_computations;
-          lbi(r, best) = best_d;
-          tight = true;
-          if (best_d <= lbi(r, c) ||
-              best_d <= value_t(0.5) *
-                            c2c[static_cast<std::size_t>(best) * k + c])
-            continue;
-        }
-        // 3b: compute d(x, c).
+  // One point of the assignment pass; accumulates into `slot`.
+  const auto process_point = [&](index_t r, LocalCentroids& slot,
+                                 PerThread& pt) {
+    const value_t* v = data.row(r);
+    cluster_t a = res.assignments[r];
+    if (a == kInvalidCluster) {
+      // First iteration: full scan seeds both bound structures.
+      value_t best_d = euclidean(v, cur.row(0), d);
+      ++pt.counters.dist_computations;
+      lbi(r, 0) = best_d;
+      cluster_t best = 0;
+      for (int c = 1; c < k; ++c) {
         const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
-        ++res.counters.dist_computations;
+        ++pt.counters.dist_computations;
         lbi(r, c) = dc;
         if (dc < best_d) {
           best_d = dc;
           best = static_cast<cluster_t>(c);
         }
       }
-      if (best != a) ++changed;
-      res.assignments[r] = best;
       ub[r] = best_d;
-      acc.add(best, v);
+      res.assignments[r] = best;
+      ++pt.changed;
+      slot.add(best, v);
+      return;
     }
 
-    res.cluster_sizes = acc.finalize_into(next, cur);
-    // Steps 5-6: update bounds by centroid drift.
+    // Elkan step 2: skip the whole point when u(x) <= s(c(x)).
+    if (ub[r] <= s_half[a]) {
+      ++pt.counters.clause1_skips;
+      slot.add(a, v);
+      return;
+    }
+    bool tight = false;
+    value_t best_d = ub[r];
+    cluster_t best = a;
+    for (int c = 0; c < k; ++c) {
+      if (static_cast<cluster_t>(c) == best) continue;
+      // Step 3 conditions: candidate must beat both its lower bound and
+      // the inter-centroid separation.
+      if (best_d <= lbi(r, c)) {
+        ++pt.counters.clause2_skips;
+        continue;
+      }
+      if (best_d <= value_t(0.5) *
+                        c2c[static_cast<std::size_t>(best) * k + c]) {
+        ++pt.counters.clause3_skips;
+        continue;
+      }
+      if (!tight) {
+        // 3a: tighten u(x) = d(x, c(x)).
+        best_d = euclidean(v, cur.row(best), d);
+        ++pt.counters.dist_computations;
+        lbi(r, best) = best_d;
+        tight = true;
+        if (best_d <= lbi(r, c) ||
+            best_d <= value_t(0.5) *
+                          c2c[static_cast<std::size_t>(best) * k + c])
+          continue;
+      }
+      // 3b: compute d(x, c).
+      const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+      ++pt.counters.dist_computations;
+      lbi(r, c) = dc;
+      if (dc < best_d) {
+        best_d = dc;
+        best = static_cast<cluster_t>(c);
+      }
+    }
+    if (best != a) ++pt.changed;
+    res.assignments[r] = best;
+    ub[r] = best_d;
+    slot.add(best, v);
+  };
+
+  const auto tol_changes =
+      static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
+
+  for (int it = 0; it < opts.max_iters; ++it) {
+    WallTimer timer;
+    prepare();
+
+    sched.begin_chunks(n, task_size, &parts);
+    sched.run([&](int tid) {
+      auto& pt = per_thread[static_cast<std::size_t>(tid)];
+      pt.changed = 0;
+      sched::Task task;
+      while (sched.next_chunk(tid, task)) {
+        auto& slot = acc.touch(task.chunk);
+        for (index_t r = task.begin; r < task.end; ++r)
+          process_point(r, slot, pt);
+      }
+      sched.barrier().arrive_and_wait();
+      acc.fold(tid, T, sched.barrier());
+    });
+
+    std::uint64_t changed = 0;
+    for (const auto& pt : per_thread) changed += pt.changed;
+
+    res.cluster_sizes = acc.merged().finalize_into(next, cur);
+    acc.next_iteration();
+    // Steps 5-6: update bounds by centroid drift (row-local, parallel).
     for (int c = 0; c < k; ++c)
       drift[static_cast<std::size_t>(c)] =
           euclidean(cur.row(static_cast<index_t>(c)),
                next.row(static_cast<index_t>(c)), d);
-    for (index_t r = 0; r < n; ++r) {
-      for (int c = 0; c < k; ++c) {
-        auto& l = lbi(r, c);
-        l = std::max(value_t(0), l - drift[static_cast<std::size_t>(c)]);
-      }
-      ub[r] += drift[res.assignments[r]];
-    }
+    sched.parallel_for(n, task_size, &parts,
+                       [&](int, const sched::Task& task) {
+                         for (index_t r = task.begin; r < task.end; ++r) {
+                           for (int c = 0; c < k; ++c) {
+                             auto& l = lbi(r, c);
+                             l = std::max(value_t(0),
+                                          l - drift[static_cast<std::size_t>(c)]);
+                           }
+                           ub[r] += drift[res.assignments[r]];
+                         }
+                       });
     std::swap(cur, next);
     res.iter_times.record(timer.elapsed());
     ++res.iters;
@@ -161,6 +210,7 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
     }
   }
 
+  for (const auto& pt : per_thread) res.counters += pt.counters;
   for (index_t r = 0; r < n; ++r)
     res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);

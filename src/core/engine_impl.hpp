@@ -8,10 +8,18 @@
 //   const value_t* row(index_t r) const;  // O(1) access to row r
 //   int node_of_row(index_t r) const;     // NUMA node owning r's memory
 //
-// One pool.run per iteration executes the super-phase (nearest-centroid +
-// local-centroid accumulation, fed by the NUMA-aware task queue), then the
-// single global barrier, then the parallel pairwise merge of per-thread
-// centroids — exactly the structure of Algorithm 1.
+// One Scheduler::run per iteration executes the super-phase: workers drain
+// the NUMA-partitioned work-stealing chunk queues (nearest-centroid + local
+// accumulation), hit the single global barrier, then fold the per-CHUNK
+// accumulators with a fixed merge tree — the structure of Algorithm 1 with
+// the reduction re-keyed from threads to chunks.
+//
+// Determinism under stealing (DESIGN.md §7): the chunk grid is a pure
+// function of (n, task_size); chunk c's accumulator receives exactly chunk
+// c's rows in row order no matter which thread ends up processing it, and
+// the fold's association is fixed by the chunk count — so centroids,
+// assignments and iteration counts are bitwise identical across runs,
+// scheduling policies, steal schedules, and thread counts.
 #pragma once
 
 #include <cmath>
@@ -21,16 +29,14 @@
 
 #include "common/memory_tracker.hpp"
 #include "common/timer.hpp"
+#include "core/chunk_accum.hpp"
 #include "core/distance.hpp"
 #include "core/kmeans_types.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
 #include "numa/cost_model.hpp"
 #include "numa/partitioner.hpp"
-#include "sched/barrier.hpp"
-#include "sched/reduction.hpp"
-#include "sched/task_queue.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor::detail {
 
@@ -45,9 +51,38 @@ struct FlatData {
 struct alignas(kCacheLine) PerThread {
   Counters counters;
   std::uint64_t changed = 0;
-  double energy = 0.0;
   double busy_s = 0.0;  ///< CPU time in super-phases, whole run
 };
+
+/// Walk task's rows in segments that stay inside one thread block, so the
+/// base pointer and the local/remote classification hoist out of the
+/// per-row loop (chunks can straddle block boundaries now that the chunk
+/// grid is laid over the global row space). `cnt` == nullptr skips both the
+/// locality accounting and the emulated remote penalty (the final energy
+/// pass is not part of the iteration-time model).
+template <typename Data, typename PerRow>
+void for_task_rows(const Data& data, const numa::Partitioner& parts,
+                   const sched::Task& task, int my_node, Counters* cnt,
+                   PerRow&& per_row) {
+  index_t r = task.begin;
+  while (r < task.end) {
+    const int home = parts.thread_of_row(r);
+    const index_t seg_end = std::min(task.end, parts.thread_rows(home).end);
+    const value_t* base = data.row(r);
+    const bool local = data.node_of_row(r) == my_node;
+    if (cnt != nullptr) {
+      if (local)
+        cnt->local_accesses += seg_end - r;
+      else
+        cnt->remote_accesses += seg_end - r;
+    }
+    for (index_t i = r; i < seg_end; ++i) {
+      if (cnt != nullptr && !local) numa::RemotePenalty::charge();
+      per_row(i, base, r);
+    }
+    r = seg_end;
+  }
+}
 
 /// `reducer` (nullable) is the cross-node hook: when set, the merged
 /// per-iteration accumulator plus the changed-count are allreduced across
@@ -57,11 +92,15 @@ struct alignas(kCacheLine) PerThread {
 template <typename Data>
 Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
                           const Options& opts, DenseMatrix initial,
-                          sched::ThreadPool& pool,
+                          sched::Scheduler& sched,
                           const numa::Partitioner& parts,
                           GlobalReducer* reducer = nullptr) {
-  const int T = pool.size();
+  const int T = sched.threads();
   const int k = opts.k;
+  const index_t task_size =
+      sched::Scheduler::resolve_task_size(n, opts.task_size);
+  const auto chunks = static_cast<std::size_t>(
+      sched::Scheduler::num_chunks(n, task_size));
 
   Result res;
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
@@ -76,45 +115,39 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     mti.prepare(DenseMatrix{}, cur);
   }
 
-  sched::TaskQueue queue(parts, opts.sched, opts.task_size);
-
   // Accumulation strategy (see LocalCentroids vs SignedCentroids):
-  //  * pruning off — rebuild per-thread sums from scratch each iteration
+  //  * pruning off — rebuild per-chunk sums from scratch each iteration
   //    (Algorithm 1 verbatim; algorithmically identical to the frameworks).
-  //  * pruning on — persistent global sums/counts updated by per-thread
+  //  * pruning on — persistent global sums/counts updated by per-chunk
   //    membership *deltas*, so a clause-1-skipped point costs nothing at
   //    all (this is what makes the skip profitable at small d, and is the
-  //    in-memory analogue of knors's "no I/O request").
-  std::vector<LocalCentroids> locals;
-  std::vector<SignedCentroids> deltas;
+  //    in-memory analogue of knors's "no I/O request"); a fully-skipped
+  //    chunk never even clears its slot (ChunkAccum's dirty bit).
+  const bool prune = opts.prune;
+  ChunkAccum<LocalCentroids> locals(prune ? 0 : chunks, k, d);
+  ChunkAccum<SignedCentroids> deltas(prune ? chunks : 0, k, d);
   DenseMatrix sums;
   std::vector<std::int64_t> counts;
-  if (opts.prune) {
-    deltas.reserve(static_cast<std::size_t>(T));
-    for (int t = 0; t < T; ++t) deltas.emplace_back(k, d);
+  if (prune) {
     sums = DenseMatrix(static_cast<index_t>(k), d);
     counts.assign(static_cast<std::size_t>(k), 0);
-  } else {
-    locals.reserve(static_cast<std::size_t>(T));
-    for (int t = 0; t < T; ++t) locals.emplace_back(k, d);
   }
 
   std::vector<PerThread> per_thread(static_cast<std::size_t>(T));
-  sched::Barrier barrier(T);
 
-  ScopedAlloc mem_locals(
-      "per-thread-centroids",
-      static_cast<std::size_t>(T) *
-          (opts.prune ? deltas[0].bytes() : locals[0].bytes()));
-  ScopedAlloc mem_assign("assignments", res.assignments.size() * sizeof(cluster_t));
-  ScopedAlloc mem_mti("mti-state", opts.prune ? mti.bytes() : 0);
+  ScopedAlloc mem_chunks("per-chunk-centroids",
+                         prune ? deltas.bytes() : locals.bytes());
+  ScopedAlloc mem_assign("assignments",
+                         res.assignments.size() * sizeof(cluster_t));
+  ScopedAlloc mem_mti("mti-state", prune ? mti.bytes() : 0);
 
-  // `v` is the row's data; locality accounting is hoisted to per-task (a
-  // task never spans thread blocks, so all its rows share one NUMA node).
-  auto process_point = [&](index_t r, const value_t* v, int tid) {
+  // `v` is the row's data; locality accounting is hoisted to per-segment in
+  // for_task_rows. `chunk` selects the deterministic accumulator slot.
+  auto process_point = [&](index_t r, const value_t* v, int tid,
+                           std::uint32_t chunk) {
     Counters& cnt = per_thread[static_cast<std::size_t>(tid)].counters;
     const cluster_t a = res.assignments[r];
-    if (opts.prune && a != kInvalidCluster) {
+    if (prune && a != kInvalidCluster) {
       const value_t loosened = mti.ub(r) + mti.drift(a);
       if (mti.clause1(a, loosened)) {
         // Clause 1: assignment provably unchanged — no distance
@@ -155,7 +188,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
       }
       if (best != a) {
         ++per_thread[static_cast<std::size_t>(tid)].changed;
-        auto& delta = deltas[static_cast<std::size_t>(tid)];
+        auto& delta = deltas.touch(chunk);
         delta.sub(a, v);
         delta.add(best, v);
       }
@@ -170,10 +203,10 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     cnt.dist_computations += static_cast<std::uint64_t>(k);
     if (best != a) ++per_thread[static_cast<std::size_t>(tid)].changed;
     res.assignments[r] = best;
-    if (opts.prune) {
+    if (prune) {
       mti.set_ub(r, best_d);
       // First iteration under pruning: every point joins a cluster.
-      auto& delta = deltas[static_cast<std::size_t>(tid)];
+      auto& delta = deltas.touch(chunk);
       if (a == kInvalidCluster) {
         delta.add(best, v);
       } else if (best != a) {
@@ -181,49 +214,34 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
         delta.add(best, v);
       }
     } else {
-      locals[static_cast<std::size_t>(tid)].add(best, v);
+      locals.touch(chunk).add(best, v);
     }
   };
 
   const auto iteration = [&](int tid) {
     const double cpu_start = thread_cpu_seconds();
-    if (opts.prune)
-      deltas[static_cast<std::size_t>(tid)].clear();
-    else
-      locals[static_cast<std::size_t>(tid)].clear();
     per_thread[static_cast<std::size_t>(tid)].changed = 0;
     Counters& cnt = per_thread[static_cast<std::size_t>(tid)].counters;
     const int my_node = parts.node_of_thread(tid);
     sched::Task task;
-    while (queue.next(tid, task)) {
-      // Rows of one task are contiguous within a single thread block: hoist
-      // the base pointer and the local/remote classification out of the
-      // per-point loop.
-      const value_t* base = data.row(task.begin);
-      const bool local = data.node_of_row(task.begin) == my_node;
-      if (local) {
-        cnt.local_accesses += task.size();
-      } else {
-        cnt.remote_accesses += task.size();
-      }
-      for (index_t r = task.begin; r < task.end; ++r) {
-        if (!local) numa::RemotePenalty::charge();
-        process_point(r, base + static_cast<std::size_t>(r - task.begin) * d,
-                      tid);
-      }
+    while (sched.next_chunk(tid, task)) {
+      for_task_rows(data, parts, task, my_node, &cnt,
+                    [&](index_t r, const value_t* base, index_t seg_begin) {
+                      process_point(
+                          r,
+                          base + static_cast<std::size_t>(r - seg_begin) * d,
+                          tid, task.chunk);
+                    });
     }
     per_thread[static_cast<std::size_t>(tid)].busy_s +=
         thread_cpu_seconds() - cpu_start;
-    // The single global barrier of ||Lloyd's, then the parallel merge.
-    barrier.arrive_and_wait();
-    sched::tree_reduce(tid, T, barrier, [&](int dst, int src) {
-      if (opts.prune)
-        deltas[static_cast<std::size_t>(dst)].merge(
-            deltas[static_cast<std::size_t>(src)]);
-      else
-        locals[static_cast<std::size_t>(dst)].merge(
-            locals[static_cast<std::size_t>(src)]);
-    });
+    // The single global barrier of ||Lloyd's, then the fixed-tree fold of
+    // the per-chunk accumulators (slot 0 <- everything, chunk order).
+    sched.barrier().arrive_and_wait();
+    if (prune)
+      deltas.fold(tid, T, sched.barrier());
+    else
+      locals.fold(tid, T, sched.barrier());
   };
 
   // Convergence is judged on the *global* point count when a reducer is
@@ -250,8 +268,8 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
-    queue.reset();
-    pool.run(iteration);
+    sched.begin_chunks(n, task_size, &parts);
+    sched.run(iteration);
 
     std::uint64_t changed = 0;
     for (const auto& pt : per_thread) changed += pt.changed;
@@ -274,28 +292,32 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
         changed = static_cast<std::uint64_t>(
             std::llround(w[kd + static_cast<std::size_t>(k)]));
       };
-      if (opts.prune)
-        pack(deltas[0].sums_data(), deltas[0].counts_data());
+      if (prune)
+        pack(deltas.merged().sums_data(), deltas.merged().counts_data());
       else
-        pack(locals[0].sums_data(), locals[0].counts_data());
+        pack(locals.merged().sums_data(), locals.merged().counts_data());
       reducer->allreduce(wire.data(), wire.size());
-      if (opts.prune)
-        unpack(deltas[0].sums_data(), deltas[0].counts_data());
+      if (prune)
+        unpack(deltas.merged().sums_data(), deltas.merged().counts_data());
       else
-        unpack(locals[0].sums_data(), locals[0].counts_data());
+        unpack(locals.merged().sums_data(), locals.merged().counts_data());
     }
 
     // Finalize next centroids from the merged accumulator (slot 0).
     std::memcpy(prev.data(), cur.data(), cur.size() * sizeof(value_t));
-    if (opts.prune) {
-      deltas[0].apply_to(sums.data(), counts.data());
+    if (prune) {
+      deltas.merged().apply_to(sums.data(), counts.data());
       res.cluster_sizes =
           finalize_sums(sums.data(), counts.data(), k, d, next, cur);
     } else {
-      res.cluster_sizes = locals[0].finalize_into(next, cur);
+      res.cluster_sizes = locals.merged().finalize_into(next, cur);
     }
+    if (prune)
+      deltas.next_iteration();
+    else
+      locals.next_iteration();
     std::swap(cur, next);
-    if (opts.prune) mti.prepare(prev, cur);
+    if (prune) mti.prepare(prev, cur);
 
     res.iter_times.record(timer.elapsed());
     ++res.iters;
@@ -305,26 +327,31 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     }
   }
 
+  // Steal statistics before the energy pass reuses the queues.
+  const sched::StealStats steals = sched.total_stats();
+
   // Exact final energy: one full pass (pruned iterations skip distances, so
-  // energy cannot be accumulated during the main loop).
-  pool.run([&](int tid) {
+  // energy cannot be accumulated during the main loop). Per-chunk partial
+  // energies summed in chunk order keep it deterministic across T too.
+  std::vector<double> chunk_energy(chunks, 0.0);
+  sched.parallel_for(n, task_size, &parts, [&](int tid, const sched::Task& task) {
+    const int my_node = parts.node_of_thread(tid);
     double e = 0.0;
-    const numa::RowRange rows = parts.thread_rows(tid);
-    if (!rows.empty()) {
-      const value_t* base = data.row(rows.begin);
-      for (index_t r = rows.begin; r < rows.end; ++r)
-        e += dist_sq(base + static_cast<std::size_t>(r - rows.begin) * d,
-                     cur.row(res.assignments[r]), d);
-    }
-    per_thread[static_cast<std::size_t>(tid)].energy = e;
+    for_task_rows(data, parts, task, my_node, nullptr,
+                  [&](index_t r, const value_t* base, index_t seg_begin) {
+                    e += dist_sq(
+                        base + static_cast<std::size_t>(r - seg_begin) * d,
+                        cur.row(res.assignments[r]), d);
+                  });
+    chunk_energy[task.chunk] = e;
   });
+  for (const double e : chunk_energy) res.energy += e;
+
   for (const auto& pt : per_thread) {
-    res.energy += pt.energy;
     res.counters += pt.counters;
     res.thread_busy_s.push_back(pt.busy_s);
   }
   if (reducer != nullptr) reducer->allreduce(&res.energy, 1);
-  const sched::StealStats steals = queue.total_stats();
   res.counters.tasks_own = steals.own;
   res.counters.tasks_same_node = steals.same_node;
   res.counters.tasks_remote_node = steals.remote_node;

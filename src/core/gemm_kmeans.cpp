@@ -15,18 +15,21 @@
 #include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
+#include "core/chunk_accum.hpp"
 #include "core/local_centroids.hpp"
+#include "numa/topology.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 namespace {
 
-// C = A (n x d, row-major) * B^T (k x d, row-major) -> n x k, blocked.
-void gemm_nt(const value_t* a, const value_t* b, value_t* c, index_t n,
-             index_t d, int k) {
+// C = A (rows x d, row-major) * B^T (k x d, row-major) -> rows x k, blocked.
+// One call per scheduler task; rows index into the full matrices.
+void gemm_nt_rows(const value_t* a, const value_t* b, value_t* c,
+                  index_t row_begin, index_t row_end, index_t d, int k) {
   constexpr index_t kBlockRows = 64;
-  std::memset(c, 0, static_cast<std::size_t>(n) * k * sizeof(value_t));
-  for (index_t i0 = 0; i0 < n; i0 += kBlockRows) {
-    const index_t i1 = std::min(n, i0 + kBlockRows);
+  for (index_t i0 = row_begin; i0 < row_end; i0 += kBlockRows) {
+    const index_t i1 = std::min(row_end, i0 + kBlockRows);
     for (index_t i = i0; i < i1; ++i) {
       const value_t* ai = a + static_cast<std::size_t>(i) * d;
       value_t* ci = c + static_cast<std::size_t>(i) * k;
@@ -51,7 +54,24 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
   DenseMatrix cur = init_centroids(data, opts);
   DenseMatrix next(static_cast<index_t>(k), d);
-  LocalCentroids acc(k, d);
+
+  // BLAS-library stand-ins parallelize with a static row split; model that
+  // with the scheduler's kStatic policy (no stealing). The accumulation is
+  // still keyed to the chunk grid and folded with the fixed tree, so like
+  // every engine the result is bitwise independent of the thread count
+  // (DESIGN.md §7) — only the execution schedule is BLAS-shaped.
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_aware && opts.numa_bind,
+                         sched::SchedPolicy::kStatic);
+  const index_t task_size =
+      sched::Scheduler::resolve_task_size(n, opts.task_size);
+  const auto chunks =
+      static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size));
+  ChunkAccum<LocalCentroids> locals(chunks, k, d);
+  std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T), 0);
 
   // Row norms are iteration-invariant; they do not even affect the argmin,
   // but GEMM implementations compute them anyway — keep the work faithful.
@@ -78,28 +98,45 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
       for (index_t j = 0; j < d; ++j) s += row[j] * row[j];
       cnorm[static_cast<std::size_t>(c)] = s;
     }
-    gemm_nt(data.data(), cur.data(), prod.data(), n, d, k);
+    // Chunked dgemm: each task owns a disjoint row block of `prod`.
+    sched.parallel_for(n, task_size, nullptr,
+                       [&](int, const sched::Task& task) {
+                         gemm_nt_rows(data.data(), cur.data(), prod.data(),
+                                      task.begin, task.end, d, k);
+                       });
     res.counters.dist_computations +=
         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
 
-    acc.clear();
-    std::uint64_t changed = 0;
-    for (index_t r = 0; r < n; ++r) {
-      const value_t* pr = prod.data() + static_cast<std::size_t>(r) * k;
-      cluster_t best = 0;
-      value_t best_d = cnorm[0] - 2 * pr[0];
-      for (int c = 1; c < k; ++c) {
-        const value_t dc = cnorm[static_cast<std::size_t>(c)] - 2 * pr[c];
-        if (dc < best_d) {
-          best_d = dc;
-          best = static_cast<cluster_t>(c);
+    sched.begin_chunks(n, task_size, nullptr);
+    sched.run([&](int tid) {
+      tchanged[static_cast<std::size_t>(tid)] = 0;
+      sched::Task task;
+      while (sched.next_chunk(tid, task)) {
+        auto& acc = locals.touch(task.chunk);
+        for (index_t r = task.begin; r < task.end; ++r) {
+          const value_t* pr = prod.data() + static_cast<std::size_t>(r) * k;
+          cluster_t best = 0;
+          value_t best_d = cnorm[0] - 2 * pr[0];
+          for (int c = 1; c < k; ++c) {
+            const value_t dc = cnorm[static_cast<std::size_t>(c)] - 2 * pr[c];
+            if (dc < best_d) {
+              best_d = dc;
+              best = static_cast<cluster_t>(c);
+            }
+          }
+          if (best != res.assignments[r])
+            ++tchanged[static_cast<std::size_t>(tid)];
+          res.assignments[r] = best;
+          acc.add(best, data.row(r));
         }
       }
-      if (best != res.assignments[r]) ++changed;
-      res.assignments[r] = best;
-      acc.add(best, data.row(r));
-    }
-    res.cluster_sizes = acc.finalize_into(next, cur);
+      sched.barrier().arrive_and_wait();
+      locals.fold(tid, T, sched.barrier());
+    });
+    std::uint64_t changed = 0;
+    for (const auto tc : tchanged) changed += tc;
+    res.cluster_sizes = locals.merged().finalize_into(next, cur);
+    locals.next_iteration();
     std::swap(cur, next);
     res.iter_times.record(timer.elapsed());
     ++res.iters;

@@ -9,7 +9,7 @@
 #include "common/dense_matrix.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
-#include "sched/task_queue.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 
@@ -39,10 +39,18 @@ struct Options {
   /// NUMA-aware placement + binding (off = the paper's "NUMA-oblivious"
   /// baseline of Figure 4).
   bool numa_aware = true;
+  /// Pin worker threads to their NUMA node's CPUs (--numa-bind). Only
+  /// effective when numa_aware; off leaves placement to the OS scheduler
+  /// while keeping the node-partitioned data layout and queues.
+  bool numa_bind = true;
   /// Task scheduling policy (Figure 5 compares these).
   sched::SchedPolicy sched = sched::SchedPolicy::kNumaAware;
-  /// Rows per scheduler task (paper default 8192).
-  index_t task_size = 8192;
+  /// Rows per scheduler task. 0 = adaptive (Scheduler::auto_task_size,
+  /// a thread-count-independent size targeting ~256 chunks); the paper's
+  /// fixed 8192 is sched::Scheduler::kPaperTaskSize. The chunk grid this
+  /// knob induces also fixes the reduction order, so results for a given
+  /// dataset depend on task_size but not on threads (see DESIGN.md §7).
+  index_t task_size = 0;
   /// Simulated NUMA node count (0 = use detected topology). See DESIGN.md.
   int numa_nodes = 0;
   /// Used when init == kProvided; k x d.

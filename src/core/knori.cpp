@@ -34,20 +34,20 @@ Result run_node(ConstMatrixView data, const Options& opts,
   if (!opts.numa_aware) {
     // NUMA-oblivious baseline: unbound threads, data wherever the original
     // allocation's first touch put it (node 0 for accounting purposes).
-    sched::ThreadPool pool(T, topo, /*bind=*/false);
+    sched::Scheduler sched(T, topo, /*bind=*/false, opts.sched);
     detail::FlatData flat{data};
     return detail::run_parallel_lloyd(flat, n, d, opts, std::move(initial),
-                                      pool, parts, reducer);
+                                      sched, parts, reducer);
   }
 
-  sched::ThreadPool pool(T, topo, /*bind=*/true);
-  data::NumaDataset ds(data, parts, pool);
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_bind, opts.sched);
+  data::NumaDataset ds(data, parts, sched);
   ScopedAlloc mem_ds("dataset", ds.bytes());
   KNOR_LOG_DEBUG("knori: n=", n, " d=", d, " k=", opts.k, " T=", T,
                  " nodes=", topo.num_nodes(),
                  (opts.prune ? " mti=on" : " mti=off"));
   NumaData nd{&ds};
-  return detail::run_parallel_lloyd(nd, n, d, opts, std::move(initial), pool,
+  return detail::run_parallel_lloyd(nd, n, d, opts, std::move(initial), sched,
                                     parts, reducer);
 }
 

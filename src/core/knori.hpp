@@ -10,13 +10,16 @@ namespace knor {
 /// opts.prune is true and knori- when false; opts.numa_aware = false gives
 /// the NUMA-oblivious baseline of Figure 4.
 ///
-/// Determinism: assignments, centroids and iteration count are a pure
-/// function of (data, opts) — invariant across thread counts, scheduling
-/// policies and repeated runs, with or without MTI (per-thread partial
-/// sums merge in a fixed pairwise tree, so even floating point is
-/// reproducible for a given thread count; across different thread counts
-/// centroids agree to last-ulp rounding). Only Result's timing fields and
-/// the scheduler/NUMA attribution counters vary run to run.
+/// Determinism: assignments, centroids, energy and iteration count are a
+/// pure function of (data, opts minus threads/numa_bind) — BITWISE
+/// invariant across thread counts, scheduling policies, steal schedules
+/// and repeated runs, with or without MTI. Partial sums accumulate per
+/// chunk of the (n, task_size) grid and merge in a fixed tree keyed to
+/// the chunk count alone (DESIGN.md §7), so not even floating point can
+/// tell schedules apart; changing task_size picks a different (equally
+/// deterministic) chunk grid and may differ in the last ulp. Only
+/// Result's timing fields and the scheduler/NUMA attribution counters
+/// vary run to run.
 Result kmeans(ConstMatrixView data, const Options& opts);
 
 namespace detail {

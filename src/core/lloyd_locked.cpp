@@ -5,7 +5,7 @@
 // mutexes — "Phase II is plagued with substantial locking overhead because
 // of the high likelihood of data points concurrently attempting to update
 // the same nearest centroid". The two phases are separated by a global
-// barrier (a pool.run join). Used as a baseline in Table 3 / Figure 9
+// barrier (a sched.run join). Used as a baseline in Table 3 / Figure 9
 // style benches.
 #include <cstring>
 #include <mutex>
@@ -17,7 +17,7 @@
 #include "core/init.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 
@@ -38,7 +38,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
   std::vector<std::mutex> locks(static_cast<std::size_t>(k));
 
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/false);
+  sched::Scheduler sched(T, topo, /*bind=*/false);
   std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
 
   const auto tol_changes =
@@ -50,7 +50,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
     std::fill(counts.begin(), counts.end(), 0);
 
     // Phase I + shared phase II under per-centroid locks.
-    pool.run([&](int tid) {
+    sched.run([&](int tid) {
       tchanged[static_cast<std::size_t>(tid)] = 0;
       const numa::RowRange rows = parts.thread_rows(tid);
       for (index_t r = rows.begin; r < rows.end; ++r) {
@@ -70,7 +70,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
     res.counters.dist_computations +=
         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
 
-    // Global barrier (the pool.run join), then the centroid update.
+    // Global barrier (the sched.run join), then the centroid update.
     std::uint64_t changed = 0;
     for (auto c : tchanged) changed += c;
     res.cluster_sizes.assign(counts.begin(), counts.end());

@@ -3,6 +3,12 @@
 // assigned and centroids move with per-centre learning rates 1/count.
 // Included to let benches contrast exact knor routines with the
 // approximation the paper chose not to make.
+//
+// The batch assignment and the final full assignment run on the
+// work-stealing scheduler (the gradient step is inherently sequential —
+// each update changes the learning rate of the next). The final energy is
+// accumulated per chunk and summed in chunk order, so the reported result
+// is deterministic for a given (data, opts) regardless of threads.
 #include <vector>
 
 #include "common/prng.hpp"
@@ -10,6 +16,8 @@
 #include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
+#include "numa/topology.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 
@@ -26,16 +34,30 @@ Result minibatch(ConstMatrixView data, const Options& opts,
   std::vector<cluster_t> batch_assign(static_cast<std::size_t>(mb.batch_size));
   Prng rng(opts.seed, /*stream=*/0xba7c);
 
+  const auto topo = opts.numa_nodes > 0
+                        ? numa::Topology::simulated(opts.numa_nodes)
+                        : numa::Topology::detect();
+  const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_aware && opts.numa_bind,
+                         opts.sched);
+  std::vector<std::uint64_t> tdists(static_cast<std::size_t>(T), 0);
+
   for (int it = 0; it < mb.max_iters; ++it) {
     WallTimer timer;
     for (auto& b : batch) b = rng.next_below(n);
-    // Assign the whole batch against frozen centroids...
-    for (std::size_t i = 0; i < batch.size(); ++i) {
-      batch_assign[i] =
-          nearest_centroid(data.row(batch[i]), cur.data(), k, d, nullptr);
-      res.counters.dist_computations += static_cast<std::uint64_t>(k);
-    }
-    // ...then take gradient steps with per-centre rates.
+    // Assign the whole batch against frozen centroids (parallel; each
+    // position is independent)...
+    sched.parallel_for(
+        static_cast<index_t>(batch.size()), 0, nullptr,
+        [&](int tid, const sched::Task& task) {
+          for (index_t i = task.begin; i < task.end; ++i)
+            batch_assign[static_cast<std::size_t>(i)] = nearest_centroid(
+                data.row(batch[static_cast<std::size_t>(i)]), cur.data(), k,
+                d, nullptr);
+          tdists[static_cast<std::size_t>(tid)] +=
+              task.size() * static_cast<std::uint64_t>(k);
+        });
+    // ...then take gradient steps with per-centre rates (sequential).
     for (std::size_t i = 0; i < batch.size(); ++i) {
       const cluster_t c = batch_assign[i];
       const value_t eta =
@@ -50,16 +72,39 @@ Result minibatch(ConstMatrixView data, const Options& opts,
   }
 
   // Final full assignment + energy (the approximation is in the centroids,
-  // not in the reported clustering).
+  // not in the reported clustering). Per-chunk energies summed in chunk
+  // order keep the FP result thread-count independent.
   res.assignments.resize(static_cast<std::size_t>(n));
   res.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
-  for (index_t r = 0; r < n; ++r) {
-    value_t dbest = 0;
-    const cluster_t best = nearest_centroid(data.row(r), cur.data(), k, d, &dbest);
-    res.assignments[r] = best;
-    ++res.cluster_sizes[best];
-    res.energy += dbest * dbest;
-  }
+  const index_t task_size = sched::Scheduler::auto_task_size(n);
+  std::vector<double> chunk_energy(
+      static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size)),
+      0.0);
+  std::vector<std::vector<index_t>> tcounts(
+      static_cast<std::size_t>(T),
+      std::vector<index_t>(static_cast<std::size_t>(k), 0));
+  sched.parallel_for(n, task_size, nullptr,
+                     [&](int tid, const sched::Task& task) {
+                       double e = 0.0;
+                       auto& tc = tcounts[static_cast<std::size_t>(tid)];
+                       for (index_t r = task.begin; r < task.end; ++r) {
+                         value_t dbest = 0;
+                         const cluster_t best = nearest_centroid(
+                             data.row(r), cur.data(), k, d, &dbest);
+                         res.assignments[static_cast<std::size_t>(r)] = best;
+                         ++tc[best];
+                         e += static_cast<double>(dbest) * dbest;
+                       }
+                       chunk_energy[task.chunk] = e;
+                       tdists[static_cast<std::size_t>(tid)] +=
+                           task.size() * static_cast<std::uint64_t>(k);
+                     });
+  for (const double e : chunk_energy) res.energy += e;
+  for (const auto& tc : tcounts)
+    for (int c = 0; c < k; ++c)
+      res.cluster_sizes[static_cast<std::size_t>(c)] +=
+          tc[static_cast<std::size_t>(c)];
+  for (const auto td : tdists) res.counters.dist_computations += td;
   res.converged = false;  // mini-batch has no membership-stability criterion
   res.centroids = std::move(cur);
   return res;

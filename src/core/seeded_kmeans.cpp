@@ -5,13 +5,14 @@
 
 #include "common/prng.hpp"
 #include "common/timer.hpp"
+#include "core/chunk_accum.hpp"
 #include "core/distance.hpp"
 #include "core/init.hpp"
 #include "core/local_centroids.hpp"
 #include "core/variants.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 namespace {
@@ -146,13 +147,18 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
                         : numa::Topology::detect();
   const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/opts.numa_aware);
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_aware && opts.numa_bind,
+                         opts.sched);
+  const index_t task_size =
+      sched::Scheduler::resolve_task_size(n, opts.task_size);
+  const auto chunks =
+      static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size));
 
   Result res;
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
-  std::vector<LocalCentroids> locals;
-  locals.reserve(static_cast<std::size_t>(T));
-  for (int t = 0; t < T; ++t) locals.emplace_back(k, d);
+  // Per-chunk accumulators + fixed-tree fold: deterministic under stealing
+  // and across thread counts (DESIGN.md §7).
+  ChunkAccum<LocalCentroids> locals(chunks, k, d);
   std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
 
   const auto tol_changes =
@@ -160,29 +166,32 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
-    pool.run([&](int tid) {
-      auto& acc = locals[static_cast<std::size_t>(tid)];
-      acc.clear();
+    sched.begin_chunks(n, task_size, &parts);
+    sched.run([&](int tid) {
       tchanged[static_cast<std::size_t>(tid)] = 0;
-      const numa::RowRange rows = parts.thread_rows(tid);
-      for (index_t r = rows.begin; r < rows.end; ++r) {
-        // Constraint: labeled points keep their label forever.
-        const cluster_t best =
-            labels[r] != kInvalidCluster
-                ? labels[r]
-                : nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
-        if (best != res.assignments[r])
-          ++tchanged[static_cast<std::size_t>(tid)];
-        res.assignments[r] = best;
-        acc.add(best, data.row(r));
+      sched::Task task;
+      while (sched.next_chunk(tid, task)) {
+        auto& acc = locals.touch(task.chunk);
+        for (index_t r = task.begin; r < task.end; ++r) {
+          // Constraint: labeled points keep their label forever.
+          const cluster_t best =
+              labels[r] != kInvalidCluster
+                  ? labels[r]
+                  : nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+          if (best != res.assignments[r])
+            ++tchanged[static_cast<std::size_t>(tid)];
+          res.assignments[r] = best;
+          acc.add(best, data.row(r));
+        }
       }
+      sched.barrier().arrive_and_wait();
+      locals.fold(tid, T, sched.barrier());
     });
     res.counters.dist_computations +=
         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
 
-    for (int t = 1; t < T; ++t)
-      locals[0].merge(locals[static_cast<std::size_t>(t)]);
-    res.cluster_sizes = locals[0].finalize_into(next, cur);
+    res.cluster_sizes = locals.merged().finalize_into(next, cur);
+    locals.next_iteration();
     std::swap(cur, next);
 
     std::uint64_t changed = 0;

@@ -3,12 +3,13 @@
 #include <stdexcept>
 
 #include "common/timer.hpp"
+#include "core/chunk_accum.hpp"
 #include "core/init.hpp"
 #include "core/local_centroids.hpp"
 #include "core/variants.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor {
 namespace {
@@ -78,13 +79,19 @@ Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
                         : numa::Topology::detect();
   const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/opts.numa_aware);
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_aware && opts.numa_bind,
+                         opts.sched);
+  const index_t task_size =
+      sched::Scheduler::resolve_task_size(n, opts.task_size);
+  const auto chunks =
+      static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size));
 
   Result res;
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
-  std::vector<LocalCentroids> locals;
-  locals.reserve(static_cast<std::size_t>(T));
-  for (int t = 0; t < T; ++t) locals.emplace_back(k, d);
+  // Per-chunk accumulators folded in a fixed tree: bitwise-deterministic
+  // centroids under work stealing and across thread counts, exactly like
+  // the main engine (DESIGN.md §7).
+  ChunkAccum<LocalCentroids> locals(chunks, k, d);
   std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T));
 
   const auto tol_changes =
@@ -92,33 +99,37 @@ Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
-    pool.run([&](int tid) {
-      auto& acc = locals[static_cast<std::size_t>(tid)];
-      acc.clear();
+    sched.begin_chunks(n, task_size, &parts);
+    sched.run([&](int tid) {
       tchanged[static_cast<std::size_t>(tid)] = 0;
-      const numa::RowRange rows = parts.thread_rows(tid);
-      for (index_t r = rows.begin; r < rows.end; ++r) {
-        const value_t* v = unit.row(r);
-        cluster_t best = 0;
-        value_t best_sim = dot(v, cur.row(0), d);
-        for (int c = 1; c < k; ++c) {
-          const value_t sim = dot(v, cur.row(static_cast<index_t>(c)), d);
-          if (sim > best_sim) {
-            best_sim = sim;
-            best = static_cast<cluster_t>(c);
+      sched::Task task;
+      while (sched.next_chunk(tid, task)) {
+        auto& acc = locals.touch(task.chunk);
+        for (index_t r = task.begin; r < task.end; ++r) {
+          const value_t* v = unit.row(r);
+          cluster_t best = 0;
+          value_t best_sim = dot(v, cur.row(0), d);
+          for (int c = 1; c < k; ++c) {
+            const value_t sim = dot(v, cur.row(static_cast<index_t>(c)), d);
+            if (sim > best_sim) {
+              best_sim = sim;
+              best = static_cast<cluster_t>(c);
+            }
           }
+          if (best != res.assignments[r])
+            ++tchanged[static_cast<std::size_t>(tid)];
+          res.assignments[r] = best;
+          acc.add(best, v);
         }
-        if (best != res.assignments[r])
-          ++tchanged[static_cast<std::size_t>(tid)];
-        res.assignments[r] = best;
-        acc.add(best, v);
       }
+      sched.barrier().arrive_and_wait();
+      locals.fold(tid, T, sched.barrier());
     });
     res.counters.dist_computations +=
         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
 
-    for (int t = 1; t < T; ++t) locals[0].merge(locals[static_cast<std::size_t>(t)]);
-    res.cluster_sizes = locals[0].finalize_into(next, cur);
+    res.cluster_sizes = locals.merged().finalize_into(next, cur);
+    locals.next_iteration();
     for (int c = 0; c < k; ++c)
       normalize_centroid(next.row(static_cast<index_t>(c)),
                          cur.row(static_cast<index_t>(c)), d);

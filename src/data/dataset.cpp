@@ -4,11 +4,11 @@
 
 namespace knor::data {
 
-void NumaDataset::allocate_blocks(sched::ThreadPool& pool) {
+void NumaDataset::allocate_blocks(sched::Scheduler& sched) {
   blocks_.resize(static_cast<std::size_t>(parts_.threads()));
   // Allocate from within each bound worker so first-touch lands on the
   // worker's node even when mbind is unavailable.
-  pool.run([&](int t) {
+  sched.run([&](int t) {
     auto& block = blocks_[static_cast<std::size_t>(t)];
     block.range = parts_.thread_rows(t);
     block.data = numa::NodeBuffer<value_t>(
@@ -18,10 +18,10 @@ void NumaDataset::allocate_blocks(sched::ThreadPool& pool) {
 }
 
 NumaDataset::NumaDataset(ConstMatrixView src, const numa::Partitioner& parts,
-                         sched::ThreadPool& pool)
+                         sched::Scheduler& sched)
     : parts_(parts), d_(src.cols()) {
-  allocate_blocks(pool);
-  pool.run([&](int t) {
+  allocate_blocks(sched);
+  sched.run([&](int t) {
     auto& block = blocks_[static_cast<std::size_t>(t)];
     if (block.range.empty()) return;
     std::memcpy(block.data.data(), src.row(block.range.begin),
@@ -32,10 +32,10 @@ NumaDataset::NumaDataset(ConstMatrixView src, const numa::Partitioner& parts,
 
 NumaDataset::NumaDataset(const GeneratorSpec& spec,
                          const numa::Partitioner& parts,
-                         sched::ThreadPool& pool)
+                         sched::Scheduler& sched)
     : parts_(parts), d_(spec.d) {
-  allocate_blocks(pool);
-  pool.run([&](int t) {
+  allocate_blocks(sched);
+  sched.run([&](int t) {
     auto& block = blocks_[static_cast<std::size_t>(t)];
     if (block.range.empty()) return;
     MutMatrixView view(block.data.data(), block.range.size(), d_);

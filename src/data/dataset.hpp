@@ -18,20 +18,20 @@
 #include "data/generator.hpp"
 #include "numa/numa_alloc.hpp"
 #include "numa/partitioner.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor::data {
 
 class NumaDataset {
  public:
-  /// Partition-copy an existing matrix across nodes using `pool`'s workers
+  /// Partition-copy an existing matrix across nodes using `sched`'s workers
   /// (each worker copies - and therefore first-touches - its own block).
   NumaDataset(ConstMatrixView src, const numa::Partitioner& parts,
-              sched::ThreadPool& pool);
+              sched::Scheduler& sched);
 
   /// Generate the dataset directly into node-local blocks, in parallel.
   NumaDataset(const GeneratorSpec& spec, const numa::Partitioner& parts,
-              sched::ThreadPool& pool);
+              sched::Scheduler& sched);
 
   index_t n() const { return parts_.n(); }
   index_t d() const { return d_; }
@@ -66,7 +66,7 @@ class NumaDataset {
     numa::NodeBuffer<value_t> data;
   };
 
-  void allocate_blocks(sched::ThreadPool& pool);
+  void allocate_blocks(sched::Scheduler& sched);
 
   numa::Partitioner parts_;
   index_t d_;

@@ -65,6 +65,10 @@ Result run_cluster(index_t n, const Options& opts,
 
     Options local = opts;
     if (numa_engine) {
+      // Each rank spins up its own NUMA-partitioned work-stealing
+      // scheduler (run_node constructs a per-rank sched::Scheduler over
+      // the rank's shard); task_size / sched policy / numa_bind flow
+      // through from the caller's Options unchanged.
       local.threads =
           dopts.threads_per_rank > 0 ? dopts.threads_per_rank : 1;
     } else {

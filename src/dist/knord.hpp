@@ -6,13 +6,16 @@
 // iteration exchanges the k*d partial sums + k counts + changed-count.
 // Because the allreduce is bitwise-deterministic and every rank finalizes
 // centroids from the identical global accumulator, all ranks hold
-// bit-identical centroids in lockstep and repeated runs are bit-identical.
-// Across *different* rank/thread layouts the partial-sum grouping differs,
-// so centroids agree to last-ulp rounding rather than bitwise — on
-// separated data (every test/bench dataset here) that never flips an
-// argmin, which is how knord's clustering stays invariant across rank
-// counts and matches single-node knori (see tests/dist_test.cpp and
-// DESIGN.md for the exact contract).
+// bit-identical centroids in lockstep, and repeated runs — including any
+// per-rank thread count or steal schedule, thanks to the engine's
+// per-chunk reduction (DESIGN.md §7) — are bit-identical. Across
+// *different* rank counts the partial-sum grouping differs, so centroids
+// agree to last-ulp rounding rather than bitwise — on separated data
+// (every test/bench dataset here) that never flips an argmin, which is
+// how knord's clustering stays invariant across rank counts and matches
+// single-node knori (tests/dist_test.cpp; tests/conformance_test.cpp
+// pins bitwise equality on integer-valued data, where the grouping
+// cannot matter).
 //
 // Two data forms:
 //   * matrix form — the caller holds the full n x d matrix; each rank

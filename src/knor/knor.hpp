@@ -10,10 +10,13 @@
 // Determinism (the contract every entry point shares): given the same
 // data, Options and seed, every module produces the same clustering —
 // assignments, centroids, iteration count — independent of thread count,
-// rank count or scheduling; only timing fields and instrumentation that
-// attributes work to threads vary between runs. The per-module headers
-// state the precise guarantee (bitwise vs last-ulp) and DESIGN.md §5
-// derives it.
+// rank count, scheduling policy or steal schedule; only timing fields and
+// instrumentation that attributes work to threads vary between runs.
+// Within one module the guarantee is bitwise (per-chunk reductions keyed
+// to the (n, task_size) grid, DESIGN.md §7); across modules with
+// different reduction shapes it is last-ulp, upgraded to bitwise on
+// integer-valued data (tests/conformance_test.cpp). The per-module
+// headers state the precise guarantee; DESIGN.md §5/§7 derive it.
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once

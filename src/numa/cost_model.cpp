@@ -1,6 +1,63 @@
 #include "numa/cost_model.hpp"
 
+#include <algorithm>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
+
 namespace knor::numa {
+
+namespace {
+
+/// Ring metric for fabricated topologies: 10 local, 16 + 5 * hops remote
+/// (shaped like a 4-socket SLIT so "nearer" victims exist on > 2 nodes).
+int ring_distance(int a, int b, int n) {
+  if (a == b) return 10;
+  const int direct = a > b ? a - b : b - a;
+  const int hops = std::min(direct, n - direct);
+  return 16 + 5 * hops;
+}
+
+/// Read /sys/devices/system/node/node<id>/distance ("10 21 21 21"). Returns
+/// false when the file is missing or malformed.
+bool read_kernel_distances(int node, int n, std::vector<int>& row) {
+  std::ifstream in("/sys/devices/system/node/node" + std::to_string(node) +
+                   "/distance");
+  if (!in) return false;
+  std::string line;
+  std::getline(in, line);
+  std::istringstream fields(line);
+  row.clear();
+  int v;
+  while (fields >> v) row.push_back(v);
+  return static_cast<int>(row.size()) == n;
+}
+
+}  // namespace
+
+NodeDistance::NodeDistance(const Topology& topo)
+    : n_(topo.num_nodes()), d_(static_cast<std::size_t>(n_) * n_) {
+  std::vector<int> row;
+  for (int a = 0; a < n_; ++a) {
+    const bool kernel = !topo.is_simulated() &&
+                        read_kernel_distances(topo.node(a).id, n_, row);
+    for (int b = 0; b < n_; ++b)
+      d_[static_cast<std::size_t>(a) * n_ + b] =
+          kernel ? row[static_cast<std::size_t>(b)] : ring_distance(a, b, n_);
+  }
+}
+
+std::vector<int> NodeDistance::victim_order(int from) const {
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n_ > 0 ? n_ - 1 : 0));
+  for (int b = 0; b < n_; ++b)
+    if (b != from) order.push_back(b);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return (*this)(from, a) < (*this)(from, b);
+  });
+  return order;
+}
 
 std::atomic<std::uint32_t>& RemotePenalty::ns() {
   static std::atomic<std::uint32_t> penalty{0};

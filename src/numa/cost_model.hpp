@@ -19,8 +19,32 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "numa/topology.hpp"
 
 namespace knor::numa {
+
+/// SLIT-style inter-node distance matrix, the victim-selection input for
+/// the work-stealing scheduler: when a worker's own node runs dry it steals
+/// from the *cheapest* remote node first. Detected topologies read the
+/// kernel's table (/sys/devices/system/node/nodeX/distance); simulated or
+/// unreadable ones synthesize a ring metric (local 10, remote 16 + 5 * ring
+/// hops) so victim ordering stays meaningful on fabricated layouts.
+class NodeDistance {
+ public:
+  explicit NodeDistance(const Topology& topo);
+
+  int nodes() const { return n_; }
+  int operator()(int from, int to) const {
+    return d_[static_cast<std::size_t>(from) * n_ + to];
+  }
+
+  /// All nodes except `from`, ascending by distance (ties: lower node id).
+  std::vector<int> victim_order(int from) const;
+
+ private:
+  int n_ = 0;
+  std::vector<int> d_;  ///< n_ x n_ row-major
+};
 
 struct AccessCounts {
   std::uint64_t local = 0;

@@ -12,8 +12,8 @@
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
 #include "numa/partitioner.hpp"
-#include "sched/task_queue.hpp"
-#include "sched/thread_pool.hpp"
+#include "core/chunk_accum.hpp"
+#include "sched/scheduler.hpp"
 #include "sem/checkpoint.hpp"
 #include "sem/io_engine.hpp"
 #include "sem/page_cache.hpp"
@@ -46,7 +46,6 @@ struct alignas(kCacheLine) SemPerThread {
   std::uint64_t changed = 0;
   std::uint64_t active = 0;
   std::uint64_t rc_hits = 0;
-  double energy = 0.0;
 };
 
 DenseMatrix sem_init_centroids(PageFile& file, IoEngine& engine,
@@ -165,12 +164,19 @@ Result kmeans(const std::string& path, const Options& opts,
   const int start_iter = resumed ? static_cast<int>(restored.iteration) : 0;
 
   numa::Partitioner parts(n, T, topo);
-  sched::ThreadPool pool(T, topo, /*bind=*/true);
-  sched::TaskQueue queue(parts, opts.sched, opts.task_size);
+  sched::Scheduler sched(T, topo, /*bind=*/opts.numa_bind, opts.sched);
+  const index_t task_size =
+      sched::Scheduler::resolve_task_size(n, opts.task_size);
+  const auto chunks =
+      static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size));
 
-  std::vector<SignedCentroids> deltas;
-  deltas.reserve(static_cast<std::size_t>(T));
-  for (int t = 0; t < T; ++t) deltas.emplace_back(k, d);
+  // Per-chunk membership deltas, applied to the persistent sums in chunk
+  // order: like knori, the accumulation is keyed to the (n, task_size)
+  // chunk grid rather than to threads, so knors results are bitwise
+  // invariant to steal order and thread count (DESIGN.md §7). I/O-
+  // completion work stays on the same queues: a worker that finishes its
+  // node's chunks steals I/O-feeding chunks from the cheapest remote node.
+  ChunkAccum<SignedCentroids> deltas(chunks, k, d);
   std::vector<SemPerThread> per_thread(static_cast<std::size_t>(T));
 
   const index_t batch_rows =
@@ -187,8 +193,10 @@ Result kmeans(const std::string& path, const Options& opts,
       static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
   bool refresh_mode = false;
 
-  // Assign + accumulate for one fetched (or cached) row.
-  const auto process_row = [&](int tid, index_t r, const value_t* v) {
+  // Assign + accumulate for one fetched (or cached) row; `chunk` selects
+  // the deterministic accumulator slot of the task being processed.
+  const auto process_row = [&](int tid, std::uint32_t chunk, index_t r,
+                               const value_t* v) {
     auto& pt = per_thread[static_cast<std::size_t>(tid)];
     const cluster_t a = res.assignments[r];
     cluster_t best;
@@ -222,11 +230,11 @@ Result kmeans(const std::string& path, const Options& opts,
       pt.counters.dist_computations += static_cast<std::uint64_t>(k);
     }
     if (opts.prune) mti.set_ub(r, best_d);
-    auto& delta = deltas[static_cast<std::size_t>(tid)];
     if (a == kInvalidCluster) {
-      delta.add(best, v);
+      deltas.touch(chunk).add(best, v);
       ++pt.changed;
     } else if (best != a) {
+      auto& delta = deltas.touch(chunk);
       delta.sub(a, v);
       delta.add(best, v);
       ++pt.changed;
@@ -236,7 +244,6 @@ Result kmeans(const std::string& path, const Options& opts,
 
   const auto worker = [&](int tid) {
     auto& pt = per_thread[static_cast<std::size_t>(tid)];
-    deltas[static_cast<std::size_t>(tid)].clear();
     pt.changed = 0;
     pt.active = 0;
     pt.rc_hits = 0;
@@ -247,7 +254,7 @@ Result kmeans(const std::string& path, const Options& opts,
     DenseMatrix buf_now(batch_rows, d), buf_next(batch_rows, d);
 
     sched::Task task;
-    while (queue.next(tid, task)) {
+    while (sched.next_chunk(tid, task)) {
       // Pass 1 — no data access: clause 1 decides which rows need I/O.
       needed.clear();
       for (index_t r = task.begin; r < task.end; ++r) {
@@ -271,7 +278,7 @@ Result kmeans(const std::string& path, const Options& opts,
         const value_t* cached = use_rc ? row_cache.lookup(home, r) : nullptr;
         if (cached != nullptr) {
           ++pt.rc_hits;
-          process_row(tid, r, cached);
+          process_row(tid, task.chunk, r, cached);
           if (refresh_mode) row_cache.offer(home, r, cached);
         } else {
           to_fetch.push_back(r);
@@ -297,7 +304,7 @@ Result kmeans(const std::string& path, const Options& opts,
         for (std::size_t i = 0; i < fetch_now.size(); ++i) {
           const index_t r = fetch_now[i];
           const value_t* v = buf_now.row(static_cast<index_t>(i));
-          process_row(tid, r, v);
+          process_row(tid, task.chunk, r, v);
           if (refresh_mode && use_rc)
             row_cache.offer(parts.thread_of_row(r), r, v);
         }
@@ -311,14 +318,17 @@ Result kmeans(const std::string& path, const Options& opts,
     WallTimer timer;
     refresh_mode = use_rc && row_cache.begin_iteration(it + 1) ==
                                  RowCache::Mode::kRefresh;
-    queue.reset();
+    sched.begin_chunks(n, task_size, &parts);
     const std::uint64_t rc_hits_before = row_cache.hits();
-    pool.run(worker);
+    sched.run(worker);
     if (refresh_mode) row_cache.publish();
 
-    // Apply deltas to the persistent sums, then recompute means.
-    for (const auto& delta : deltas)
-      delta.apply_to(sums.data(), counts.data());
+    // Apply the dirty chunk deltas to the persistent sums in ascending
+    // chunk order (fixed, thread-count-independent association), then
+    // recompute means.
+    for (std::size_t c = 0; c < chunks; ++c)
+      if (deltas.dirty(c)) deltas.slot(c).apply_to(sums.data(), counts.data());
+    deltas.next_iteration();
     std::memcpy(prev.data(), cur.data(), cur.size() * sizeof(value_t));
     res.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
     for (int c = 0; c < k; ++c) {
@@ -377,31 +387,35 @@ Result kmeans(const std::string& path, const Options& opts,
     }
   }
 
+  // Steal statistics before the energy pass reuses the queues.
+  const sched::StealStats steals = sched.total_stats();
+
   // Exact final energy: stream every row once (not counted in iteration
-  // I/O statistics).
-  pool.run([&](int tid) {
-    auto& pt = per_thread[static_cast<std::size_t>(tid)];
-    pt.energy = 0;
-    const numa::RowRange rows = parts.thread_rows(tid);
+  // I/O statistics). Per-chunk partial energies summed in chunk order keep
+  // the FP result thread-count independent like the centroid reduction.
+  std::vector<double> chunk_energy(chunks, 0.0);
+  sched.begin_chunks(n, task_size, &parts);
+  sched.run([&](int tid) {
     DenseMatrix buf(batch_rows, d);
     std::vector<index_t> batch;
-    for (index_t begin = rows.begin; begin < rows.end;
-         begin += batch_rows) {
-      const index_t end = std::min(rows.end, begin + batch_rows);
-      batch.clear();
-      for (index_t r = begin; r < end; ++r) batch.push_back(r);
-      engine.fetch_rows(batch, buf.data());
-      for (index_t r = begin; r < end; ++r)
-        pt.energy += dist_sq(buf.row(r - begin),
-                             cur.row(res.assignments[r]), d);
+    sched::Task task;
+    while (sched.next_chunk(tid, task)) {
+      double e = 0.0;
+      for (index_t begin = task.begin; begin < task.end;
+           begin += batch_rows) {
+        const index_t end = std::min(task.end, begin + batch_rows);
+        batch.clear();
+        for (index_t r = begin; r < end; ++r) batch.push_back(r);
+        engine.fetch_rows(batch, buf.data());
+        for (index_t r = begin; r < end; ++r)
+          e += dist_sq(buf.row(r - begin), cur.row(res.assignments[r]), d);
+      }
+      chunk_energy[task.chunk] = e;
     }
   });
+  for (const double e : chunk_energy) res.energy += e;
 
-  for (const auto& pt : per_thread) {
-    res.energy += pt.energy;
-    res.counters += pt.counters;
-  }
-  const sched::StealStats steals = queue.total_stats();
+  for (const auto& pt : per_thread) res.counters += pt.counters;
   res.counters.tasks_own = steals.own;
   res.counters.tasks_same_node = steals.same_node;
   res.counters.tasks_remote_node = steals.remote_node;

@@ -81,7 +81,10 @@ TEST(PublicApi, OptionsDefaultsMatchPaper) {
   Options opts;
   EXPECT_TRUE(opts.prune);                       // MTI on by default
   EXPECT_TRUE(opts.numa_aware);                  // NUMA optimizations on
-  EXPECT_EQ(opts.task_size, 8192u);              // §8.4 task size
+  EXPECT_TRUE(opts.numa_bind);                   // workers pinned to nodes
+  EXPECT_EQ(opts.task_size, 0u);                 // adaptive task sizing
+  // The paper's fixed §8.4 task size remains the adaptive upper bound.
+  EXPECT_EQ(sched::Scheduler::kPaperTaskSize, 8192u);
   EXPECT_EQ(opts.sched, sched::SchedPolicy::kNumaAware);
   sem::SemOptions sopts;
   EXPECT_EQ(sopts.page_size, 4096u);             // §6.2.1 minimum read

@@ -25,19 +25,40 @@ run_step(generate ${KNOR_CLI} generate --out ${DATA} --dist natural
 run_step(info ${KNOR_CLI} info ${DATA})
 run_step(cluster_im ${KNOR_CLI} cluster --data ${DATA} --mode im
          --k 4 --iters 10 --threads 2)
+# Scheduler controls: explicit thread count, pinning off, every policy, and
+# an explicit task size, all plumbed through to the work-stealing scheduler.
+run_step(cluster_im_unbound ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 3 --numa-bind off --task-size 128)
+run_step(cluster_im_fifo ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 3 --sched fifo)
+run_step(cluster_im_static ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 3 --sched static --numa-bind on)
 run_step(cluster_sem ${KNOR_CLI} cluster --data ${DATA} --mode sem
          --k 4 --iters 10 --threads 2 --page-kb 4 --row-cache-mb 1)
+run_step(cluster_sem_sched ${KNOR_CLI} cluster --data ${DATA} --mode sem
+         --k 4 --iters 10 --threads 2 --numa-bind off --sched fifo
+         --page-kb 4 --row-cache-mb 1)
 run_step(cluster_dist ${KNOR_CLI} cluster --data ${DATA} --mode dist
          --k 4 --iters 10 --ranks 2 --threads-per-rank 2
          --net-latency-us 20 --net-gbps 1.25)
+run_step(cluster_dist_sched ${KNOR_CLI} cluster --data ${DATA} --mode dist
+         --k 4 --iters 10 --ranks 2 --threads-per-rank 2 --sched static
+         --numa-bind off)
 
 # A bad invocation must fail loudly, not silently succeed. Pass valid data
-# so the only rejectable thing is the mode itself.
-execute_process(COMMAND ${KNOR_CLI} cluster --data ${DATA} --mode bogus --k 2
-                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
-if(rc EQUAL 0)
-  message(FATAL_ERROR "cli_smoke: bogus mode unexpectedly succeeded")
-endif()
-message(STATUS "cli_smoke bad_mode: rejected as expected")
+# so the only rejectable thing is the flag under test.
+function(reject_step name)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: ${name} unexpectedly succeeded")
+  endif()
+  message(STATUS "cli_smoke ${name}: rejected as expected")
+endfunction()
+
+reject_step(bad_mode ${KNOR_CLI} cluster --data ${DATA} --mode bogus --k 2)
+reject_step(bad_numa_bind ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
+            --numa-bind sideways)
+reject_step(bad_sched ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
+            --sched lottery)
 
 file(REMOVE_RECURSE ${WORK_DIR})

@@ -1,0 +1,196 @@
+// Cross-backend conformance oracle: the same dataset, seed and starting
+// centroids pushed through every backend — knori (in-memory, all policies
+// and thread counts), knors (semi-external memory), and knord (distributed,
+// 1..4 ranks) plus the flat MPI baseline — must produce IDENTICAL
+// centroids (bitwise), assignments, cluster sizes and iteration counts.
+// This is the diff target future refactors of any hot path run against.
+//
+// Why bitwise equality is attainable across backends: the dataset is
+// integer-valued (generated, then rounded), so every centroid-sum partial
+// is an exactly-representable double and FP addition is associative over
+// them — any grouping (per-chunk fold, per-rank allreduce, SEM's
+// cache-then-fetch order) yields the same exact sums, the same quotients
+// sum/count, and therefore the same centroid doubles everywhere. Within a
+// single backend the per-chunk reduction makes results bitwise stable even
+// on non-integer data (tests/exactness_test.cpp pins that); integer data
+// extends the guarantee across backends with different reduction shapes.
+// Energy is a sum of distances to *fractional* centroids, so it is only
+// compared to 1e-12 relative tolerance.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/engines.hpp"
+#include "core/knori.hpp"
+#include "data/generator.hpp"
+#include "data/matrix_io.hpp"
+#include "dist/knord.hpp"
+#include "sem/sem_kmeans.hpp"
+
+namespace knor {
+namespace {
+
+constexpr index_t kN = 1200;
+constexpr index_t kD = 6;
+constexpr int kK = 5;
+
+DenseMatrix integer_dataset() {
+  data::GeneratorSpec spec;
+  spec.n = kN;
+  spec.d = kD;
+  spec.true_clusters = kK;
+  spec.separation = 9.0;
+  spec.seed = 20170627;  // HPDC'17
+  DenseMatrix m = data::generate(spec);
+  for (index_t r = 0; r < m.rows(); ++r)
+    for (index_t c = 0; c < m.cols(); ++c)
+      m.at(r, c) = std::round(m.at(r, c));
+  return m;
+}
+
+/// Deterministic integer starting centroids: k rows spread over the data.
+DenseMatrix initial_centroids(const DenseMatrix& m) {
+  DenseMatrix init(static_cast<index_t>(kK), kD);
+  for (int c = 0; c < kK; ++c) {
+    const index_t r = (m.rows() * static_cast<index_t>(c)) /
+                          static_cast<index_t>(kK) +
+                      7;  // off the block boundary
+    std::memcpy(init.row(static_cast<index_t>(c)), m.row(r),
+                kD * sizeof(value_t));
+  }
+  return init;
+}
+
+Options base_options(const DenseMatrix& init) {
+  Options opts;
+  opts.k = kK;
+  opts.max_iters = 60;
+  opts.init = Init::kProvided;
+  opts.initial_centroids = init;
+  opts.numa_nodes = 2;  // simulated 2-node topology everywhere
+  return opts;
+}
+
+class ConformanceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_ = new DenseMatrix(integer_dataset());
+    init_ = new DenseMatrix(initial_centroids(*data_));
+    Options opts = base_options(*init_);
+    ref_ = new Result(lloyd_serial(data_->const_view(), opts));
+    // The oracle must be non-trivial: actual iterations and convergence.
+    ASSERT_TRUE(ref_->converged);
+    ASSERT_GT(ref_->iters, 2u);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete init_;
+    delete ref_;
+    data_ = nullptr;
+    init_ = nullptr;
+    ref_ = nullptr;
+  }
+
+  void expect_identical(const Result& res, const std::string& what) {
+    EXPECT_EQ(res.iters, ref_->iters) << what;
+    EXPECT_EQ(res.converged, ref_->converged) << what;
+    ASSERT_EQ(res.assignments.size(), ref_->assignments.size()) << what;
+    ASSERT_EQ(res.assignments, ref_->assignments) << what;
+    EXPECT_EQ(res.cluster_sizes, ref_->cluster_sizes) << what;
+    ASSERT_EQ(res.centroids.rows(), ref_->centroids.rows()) << what;
+    ASSERT_EQ(res.centroids.cols(), ref_->centroids.cols()) << what;
+    EXPECT_EQ(std::memcmp(res.centroids.data(), ref_->centroids.data(),
+                          ref_->centroids.size() * sizeof(value_t)),
+              0)
+        << what << ": centroids differ bitwise";
+    const double rel = std::abs(res.energy - ref_->energy) /
+                       std::max(1e-30, ref_->energy);
+    EXPECT_LT(rel, 1e-12) << what;
+  }
+
+  static DenseMatrix* data_;
+  static DenseMatrix* init_;
+  static Result* ref_;
+};
+
+DenseMatrix* ConformanceTest::data_ = nullptr;
+DenseMatrix* ConformanceTest::init_ = nullptr;
+Result* ConformanceTest::ref_ = nullptr;
+
+TEST_F(ConformanceTest, KnoriAcrossThreadsPruningAndPolicies) {
+  for (const int threads : {1, 3, 8}) {
+    for (const bool prune : {false, true}) {
+      Options opts = base_options(*init_);
+      opts.threads = threads;
+      opts.prune = prune;
+      expect_identical(kmeans(data_->const_view(), opts),
+                       "knori T=" + std::to_string(threads) +
+                           (prune ? " mti" : " full"));
+    }
+  }
+  for (const auto policy :
+       {sched::SchedPolicy::kFifo, sched::SchedPolicy::kStatic}) {
+    Options opts = base_options(*init_);
+    opts.threads = 4;
+    opts.sched = policy;
+    expect_identical(kmeans(data_->const_view(), opts),
+                     std::string("knori policy=") + sched::to_string(policy));
+  }
+  // Explicit task sizes pick different chunk grids — with integer data the
+  // grid must not matter either.
+  for (const index_t task_size : {64u, 500u, 8192u}) {
+    Options opts = base_options(*init_);
+    opts.threads = 4;
+    opts.task_size = task_size;
+    expect_identical(kmeans(data_->const_view(), opts),
+                     "knori task_size=" + std::to_string(task_size));
+  }
+  Options oblivious = base_options(*init_);
+  oblivious.threads = 4;
+  oblivious.numa_aware = false;
+  expect_identical(kmeans(data_->const_view(), oblivious), "knori oblivious");
+}
+
+TEST_F(ConformanceTest, SemMatchesInMemory) {
+  const std::string path =
+      ::testing::TempDir() + "conformance_integer.kmat";
+  data::write_matrix(path, *data_);
+  for (const bool prune : {false, true}) {
+    for (const bool row_cache : {false, true}) {
+      Options opts = base_options(*init_);
+      opts.threads = 3;
+      opts.prune = prune;
+      sem::SemOptions sopts;
+      sopts.page_cache_bytes = 1 << 16;  // small: force real I/O paths
+      sopts.row_cache_enabled = row_cache;
+      sem::SemStats stats;
+      expect_identical(sem::kmeans(path, opts, sopts, &stats),
+                       std::string("sem") + (prune ? " mti" : " full") +
+                           (row_cache ? " +rc" : " -rc"));
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(ConformanceTest, KnordMatchesAcrossRankCounts) {
+  for (const int ranks : {1, 2, 3, 4}) {
+    Options opts = base_options(*init_);
+    dist::DistOptions dopts;
+    dopts.ranks = ranks;
+    dopts.threads_per_rank = 2;
+    expect_identical(dist::kmeans(data_->const_view(), opts, dopts),
+                     "knord ranks=" + std::to_string(ranks));
+  }
+  // The flat MPI baseline reduces with the same collectives.
+  Options opts = base_options(*init_);
+  dist::DistOptions dopts;
+  dopts.ranks = 3;
+  expect_identical(dist::mpi_kmeans(data_->const_view(), opts, dopts),
+                   "mpi baseline ranks=3");
+}
+
+}  // namespace
+}  // namespace knor

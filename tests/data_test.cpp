@@ -280,7 +280,7 @@ TEST(NumaDataset, MatchesSourceRows) {
   const DenseMatrix m = generate(spec);
   const auto topo = numa::Topology::simulated(2, 4);
   const numa::Partitioner parts(spec.n, 4, topo);
-  sched::ThreadPool pool(4, topo);
+  sched::Scheduler pool(4, topo);
   const NumaDataset ds(m.const_view(), parts, pool);
   for (index_t r = 0; r < spec.n; r += 13)
     for (index_t c = 0; c < spec.d; ++c)
@@ -294,7 +294,7 @@ TEST(NumaDataset, GeneratedEqualsCopied) {
   const DenseMatrix m = generate(spec);
   const auto topo = numa::Topology::simulated(2, 4);
   const numa::Partitioner parts(spec.n, 4, topo);
-  sched::ThreadPool pool(4, topo);
+  sched::Scheduler pool(4, topo);
   const NumaDataset generated(spec, parts, pool);
   for (index_t r = 0; r < spec.n; ++r)
     for (index_t c = 0; c < spec.d; ++c)
@@ -308,7 +308,7 @@ TEST(NumaDataset, ThreadViewIsContiguousBlock) {
   const DenseMatrix m = generate(spec);
   const auto topo = numa::Topology::simulated(2, 4);
   const numa::Partitioner parts(spec.n, 4, topo);
-  sched::ThreadPool pool(4, topo);
+  sched::Scheduler pool(4, topo);
   const NumaDataset ds(m.const_view(), parts, pool);
   for (int t = 0; t < 4; ++t) {
     const auto range = ds.thread_rows(t);

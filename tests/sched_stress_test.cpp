@@ -1,0 +1,139 @@
+// Scheduler stress: an oversubscribed pool (2x hardware threads), a heavily
+// skewed task-size distribution (the first eighth of the chunk grid costs
+// ~32x), and forced cross-node steals on a simulated 4-node topology.
+// Asserts the work-stealing invariants the engines rely on:
+//   * no deadlock — the suite completes (a hang fails CI),
+//   * every chunk runs exactly once, covering every item exactly once,
+//   * the chunk-ordered reduction is bit-identical across 5 repeated runs,
+//     across thread counts {1, 2, 7, 16}, and across scheduling policies,
+//   * cross-node steals actually happen under skew (numa-aware policy).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "numa/partitioner.hpp"
+#include "sched/scheduler.hpp"
+
+namespace knor::sched {
+namespace {
+
+constexpr index_t kItems = 200000;
+constexpr index_t kTaskSize = 512;
+
+/// Deterministic per-item value; the skewed weight makes chunks in the
+/// front eighth of the grid ~32x more expensive (they all land on the
+/// low-numbered threads' home nodes, so late nodes must steal).
+double item_value(index_t i) {
+  const auto h = static_cast<double>((i * 2654435761ULL) % 1000003ULL);
+  return h * 1e-6;
+}
+
+struct RunResult {
+  std::uint64_t sum_bits = 0;   ///< chunk-ordered FP reduction, raw bits
+  StealStats steals;
+  bool covered = false;         ///< every item exactly once
+};
+
+RunResult stress_run(int threads, SchedPolicy policy) {
+  const auto topo = numa::Topology::simulated(4, 8);
+  const numa::Partitioner parts(kItems, threads, topo);
+  Scheduler sched(threads, topo, /*bind=*/true, policy);
+
+  const auto chunks = static_cast<std::size_t>(
+      Scheduler::num_chunks(kItems, kTaskSize));
+  std::vector<double> chunk_sum(chunks, 0.0);
+  std::vector<std::atomic<int>> chunk_runs(chunks);
+  std::atomic<std::uint64_t> items_seen{0};
+
+  sched.begin_chunks(kItems, kTaskSize, &parts);
+  sched.run([&](int tid) {
+    Task task;
+    while (sched.next_chunk(tid, task)) {
+      ++chunk_runs[task.chunk];
+      items_seen.fetch_add(task.size(), std::memory_order_relaxed);
+      const int weight = task.chunk < chunks / 8 ? 32 : 1;
+      double s = 0.0;
+      for (index_t i = task.begin; i < task.end; ++i) {
+        const double x = item_value(i);
+        for (int w = 0; w < weight; ++w)
+          s += std::sqrt(x + static_cast<double>(w));
+      }
+      chunk_sum[task.chunk] = s;
+    }
+  });
+
+  RunResult out;
+  // Chunk-ordered fold: the deterministic reduction the engines use.
+  double total = 0.0;
+  for (const double s : chunk_sum) total += s;
+  std::memcpy(&out.sum_bits, &total, sizeof(total));
+  out.steals = sched.total_stats();
+  out.covered = items_seen.load() == kItems;
+  for (const auto& runs : chunk_runs)
+    if (runs.load() != 1) out.covered = false;
+  return out;
+}
+
+int oversubscribed_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(hw == 0 ? 8 : 2 * hw);
+}
+
+TEST(SchedulerStress, OversubscribedSkewedRunsEveryTaskExactlyOnce) {
+  const RunResult r =
+      stress_run(oversubscribed_threads(), SchedPolicy::kNumaAware);
+  EXPECT_TRUE(r.covered);
+  EXPECT_EQ(r.steals.total(),
+            static_cast<std::uint64_t>(
+                Scheduler::num_chunks(kItems, kTaskSize)));
+}
+
+TEST(SchedulerStress, BitIdenticalAcrossFiveRuns) {
+  const int T = oversubscribed_threads();
+  const RunResult first = stress_run(T, SchedPolicy::kNumaAware);
+  ASSERT_TRUE(first.covered);
+  for (int run = 1; run < 5; ++run) {
+    const RunResult r = stress_run(T, SchedPolicy::kNumaAware);
+    ASSERT_TRUE(r.covered) << "run " << run;
+    ASSERT_EQ(r.sum_bits, first.sum_bits) << "run " << run;
+  }
+}
+
+TEST(SchedulerStress, BitIdenticalAcrossThreadCounts) {
+  const RunResult one = stress_run(1, SchedPolicy::kNumaAware);
+  ASSERT_TRUE(one.covered);
+  for (const int threads : {2, 7, 16}) {
+    const RunResult r = stress_run(threads, SchedPolicy::kNumaAware);
+    ASSERT_TRUE(r.covered) << threads;
+    ASSERT_EQ(r.sum_bits, one.sum_bits) << "T=" << threads;
+  }
+}
+
+TEST(SchedulerStress, BitIdenticalAcrossPolicies) {
+  const RunResult ws = stress_run(8, SchedPolicy::kNumaAware);
+  for (const auto policy : {SchedPolicy::kFifo, SchedPolicy::kStatic}) {
+    const RunResult r = stress_run(8, policy);
+    ASSERT_TRUE(r.covered) << to_string(policy);
+    ASSERT_EQ(r.sum_bits, ws.sum_bits) << to_string(policy);
+  }
+}
+
+TEST(SchedulerStress, SkewForcesCrossNodeSteals) {
+  // The heavy chunks live at the front of the grid — the low threads'
+  // blocks, i.e. nodes 0 and 1. Threads on nodes 2 and 3 drain their own
+  // queues early and must steal across nodes to finish the run.
+  const RunResult r = stress_run(16, SchedPolicy::kNumaAware);
+  ASSERT_TRUE(r.covered);
+  EXPECT_GT(r.steals.remote_node, 0u);
+  // Static scheduling, by construction, never steals.
+  const RunResult st = stress_run(16, SchedPolicy::kStatic);
+  EXPECT_EQ(st.steals.same_node, 0u);
+  EXPECT_EQ(st.steals.remote_node, 0u);
+}
+
+}  // namespace
+}  // namespace knor::sched

@@ -1,17 +1,19 @@
-// Unit tests for the scheduler: barrier, thread pool, the NUMA-aware
-// partitioned priority task queue (Figure 2), and the parallel reduction.
+// Unit tests for the scheduler layer: barrier, the NUMA-partitioned
+// work-stealing Scheduler (per-node deques, hierarchical steal order,
+// adaptive task sizing), the fixed-tree reduction, reduce_by_node, and the
+// NodeDistance victim ordering.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <numeric>
-#include <set>
+#include <string>
 #include <vector>
 
+#include "numa/cost_model.hpp"
 #include "numa/partitioner.hpp"
 #include "sched/barrier.hpp"
 #include "sched/reduction.hpp"
-#include "sched/task_queue.hpp"
-#include "sched/thread_pool.hpp"
+#include "sched/scheduler.hpp"
 
 namespace knor::sched {
 namespace {
@@ -37,94 +39,115 @@ TEST(Barrier, SynchronizesPhases) {
   EXPECT_TRUE(ok);
 }
 
-TEST(Barrier, ReusableAcrossManyIterations) {
-  constexpr int kThreads = 3;
-  constexpr int kIters = 200;
-  Barrier barrier(kThreads);
-  std::vector<int> counters(kThreads, 0);
-  std::atomic<bool> ok{true};
-  std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&, t] {
-      for (int i = 0; i < kIters; ++i) {
-        counters[static_cast<std::size_t>(t)] = i;
-        barrier.arrive_and_wait();
-        for (int u = 0; u < kThreads; ++u)
-          if (counters[static_cast<std::size_t>(u)] != i) ok = false;
-        barrier.arrive_and_wait();
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  EXPECT_TRUE(ok);
-}
-
-TEST(ThreadPool, RunsEveryWorkerExactlyOnce) {
-  ThreadPool pool(6, test_topo());
+TEST(Scheduler, RunsEveryWorkerExactlyOnce) {
+  Scheduler sched(6, test_topo());
   std::vector<std::atomic<int>> hits(6);
-  pool.run([&](int tid) { ++hits[static_cast<std::size_t>(tid)]; });
+  sched.run([&](int tid) { ++hits[static_cast<std::size_t>(tid)]; });
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
-TEST(ThreadPool, ReusableAcrossRuns) {
-  ThreadPool pool(3, test_topo());
+TEST(Scheduler, ReusableAcrossRuns) {
+  Scheduler sched(3, test_topo());
   std::atomic<int> total{0};
-  for (int i = 0; i < 50; ++i) pool.run([&](int) { ++total; });
+  for (int i = 0; i < 50; ++i) sched.run([&](int) { ++total; });
   EXPECT_EQ(total.load(), 150);
 }
 
-TEST(ThreadPool, PropagatesWorkerException) {
-  ThreadPool pool(4, test_topo());
-  EXPECT_THROW(pool.run([](int tid) {
+TEST(Scheduler, PropagatesWorkerException) {
+  Scheduler sched(4, test_topo());
+  EXPECT_THROW(sched.run([](int tid) {
                  if (tid == 2) throw std::runtime_error("boom");
                }),
                std::runtime_error);
-  // Pool must remain usable after an exception.
+  // Scheduler must remain usable after an exception.
   std::atomic<int> total{0};
-  pool.run([&](int) { ++total; });
+  sched.run([&](int) { ++total; });
   EXPECT_EQ(total.load(), 4);
 }
 
-TEST(ThreadPool, NodeAssignmentRoundRobin) {
-  ThreadPool pool(4, test_topo());
-  EXPECT_EQ(pool.node_of(0), 0);
-  EXPECT_EQ(pool.node_of(1), 1);
-  EXPECT_EQ(pool.node_of(2), 0);
-  EXPECT_EQ(pool.node_of(3), 1);
+TEST(Scheduler, NodeAssignmentRoundRobin) {
+  Scheduler sched(4, test_topo());
+  EXPECT_EQ(sched.node_of_thread(0), 0);
+  EXPECT_EQ(sched.node_of_thread(1), 1);
+  EXPECT_EQ(sched.node_of_thread(2), 0);
+  EXPECT_EQ(sched.node_of_thread(3), 1);
 }
 
-class TaskQueueTest : public ::testing::TestWithParam<SchedPolicy> {};
+TEST(Scheduler, AdaptiveTaskSizeIsThreadCountIndependent) {
+  // auto_task_size is a pure function of n: bounded by [kMinTaskSize,
+  // kPaperTaskSize] and targeting kAutoChunkTarget chunks.
+  EXPECT_EQ(Scheduler::auto_task_size(100), Scheduler::kMinTaskSize);
+  EXPECT_EQ(Scheduler::auto_task_size(10'000'000), Scheduler::kPaperTaskSize);
+  const index_t n = 1'000'000;
+  const index_t ts = Scheduler::auto_task_size(n);
+  EXPECT_GE(ts, Scheduler::kMinTaskSize);
+  EXPECT_LE(ts, Scheduler::kPaperTaskSize);
+  EXPECT_LE(Scheduler::num_chunks(n, ts), Scheduler::kAutoChunkTarget + 1);
+  // resolve: 0 -> adaptive; every path floored to the kMaxChunks grid cap.
+  EXPECT_EQ(Scheduler::resolve_task_size(n, 0), ts);
+  EXPECT_EQ(Scheduler::resolve_task_size(n, 2048), 2048u);
+  for (const index_t requested : {index_t(0), index_t(64)})
+    for (const index_t big : {index_t(100'000'000), index_t(1'000'000'000)})
+      EXPECT_LE(Scheduler::num_chunks(
+                    big, Scheduler::resolve_task_size(big, requested)),
+                Scheduler::kMaxChunks)
+          << big << "/" << requested;
+  // Idempotent: engines pre-resolve, begin_chunks resolves again.
+  const index_t resolved = Scheduler::resolve_task_size(1'000'000'000, 0);
+  EXPECT_EQ(Scheduler::resolve_task_size(1'000'000'000, resolved), resolved);
+}
 
-TEST_P(TaskQueueTest, DrainsAllRowsExactlyOnce) {
+class PolicyTest : public ::testing::TestWithParam<SchedPolicy> {};
+
+TEST_P(PolicyTest, DrainsAllRowsExactlyOnce) {
   const auto topo = test_topo();
   const numa::Partitioner parts(10000, 4, topo);
-  TaskQueue queue(parts, GetParam(), 256);
+  Scheduler sched(4, topo, /*bind=*/true, GetParam());
+  sched.begin_chunks(10000, 256, &parts);
 
   std::vector<int> seen(10000, 0);
   Task task;
   // Single consumer draining on behalf of all threads.
   for (int t = 0; t < 4; ++t)
-    while (queue.next(t, task))
+    while (sched.next_chunk(t, task))
       for (index_t r = task.begin; r < task.end; ++r)
         ++seen[static_cast<std::size_t>(r)];
   for (int count : seen) EXPECT_EQ(count, 1);
 }
 
-TEST_P(TaskQueueTest, ResetRefills) {
+TEST_P(PolicyTest, BeginChunksRefills) {
   const auto topo = test_topo();
   const numa::Partitioner parts(1000, 2, topo);
-  TaskQueue queue(parts, GetParam(), 128);
-  Task task;
-  index_t total = 0;
-  while (queue.next(0, task) || queue.next(1, task)) total += task.size();
-  EXPECT_EQ(total, 1000u);
-  queue.reset();
-  total = 0;
-  while (queue.next(0, task) || queue.next(1, task)) total += task.size();
-  EXPECT_EQ(total, 1000u);
+  Scheduler sched(2, topo, /*bind=*/true, GetParam());
+  for (int round = 0; round < 2; ++round) {
+    sched.begin_chunks(1000, 128, &parts);
+    Task task;
+    index_t total = 0;
+    while (sched.next_chunk(0, task) || sched.next_chunk(1, task))
+      total += task.size();
+    EXPECT_EQ(total, 1000u);
+  }
 }
 
-INSTANTIATE_TEST_SUITE_P(AllPolicies, TaskQueueTest,
+TEST_P(PolicyTest, ConcurrentDrainCoversEverything) {
+  const auto topo = test_topo();
+  const int T = 4;
+  const index_t n = 100000;
+  const numa::Partitioner parts(n, T, topo);
+  Scheduler sched(T, topo, /*bind=*/true, GetParam());
+  sched.begin_chunks(n, 128, &parts);
+  std::vector<std::atomic<int>> seen(n);
+  sched.run([&](int tid) {
+    Task task;
+    while (sched.next_chunk(tid, task))
+      for (index_t r = task.begin; r < task.end; ++r)
+        ++seen[static_cast<std::size_t>(r)];
+  });
+  for (index_t r = 0; r < n; ++r)
+    ASSERT_EQ(seen[static_cast<std::size_t>(r)].load(), 1) << "row " << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyTest,
                          ::testing::Values(SchedPolicy::kNumaAware,
                                            SchedPolicy::kFifo,
                                            SchedPolicy::kStatic),
@@ -137,92 +160,117 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, TaskQueueTest,
                                       : "Static";
                          });
 
-TEST(TaskQueue, StaticPolicyNeverSteals) {
+TEST(Scheduler, StaticPolicyNeverSteals) {
   const auto topo = test_topo();
   const numa::Partitioner parts(1000, 4, topo);
-  TaskQueue queue(parts, SchedPolicy::kStatic, 64);
+  Scheduler sched(4, topo, /*bind=*/true, SchedPolicy::kStatic);
+  sched.begin_chunks(1000, 64, &parts);
   Task task;
-  // Thread 0 drains its own partition, then must get nothing even though
-  // other partitions are full.
-  while (queue.next(0, task)) {
-    EXPECT_EQ(task.home_partition, 0);
+  // Thread 0 drains its own share, then must get nothing even though the
+  // other shares are full.
+  while (sched.next_chunk(0, task)) {
+    EXPECT_EQ(task.home_thread, 0);
   }
-  EXPECT_FALSE(queue.next(0, task));
-  EXPECT_TRUE(queue.next(1, task));  // other partitions untouched
+  EXPECT_FALSE(sched.next_chunk(0, task));
+  EXPECT_TRUE(sched.next_chunk(1, task));  // other shares untouched
+  EXPECT_EQ(sched.stats(0).same_node, 0u);
+  EXPECT_EQ(sched.stats(0).remote_node, 0u);
 }
 
-TEST(TaskQueue, NumaAwareStealsSameNodeFirst) {
-  // 4 threads over 2 nodes: threads 0,2 -> node0; 1,3 -> node1.
+TEST(Scheduler, NumaAwareRebalancesWithinNodeFirst) {
+  // 4 threads over 2 nodes: threads 0,2 -> node0; 1,3 -> node1. Thread 0
+  // shares a deque with thread 2: after its own chunks it takes thread 2's
+  // (same-node), and only then steals from node 1 (remote).
   const auto topo = test_topo();
   const numa::Partitioner parts(4096, 4, topo);
-  TaskQueue queue(parts, SchedPolicy::kNumaAware, 64);
+  Scheduler sched(4, topo, /*bind=*/true, SchedPolicy::kNumaAware);
+  sched.begin_chunks(4096, 64, &parts);
   Task task;
-  // Drain thread 0's own partition.
-  int own = 0;
-  while (queue.next(0, task) && task.home_partition == 0) ++own;
-  EXPECT_GT(own, 0);
-  // The first stolen task (already popped above as the loop-breaker) must
-  // come from thread 2 — the same-node partition — not 1 or 3.
-  EXPECT_EQ(task.home_partition, 2);
-  const StealStats stats = queue.stats(0);
-  EXPECT_EQ(stats.same_node, 1u);
-  EXPECT_EQ(stats.remote_node, 0u);
-}
-
-TEST(TaskQueue, NumaAwareFallsBackToRemoteRatherThanStarve) {
-  const auto topo = test_topo();
-  const numa::Partitioner parts(1024, 4, topo);
-  TaskQueue queue(parts, SchedPolicy::kNumaAware, 64);
-  Task task;
-  // Drain partitions 0 and 2 (node 0) completely via thread 0.
-  while (queue.next(0, task) &&
-         (task.home_partition == 0 || task.home_partition == 2)) {
+  bool seen_remote = false;
+  while (sched.next_chunk(0, task)) {
+    if (task.home_node != 0) {
+      seen_remote = true;
+    } else {
+      // No same-node chunk may be claimed after the first remote steal:
+      // the own-node deque is exhausted before any cross-node theft.
+      EXPECT_FALSE(seen_remote) << "same-node chunk after a remote steal";
+    }
   }
-  // That loop exits holding a remote task: remote partitions are used
-  // rather than starving the thread.
-  EXPECT_TRUE(task.home_partition == 1 || task.home_partition == 3);
-  EXPECT_GE(queue.stats(0).remote_node, 1u);
+  const StealStats stats = sched.stats(0);
+  EXPECT_GT(stats.own, 0u);
+  EXPECT_GT(stats.same_node, 0u);  // thread 2's chunks, same deque
+  EXPECT_GT(stats.remote_node, 0u);
+  EXPECT_TRUE(seen_remote);
 }
 
-TEST(TaskQueue, FifoStealsInIndexOrderIgnoringNuma) {
+TEST(Scheduler, RemoteStealsTakeTheBackOfTheVictimDeque) {
+  // Victims lose their *last* chunks first, preserving the front (the rows
+  // nearest the victim's current working set).
+  const auto topo = test_topo();
+  const numa::Partitioner parts(4096, 2, topo);  // threads 0->n0, 1->n1
+  Scheduler sched(2, topo, /*bind=*/true, SchedPolicy::kNumaAware);
+  sched.begin_chunks(4096, 64, &parts);
+  Task task;
+  // Thread 0 steals one chunk from node 1 after draining node 0: it must be
+  // node 1's highest chunk id.
+  std::uint32_t last_own = 0;
+  while (sched.next_chunk(0, task) && task.home_node == 0)
+    last_own = task.chunk;
+  (void)last_own;
+  EXPECT_EQ(task.home_node, 1);
+  EXPECT_EQ(task.chunk, 63u);  // 4096/64 = 64 chunks; node1 owns the tail
+}
+
+TEST(Scheduler, FifoIsOneSharedQueue) {
   const auto topo = test_topo();
   const numa::Partitioner parts(4096, 4, topo);
-  TaskQueue queue(parts, SchedPolicy::kFifo, 64);
+  Scheduler sched(4, topo, /*bind=*/true, SchedPolicy::kFifo);
+  sched.begin_chunks(4096, 64, &parts);
   Task task;
-  while (queue.next(0, task) && task.home_partition == 0) {
-  }
-  // FIFO visits partition (0+1)%4 = 1 first — a remote-node partition.
-  EXPECT_EQ(task.home_partition, 1);
-  EXPECT_EQ(queue.stats(0).remote_node, 1u);
+  // A single consumer sees every chunk in ascending order regardless of
+  // home node — the flat-pool model.
+  std::uint32_t expect = 0;
+  while (sched.next_chunk(3, task)) EXPECT_EQ(task.chunk, expect++);
+  EXPECT_EQ(expect, 64u);
 }
 
-TEST(TaskQueue, TaskSizeRespected) {
+TEST(Scheduler, TaskSizeRespected) {
   const auto topo = test_topo();
   const numa::Partitioner parts(1000, 1, topo);
-  TaskQueue queue(parts, SchedPolicy::kStatic, 300);
+  Scheduler sched(1, topo, /*bind=*/true, SchedPolicy::kStatic);
+  sched.begin_chunks(1000, 300, &parts);
   Task task;
   std::vector<index_t> sizes;
-  while (queue.next(0, task)) sizes.push_back(task.size());
+  while (sched.next_chunk(0, task)) sizes.push_back(task.size());
   ASSERT_EQ(sizes.size(), 4u);  // 300+300+300+100
   EXPECT_EQ(sizes[3], 100u);
 }
 
-TEST(TaskQueue, ConcurrentDrainCoversEverything) {
-  const auto topo = test_topo();
-  const int T = 4;
-  const index_t n = 100000;
-  const numa::Partitioner parts(n, T, topo);
-  TaskQueue queue(parts, SchedPolicy::kNumaAware, 128);
-  std::vector<std::atomic<int>> seen(n);
-  ThreadPool pool(T, topo);
-  pool.run([&](int tid) {
-    Task task;
-    while (queue.next(tid, task))
-      for (index_t r = task.begin; r < task.end; ++r)
-        ++seen[static_cast<std::size_t>(r)];
-  });
-  for (index_t r = 0; r < n; ++r)
-    ASSERT_EQ(seen[static_cast<std::size_t>(r)].load(), 1) << "row " << r;
+TEST(NodeDistance, SimulatedRingMetric) {
+  const auto topo = numa::Topology::simulated(4, 8);
+  const numa::NodeDistance dist(topo);
+  EXPECT_EQ(dist(0, 0), 10);
+  EXPECT_EQ(dist(0, 1), 21);  // 1 hop
+  EXPECT_EQ(dist(0, 2), 26);  // 2 hops (opposite corner)
+  EXPECT_EQ(dist(0, 3), 21);  // 1 hop the other way round the ring
+  // Victims ascend by distance; ties break toward the lower node id.
+  EXPECT_EQ(dist.victim_order(0), (std::vector<int>{1, 3, 2}));
+  EXPECT_EQ(dist.victim_order(2), (std::vector<int>{1, 3, 0}));
+}
+
+TEST(Scheduler, StealsFromCheapestRemoteNodeFirst) {
+  // 4 nodes, 4 threads. Thread 0 (node 0) drains its own node, then must
+  // visit node 1 (distance 21) before node 2 (distance 26).
+  const auto topo = numa::Topology::simulated(4, 8);
+  const numa::Partitioner parts(4096, 4, topo);
+  Scheduler sched(4, topo, /*bind=*/true, SchedPolicy::kNumaAware);
+  sched.begin_chunks(4096, 64, &parts);
+  Task task;
+  std::vector<int> visit_order;
+  while (sched.next_chunk(0, task))
+    if (visit_order.empty() || visit_order.back() != task.home_node)
+      visit_order.push_back(task.home_node);
+  EXPECT_EQ(visit_order, (std::vector<int>{0, 1, 3, 2}));
 }
 
 TEST(TreeReduce, SumsAllItemsIntoSlotZero) {
@@ -230,8 +278,8 @@ TEST(TreeReduce, SumsAllItemsIntoSlotZero) {
     std::vector<long> items(static_cast<std::size_t>(T));
     std::iota(items.begin(), items.end(), 1);  // 1..T
     Barrier barrier(T);
-    ThreadPool pool(T, test_topo());
-    pool.run([&](int tid) {
+    Scheduler sched(T, test_topo());
+    sched.run([&](int tid) {
       tree_reduce(tid, T, barrier, [&](int dst, int src) {
         items[static_cast<std::size_t>(dst)] +=
             items[static_cast<std::size_t>(src)];
@@ -239,6 +287,63 @@ TEST(TreeReduce, SumsAllItemsIntoSlotZero) {
     });
     EXPECT_EQ(items[0], static_cast<long>(T) * (T + 1) / 2) << "T=" << T;
   }
+}
+
+TEST(TreeReduceFixed, AssociationDependsOnlyOnSlotCount) {
+  // Fold 13 FP slots under several thread counts: the merge tree is fixed
+  // by the count, so the result must be bitwise identical.
+  const std::size_t count = 13;
+  std::vector<double> reference;
+  for (int T : {1, 2, 5, 8}) {
+    std::vector<double> slots(count);
+    for (std::size_t i = 0; i < count; ++i)
+      slots[i] = 1.0 / static_cast<double>(i + 3);  // not exactly summable
+    Barrier barrier(T);
+    Scheduler sched(T, test_topo());
+    sched.run([&](int tid) {
+      tree_reduce_fixed(tid, T, count, barrier,
+                        [&](std::size_t dst, std::size_t src) {
+                          slots[dst] += slots[src];
+                        });
+    });
+    if (reference.empty())
+      reference.push_back(slots[0]);
+    else
+      EXPECT_EQ(reference[0], slots[0]) << "T=" << T;  // bitwise
+  }
+}
+
+TEST(ReduceByNode, NodeOrderedAssociation) {
+  // 5 threads over 2 nodes (node0: t0,t2,t4; node1: t1,t3). The merge must
+  // fold each node locally first, then the node leads in node order:
+  // ((t0+t2)+t4) + (t1+t3).
+  const int T = 5;
+  Scheduler sched(T, test_topo());
+  std::vector<std::string> slots(T);
+  for (int t = 0; t < T; ++t) slots[static_cast<std::size_t>(t)] =
+      "t" + std::to_string(t);
+  sched.run([&](int tid) {
+    sched.reduce_by_node(tid, [&](int dst, int src) {
+      slots[static_cast<std::size_t>(dst)] =
+          "(" + slots[static_cast<std::size_t>(dst)] + "+" +
+          slots[static_cast<std::size_t>(src)] + ")";
+    });
+  });
+  EXPECT_EQ(slots[0], "(((t0+t2)+t4)+(t1+t3))");
+}
+
+TEST(Scheduler, ParallelForBodyRunsOncePerChunk) {
+  const auto topo = test_topo();
+  Scheduler sched(4, topo);
+  const index_t n = 10000;
+  const index_t ts = 128;
+  std::vector<std::atomic<int>> runs(
+      static_cast<std::size_t>(Scheduler::num_chunks(n, ts)));
+  sched.parallel_for(n, ts, nullptr, [&](int, const Task& task) {
+    ++runs[task.chunk];
+    EXPECT_EQ(task.begin, static_cast<index_t>(task.chunk) * ts);
+  });
+  for (auto& r : runs) EXPECT_EQ(r.load(), 1);
 }
 
 }  // namespace

@@ -38,7 +38,14 @@ subcommands:
           --mode im|sem|dist --k K
           [--iters I] [--threads T] [--seed S] [--init forgy|random|
            kmeans++] [--no-prune] [--numa-oblivious] [--numa-nodes N]
+          [--numa-bind on|off] [--sched numa|fifo|static] [--task-size N]
           [--tolerance F]
+      --threads T      worker threads (0 = one per hardware CPU)
+      --numa-bind      pin workers to their NUMA node's CPUs (default on)
+      --sched          scheduling policy: numa = per-node work-stealing
+                       deques, fifo = one flat shared queue, static = no
+                       stealing (default numa)
+      --task-size N    rows per scheduler task (0 = adaptive, default)
           sem:  [--page-kb K] [--page-cache-mb M] [--row-cache-mb M]
                 [--no-row-cache] [--cache-interval I]
                 [--checkpoint FILE] [--checkpoint-interval I] [--resume]
@@ -133,6 +140,23 @@ Options options_from(const Args& args) {
   opts.numa_aware = !args.has("numa-oblivious");
   opts.numa_nodes = static_cast<int>(args.num("numa-nodes", 0));
   opts.tolerance = args.real("tolerance", 0.0);
+  const std::string bind = args.str("numa-bind", "on");
+  if (bind == "on")
+    opts.numa_bind = true;
+  else if (bind == "off")
+    opts.numa_bind = false;
+  else
+    usage(("--numa-bind must be on or off, got " + bind).c_str());
+  const std::string sched = args.str("sched", "numa");
+  if (sched == "numa")
+    opts.sched = sched::SchedPolicy::kNumaAware;
+  else if (sched == "fifo")
+    opts.sched = sched::SchedPolicy::kFifo;
+  else if (sched == "static")
+    opts.sched = sched::SchedPolicy::kStatic;
+  else
+    usage(("unknown --sched policy " + sched).c_str());
+  opts.task_size = static_cast<index_t>(args.num("task-size", 0));
   const std::string init = args.str("init", "forgy");
   if (init == "forgy")
     opts.init = Init::kForgy;
