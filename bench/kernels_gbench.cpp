@@ -4,9 +4,11 @@
 // collective used by knord.
 #include <benchmark/benchmark.h>
 
+#include <string>
 #include <vector>
 
 #include "core/distance.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
 #include "data/generator.hpp"
@@ -46,6 +48,49 @@ void BM_NearestCentroid(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * k);
 }
 BENCHMARK(BM_NearestCentroid)->Arg(10)->Arg(50)->Arg(100);
+
+// Per-ISA suites for the SIMD kernel layer: registered dynamically for
+// whatever this machine supports, so the scalar-vs-vector speedup (and
+// blocked-vs-per-centroid) is directly visible in one run.
+void BM_DistSqIsa(benchmark::State& state, kernels::Isa isa) {
+  const kernels::Ops& ops = kernels::ops_for(isa);
+  const index_t d = static_cast<index_t>(state.range(0));
+  const DenseMatrix m = make_data(2, d);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops.dist_sq(m.row(0), m.row(1), d));
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_NearestBlockedIsa(benchmark::State& state, kernels::Isa isa) {
+  const kernels::Ops& ops = kernels::ops_for(isa);
+  const int k = static_cast<int>(state.range(0));
+  const index_t d = 16;
+  const DenseMatrix point = make_data(1, d);
+  const DenseMatrix centroids = make_data(static_cast<index_t>(k), d);
+  kernels::CentroidPack pack;
+  pack.pack(centroids);
+  value_t sq_out = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(ops.nearest_blocked(point.row(0), pack, &sq_out));
+  state.SetItemsProcessed(state.iterations() * k);
+}
+
+const int g_isa_registrations = [] {
+  for (const kernels::Isa isa : kernels::available_isas()) {
+    const std::string tag = kernels::to_string(isa);
+    benchmark::RegisterBenchmark(("BM_DistSqIsa/" + tag).c_str(),
+                                 [isa](benchmark::State& s) {
+                                   BM_DistSqIsa(s, isa);
+                                 })
+        ->Arg(8)->Arg(32)->Arg(128);
+    benchmark::RegisterBenchmark(("BM_NearestBlockedIsa/" + tag).c_str(),
+                                 [isa](benchmark::State& s) {
+                                   BM_NearestBlockedIsa(s, isa);
+                                 })
+        ->Arg(8)->Arg(64)->Arg(256);
+  }
+  return 0;
+}();
 
 void BM_LocalCentroidAdd(benchmark::State& state) {
   const index_t d = static_cast<index_t>(state.range(0));

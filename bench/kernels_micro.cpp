@@ -4,9 +4,12 @@
 // collective used by knord. A dependency-free sibling of
 // kernels_gbench.cpp (which needs google-benchmark and stays outside the
 // registry); every number here is nanoseconds, i.e. a timing.
+#include <algorithm>
+#include <string>
 #include <vector>
 
 #include "core/distance.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
 #include "dist/comm.hpp"
@@ -67,6 +70,42 @@ void run(Context& ctx) {
     ctx.row().label("kernel", "nearest_centroid")
         .label("arg", "k=" + std::to_string(k))
         .timing("ns_per_op", ns);
+  }
+
+  // Per-ISA suites for the SIMD kernel layer: the dispatched dist_sq and
+  // the blocked nearest-centroid kernel, each against the scalar
+  // reference rows above. The speedup of nearest_blocked isa=avx2 (or
+  // best) over isa=scalar at k=64 is the PR-4 acceptance number.
+  for (const kernels::Isa isa : kernels::available_isas()) {
+    const kernels::Ops& ops = kernels::ops_for(isa);
+    const std::string tag = std::string(" isa=") + kernels::to_string(isa);
+    for (const index_t d : {8u, 32u, 128u}) {
+      const DenseMatrix m = make_data(2, d);
+      const TimingAgg ns = per_op_ns(ctx, base, [&] {
+        g_sink = ops.dist_sq(m.row(0), m.row(1), d);
+      });
+      ctx.row().label("kernel", "dist_sq_simd")
+          .label("arg", "d=" + std::to_string(d) + tag)
+          .timing("ns_per_op", ns);
+    }
+    for (const int k : {8, 64, 256}) {
+      const index_t d = 32;  // mid-range d: the tile's target regime
+      const DenseMatrix point = make_data(1, d);
+      const DenseMatrix centroids = make_data(static_cast<index_t>(k), d);
+      kernels::CentroidPack pack;
+      pack.pack(centroids);
+      value_t sq_out = 0;
+      // Enough ops that the scalar-vs-vector ratio is stable even at
+      // smoke scale (this ratio is a PR acceptance number).
+      const std::size_t iters = std::max<std::size_t>(
+          2000, base / (k > 64 ? 4 : 2));
+      const TimingAgg ns = per_op_ns(ctx, iters, [&] {
+        g_sink = ops.nearest_blocked(point.row(0), pack, &sq_out);
+      });
+      ctx.row().label("kernel", "nearest_blocked")
+          .label("arg", "k=" + std::to_string(k) + tag)
+          .timing("ns_per_op", ns);
+    }
   }
 
   {
@@ -158,7 +197,10 @@ const Registration reg({
     "bookkeeping (mti_prepare) is O(k^2) yet amortizes to noise per point; "
     "a task-queue pop costs microseconds (cheap enough for 8192-point "
     "tasks); one small allreduce is far below a single iteration's compute "
-    "— the reason knord's speedup stays near-linear.",
+    "— the reason knord's speedup stays near-linear. The per-ISA rows "
+    "(dist_sq_simd, nearest_blocked) show the vector kernels beating the "
+    "scalar reference, widest at moderate k where the register-blocked "
+    "tile keeps the point in registers while centroid rows stream.",
     400, run});
 
 }  // namespace

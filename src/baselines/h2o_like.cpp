@@ -3,8 +3,8 @@
 
 #include "baselines/frameworks.hpp"
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
@@ -12,6 +12,8 @@
 namespace knor::baselines {
 
 Result h2o_like(ConstMatrixView data, const Options& opts) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -21,6 +23,7 @@ Result h2o_like(ConstMatrixView data, const Options& opts) {
   Result res;
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
   DenseMatrix cur = init_centroids(data, opts);
+  kernels::CentroidPack pack;
   DenseMatrix sums(static_cast<index_t>(k), d);
   std::vector<index_t> counts(static_cast<std::size_t>(k));
 
@@ -34,6 +37,7 @@ Result h2o_like(ConstMatrixView data, const Options& opts) {
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
 
     // Phase I: parallel assignment only. Global barrier at the join.
     sched.run([&](int tid) {
@@ -41,8 +45,7 @@ Result h2o_like(ConstMatrixView data, const Options& opts) {
       tchanged[static_cast<std::size_t>(tid)] = 0;
       const numa::RowRange rows = parts.thread_rows(tid);
       for (index_t r = rows.begin; r < rows.end; ++r) {
-        const cluster_t best =
-            nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+        const cluster_t best = K.nearest_blocked(data.row(r), pack, nullptr);
         if (best != res.assignments[r])
           ++tchanged[static_cast<std::size_t>(tid)];
         res.assignments[r] = best;
@@ -89,7 +92,7 @@ Result h2o_like(ConstMatrixView data, const Options& opts) {
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.thread_busy_s = tbusy;
   res.centroids = std::move(cur);
   return res;

@@ -5,8 +5,8 @@
 
 #include "baselines/frameworks.hpp"
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
@@ -39,6 +39,8 @@ class DenseRowObject final : public RowObject {
 }  // namespace
 
 Result turi_like(ConstMatrixView data, const Options& opts) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -56,6 +58,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
   DenseMatrix cur = init_centroids(data, opts);
   DenseMatrix sums(static_cast<index_t>(k), d);
   std::vector<index_t> counts(static_cast<std::size_t>(k));
+  kernels::CentroidPack pack;
 
   numa::Partitioner parts(n, T, topo);
   sched::Scheduler sched(T, topo, /*bind=*/false);
@@ -76,6 +79,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     sched.run([&](int tid) {
       const double cpu_start = thread_cpu_seconds();
       auto& ts = tsums[static_cast<std::size_t>(tid)];
@@ -89,8 +93,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
         // Virtual access + defensive copy into scratch.
         const RowObject& obj = *rows[static_cast<std::size_t>(r)];
         std::copy(obj.values(), obj.values() + obj.dim(), scratch.begin());
-        const cluster_t best =
-            nearest_centroid(scratch.data(), cur.data(), k, d, nullptr);
+        const cluster_t best = K.nearest_blocked(scratch.data(), pack, nullptr);
         if (best != res.assignments[r])
           ++tchanged[static_cast<std::size_t>(tid)];
         res.assignments[r] = best;
@@ -142,7 +145,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.thread_busy_s = tbusy;
   res.centroids = std::move(cur);
   return res;

@@ -6,6 +6,8 @@
 // placement is layered on top in numa/numa_alloc.hpp.
 #pragma once
 
+#include <cassert>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -15,17 +17,35 @@
 
 namespace knor {
 
+/// True when `p` meets the SIMD kernel layer's 64-byte requirement. Used
+/// by the aligned-load paths (core/kernels) and their regression tests.
+inline bool is_cacheline_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kCacheLine == 0;
+}
+
+// Alignment guarantees (the SIMD kernel layer relies on both):
+//  * data() is aligned to `alignment` (>= kCacheLine by default), so
+//    64-byte-aligned vector loads at managed offsets are legal;
+//  * the allocation is rounded UP to a multiple of `alignment` and
+//    zero-filled, so the tail past size() reads as +0.0 — padding lanes of
+//    packed structures (kernels::CentroidPack) are well-defined without
+//    per-row masking.
 template <typename T>
 class AlignedBuffer {
+  static_assert(alignof(T) <= kCacheLine,
+                "over-aligned element types would silently misalign");
+
  public:
   AlignedBuffer() = default;
 
   explicit AlignedBuffer(std::size_t count, std::size_t alignment = kCacheLine)
       : size_(count) {
     if (count == 0) return;
+    assert(alignment >= alignof(T) && (alignment & (alignment - 1)) == 0);
     const std::size_t bytes = round_up(count * sizeof(T), alignment);
     data_ = static_cast<T*>(std::aligned_alloc(alignment, bytes));
     if (data_ == nullptr) throw std::bad_alloc{};
+    assert(reinterpret_cast<std::uintptr_t>(data_) % alignment == 0);
     std::memset(static_cast<void*>(data_), 0, bytes);
   }
 

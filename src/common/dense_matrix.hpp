@@ -55,8 +55,16 @@ class MatrixView {
 using ConstMatrixView = MatrixView<const value_t>;
 using MutMatrixView = MatrixView<value_t>;
 
-/// Owning aligned row-major matrix.
+/// Owning aligned row-major matrix. data() is 64-byte aligned and the
+/// backing allocation is padded to a 64-byte multiple (AlignedBuffer), so
+/// SIMD kernels may read full vectors anywhere inside the matrix plus the
+/// zeroed tail; individual ROWS are only aligned when cols is a multiple
+/// of kCacheLine/sizeof(value_t) — kernels use unaligned loads for row
+/// pointers and kernels::CentroidPack for aligned, padded centroid rows.
 class DenseMatrix {
+  static_assert(kCacheLine % sizeof(value_t) == 0,
+                "cache line must hold a whole number of elements");
+
  public:
   DenseMatrix() = default;
   DenseMatrix(index_t rows, index_t cols)

@@ -1,10 +1,15 @@
-// Distance kernels.
+// Scalar reference distance kernels.
 //
-// Squared Euclidean distance is the inner loop of every module; it is kept
-// header-only so it inlines into the engines. The 4-way unrolled form gives
-// the compiler independent accumulator chains to schedule (and vectorize)
-// — the paper's "sequential access patterns ... maximize prefetching and
-// CPU caching" design.
+// These are the legacy, header-only forms the engines inlined before the
+// SIMD kernel layer (core/kernels/simd.hpp) existed. They now serve two
+// roles: the bit-exact reference that `--simd scalar` must reproduce (the
+// scalar kernel table routes straight here), and the oracle the SIMD
+// property tests compare every vector ISA against. Engines no longer call
+// these directly — they go through kernels::ops().
+//
+// The 4-way unrolled dist_sq gives the compiler independent accumulator
+// chains to schedule (and auto-vectorize) — the paper's "sequential access
+// patterns ... maximize prefetching and CPU caching" design.
 #pragma once
 
 #include <cmath>
@@ -39,11 +44,26 @@ inline value_t euclidean(const value_t* a, const value_t* b, index_t d) {
   return std::sqrt(dist_sq(a, b, d));
 }
 
-/// Index of the nearest centroid (ties -> lowest index) and its distance.
-/// `centroids` is k x d row-major.
+/// Inner product (the spherical k-means kernel). The 2-way unrolled form
+/// is the historical reference the scalar kernel table must reproduce.
+inline value_t dot(const value_t* a, const value_t* b, index_t d) {
+  value_t s0 = 0, s1 = 0;
+  index_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    s0 += a[j] * b[j];
+    s1 += a[j + 1] * b[j + 1];
+  }
+  if (j < d) s0 += a[j] * b[j];
+  return s0 + s1;
+}
+
+/// Index of the nearest centroid (ties -> lowest index). `centroids` is
+/// k x d row-major. Writes the SQUARED distance to *out_sq when non-null:
+/// every caller works in squared space, so the one sqrt that true-distance
+/// bookkeeping (MTI upper bounds) needs lives at that call site, not here.
 inline cluster_t nearest_centroid(const value_t* point,
                                   const value_t* centroids, int k, index_t d,
-                                  value_t* out_dist) {
+                                  value_t* out_sq) {
   cluster_t best = 0;
   value_t best_d = dist_sq(point, centroids, d);
   for (int c = 1; c < k; ++c) {
@@ -54,7 +74,7 @@ inline cluster_t nearest_centroid(const value_t* point,
       best = static_cast<cluster_t>(c);
     }
   }
-  if (out_dist != nullptr) *out_dist = std::sqrt(best_d);
+  if (out_sq != nullptr) *out_sq = best_d;
   return best;
 }
 

@@ -9,15 +9,16 @@
 // parallelize as chunked loops; centroid sums accumulate per chunk and fold
 // with the fixed tree, keeping results bitwise independent of thread count
 // and steal order like the main engine (DESIGN.md §7).
+#include <cmath>
 #include <limits>
 #include <vector>
 
 #include "common/memory_tracker.hpp"
 #include "common/timer.hpp"
 #include "core/chunk_accum.hpp"
-#include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
@@ -26,6 +27,12 @@
 namespace knor {
 
 Result elkan_ti(ConstMatrixView data, const Options& opts) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
+  // Elkan's bound algebra is in TRUE distances; the kernels return squared.
+  const auto edist = [&K](const value_t* a, const value_t* b, index_t dim) {
+    return std::sqrt(K.dist_sq(a, b, dim));
+  };
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -71,8 +78,8 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
   const auto prepare = [&] {
     for (int a = 0; a < k; ++a)
       for (int b = a + 1; b < k; ++b) {
-        const value_t dab = euclidean(cur.row(static_cast<index_t>(a)),
-                                 cur.row(static_cast<index_t>(b)), d);
+        const value_t dab = edist(cur.row(static_cast<index_t>(a)),
+                                  cur.row(static_cast<index_t>(b)), d);
         c2c[static_cast<std::size_t>(a) * k + b] = dab;
         c2c[static_cast<std::size_t>(b) * k + a] = dab;
       }
@@ -91,12 +98,12 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
     cluster_t a = res.assignments[r];
     if (a == kInvalidCluster) {
       // First iteration: full scan seeds both bound structures.
-      value_t best_d = euclidean(v, cur.row(0), d);
+      value_t best_d = edist(v, cur.row(0), d);
       ++pt.counters.dist_computations;
       lbi(r, 0) = best_d;
       cluster_t best = 0;
       for (int c = 1; c < k; ++c) {
-        const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+        const value_t dc = edist(v, cur.row(static_cast<index_t>(c)), d);
         ++pt.counters.dist_computations;
         lbi(r, c) = dc;
         if (dc < best_d) {
@@ -135,7 +142,7 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
       }
       if (!tight) {
         // 3a: tighten u(x) = d(x, c(x)).
-        best_d = euclidean(v, cur.row(best), d);
+        best_d = edist(v, cur.row(best), d);
         ++pt.counters.dist_computations;
         lbi(r, best) = best_d;
         tight = true;
@@ -145,7 +152,7 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
           continue;
       }
       // 3b: compute d(x, c).
-      const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+      const value_t dc = edist(v, cur.row(static_cast<index_t>(c)), d);
       ++pt.counters.dist_computations;
       lbi(r, c) = dc;
       if (dc < best_d) {
@@ -188,8 +195,8 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
     // Steps 5-6: update bounds by centroid drift (row-local, parallel).
     for (int c = 0; c < k; ++c)
       drift[static_cast<std::size_t>(c)] =
-          euclidean(cur.row(static_cast<index_t>(c)),
-               next.row(static_cast<index_t>(c)), d);
+          edist(cur.row(static_cast<index_t>(c)),
+                next.row(static_cast<index_t>(c)), d);
     sched.parallel_for(n, task_size, &parts,
                        [&](int, const sched::Task& task) {
                          for (index_t r = task.begin; r < task.end; ++r) {
@@ -212,7 +219,7 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
 
   for (const auto& pt : per_thread) res.counters += pt.counters;
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
   return res;
 }

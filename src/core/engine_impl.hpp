@@ -30,7 +30,7 @@
 #include "common/memory_tracker.hpp"
 #include "common/timer.hpp"
 #include "core/chunk_accum.hpp"
-#include "core/distance.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/kmeans_types.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
@@ -97,6 +97,11 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
                           GlobalReducer* reducer = nullptr) {
   const int T = sched.threads();
   const int k = opts.k;
+  // One ISA for the whole run: every distance below (pruned per-centroid,
+  // blocked full scan, energy pass) goes through the same kernel table, so
+  // the blocked/per-centroid bitwise-equality contract of kernels/simd.hpp
+  // keeps pruned and unpruned paths in exact agreement.
+  const kernels::Ops& K = kernels::ops();
   const index_t task_size =
       sched::Scheduler::resolve_task_size(n, opts.task_size);
   const auto chunks = static_cast<std::size_t>(
@@ -112,8 +117,13 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   MtiState mti;
   if (opts.prune) {
     mti = MtiState(n, k);
-    mti.prepare(DenseMatrix{}, cur);
+    mti.prepare(DenseMatrix{}, cur, K);
   }
+
+  // Padded, 64-byte-aligned centroid tile for the blocked full-scan
+  // kernel; repacked from `cur` before every iteration (driver thread,
+  // outside the super-phase, so workers only ever read it).
+  kernels::CentroidPack pack;
 
   // Accumulation strategy (see LocalCentroids vs SignedCentroids):
   //  * pruning off — rebuild per-chunk sums from scratch each iteration
@@ -158,7 +168,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
         return;
       }
       // Clause 3 prelude: tighten the bound with one distance computation.
-      value_t best_d = euclidean(v, cur.row(a), d);
+      value_t best_d = std::sqrt(K.dist_sq(v, cur.row(a), d));
       value_t best_d_sq = best_d * best_d;
       ++cnt.dist_computations;
       cluster_t best = a;
@@ -177,8 +187,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
         // Compare in squared form; sqrt only when the best improves (the
         // triangle-inequality bookkeeping needs true distances, but the
         // argmin does not).
-        const value_t dsq =
-            dist_sq(v, cur.row(static_cast<index_t>(c)), d);
+        const value_t dsq = K.dist_sq(v, cur.row(static_cast<index_t>(c)), d);
         ++cnt.dist_computations;
         if (dsq < best_d_sq) {
           best_d_sq = dsq;
@@ -197,14 +206,16 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
       return;
     }
 
-    // Full scan: first iteration, or pruning disabled.
-    value_t best_d = 0;
-    const cluster_t best = nearest_centroid(v, cur.data(), k, d, &best_d);
+    // Full scan: first iteration, or pruning disabled. The blocked kernel
+    // streams the point once against the padded centroid tile.
+    value_t best_sq = 0;
+    const cluster_t best = K.nearest_blocked(v, pack, &best_sq);
     cnt.dist_computations += static_cast<std::uint64_t>(k);
     if (best != a) ++per_thread[static_cast<std::size_t>(tid)].changed;
     res.assignments[r] = best;
     if (prune) {
-      mti.set_ub(r, best_d);
+      // MTI bookkeeping is in true distances: the one sqrt of the scan.
+      mti.set_ub(r, std::sqrt(best_sq));
       // First iteration under pruning: every point joins a cluster.
       auto& delta = deltas.touch(chunk);
       if (a == kInvalidCluster) {
@@ -268,6 +279,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     sched.begin_chunks(n, task_size, &parts);
     sched.run(iteration);
 
@@ -317,7 +329,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     else
       locals.next_iteration();
     std::swap(cur, next);
-    if (prune) mti.prepare(prev, cur);
+    if (prune) mti.prepare(prev, cur, K);
 
     res.iter_times.record(timer.elapsed());
     ++res.iters;
@@ -339,7 +351,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     double e = 0.0;
     for_task_rows(data, parts, task, my_node, nullptr,
                   [&](index_t r, const value_t* base, index_t seg_begin) {
-                    e += dist_sq(
+                    e += K.dist_sq(
                         base + static_cast<std::size_t>(r - seg_begin) * d,
                         cur.row(res.assignments[r]), d);
                   });

@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/chunk_accum.hpp"
 #include "core/local_centroids.hpp"
 #include "numa/topology.hpp"
@@ -24,21 +24,19 @@ namespace knor {
 namespace {
 
 // C = A (rows x d, row-major) * B^T (k x d, row-major) -> rows x k, blocked.
-// One call per scheduler task; rows index into the full matrices.
-void gemm_nt_rows(const value_t* a, const value_t* b, value_t* c,
-                  index_t row_begin, index_t row_end, index_t d, int k) {
+// One call per scheduler task; rows index into the full matrices. The
+// inner dot goes through the dispatched SIMD kernel.
+void gemm_nt_rows(const kernels::Ops& K, const value_t* a, const value_t* b,
+                  value_t* c, index_t row_begin, index_t row_end, index_t d,
+                  int k) {
   constexpr index_t kBlockRows = 64;
   for (index_t i0 = row_begin; i0 < row_end; i0 += kBlockRows) {
     const index_t i1 = std::min(row_end, i0 + kBlockRows);
     for (index_t i = i0; i < i1; ++i) {
       const value_t* ai = a + static_cast<std::size_t>(i) * d;
       value_t* ci = c + static_cast<std::size_t>(i) * k;
-      for (int j = 0; j < k; ++j) {
-        const value_t* bj = b + static_cast<std::size_t>(j) * d;
-        value_t s = 0;
-        for (index_t l = 0; l < d; ++l) s += ai[l] * bj[l];
-        ci[j] = s;
-      }
+      for (int j = 0; j < k; ++j)
+        ci[j] = K.dot(ai, b + static_cast<std::size_t>(j) * d, d);
     }
   }
 }
@@ -46,6 +44,8 @@ void gemm_nt_rows(const value_t* a, const value_t* b, value_t* c,
 }  // namespace
 
 Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -76,12 +76,8 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
   // Row norms are iteration-invariant; they do not even affect the argmin,
   // but GEMM implementations compute them anyway — keep the work faithful.
   std::vector<value_t> xnorm(static_cast<std::size_t>(n));
-  for (index_t r = 0; r < n; ++r) {
-    value_t s = 0;
-    const value_t* v = data.row(r);
-    for (index_t j = 0; j < d; ++j) s += v[j] * v[j];
-    xnorm[static_cast<std::size_t>(r)] = s;
-  }
+  for (index_t r = 0; r < n; ++r)
+    xnorm[static_cast<std::size_t>(r)] = K.dot(data.row(r), data.row(r), d);
 
   std::vector<value_t> cnorm(static_cast<std::size_t>(k));
   // The n x k product block — the GEMM formulation's memory cost.
@@ -93,16 +89,15 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
     for (int c = 0; c < k; ++c) {
-      value_t s = 0;
       const value_t* row = cur.row(static_cast<index_t>(c));
-      for (index_t j = 0; j < d; ++j) s += row[j] * row[j];
-      cnorm[static_cast<std::size_t>(c)] = s;
+      cnorm[static_cast<std::size_t>(c)] = K.dot(row, row, d);
     }
     // Chunked dgemm: each task owns a disjoint row block of `prod`.
     sched.parallel_for(n, task_size, nullptr,
                        [&](int, const sched::Task& task) {
-                         gemm_nt_rows(data.data(), cur.data(), prod.data(),
-                                      task.begin, task.end, d, k);
+                         gemm_nt_rows(K, data.data(), cur.data(),
+                                      prod.data(), task.begin, task.end, d,
+                                      k);
                        });
     res.counters.dist_computations +=
         static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
@@ -147,7 +142,7 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
   return res;
 }

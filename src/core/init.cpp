@@ -5,7 +5,7 @@
 #include <unordered_set>
 
 #include "common/prng.hpp"
-#include "core/distance.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 
 namespace knor {
@@ -64,6 +64,7 @@ DenseMatrix init_random_partition(ConstMatrixView data, const Options& opts) {
 }
 
 DenseMatrix init_kmeanspp(ConstMatrixView data, const Options& opts) {
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   DenseMatrix centroids(static_cast<index_t>(opts.k), d);
@@ -78,7 +79,7 @@ DenseMatrix init_kmeanspp(ConstMatrixView data, const Options& opts) {
   double total = 0.0;
   for (index_t r = 0; r < n; ++r) {
     dist2[static_cast<std::size_t>(r)] =
-        dist_sq(data.row(r), centroids.row(0), d);
+        K.dist_sq(data.row(r), centroids.row(0), d);
     total += dist2[static_cast<std::size_t>(r)];
   }
 
@@ -104,7 +105,7 @@ DenseMatrix init_kmeanspp(ConstMatrixView data, const Options& opts) {
     total = 0.0;
     for (index_t r = 0; r < n; ++r) {
       const value_t dc =
-          dist_sq(data.row(r), centroids.row(static_cast<index_t>(c)), d);
+          K.dist_sq(data.row(r), centroids.row(static_cast<index_t>(c)), d);
       auto& dr = dist2[static_cast<std::size_t>(r)];
       if (dc < dr) dr = dc;
       total += dr;

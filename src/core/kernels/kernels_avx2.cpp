@@ -1,0 +1,65 @@
+// AVX2+FMA kernel table: 4 doubles per lane, fused multiply-add. Compiled
+// with -mavx2 -mfma (see CMakeLists); when the compiler cannot target AVX2
+// this TU degrades to a null table and the dispatcher clamps to SSE2.
+#include "core/kernels/isa_tables.hpp"
+
+#if defined(__AVX2__) && defined(__FMA__)
+#define KNOR_HAVE_AVX2 1
+#include <immintrin.h>
+
+#include "core/kernels/vec_impl.hpp"
+#endif
+
+namespace knor::kernels::detail {
+
+#ifdef KNOR_HAVE_AVX2
+namespace {
+
+struct Avx2Traits {
+  using vec = __m256d;
+  static constexpr index_t kW = 4;
+  static vec zero() { return _mm256_setzero_pd(); }
+  static vec loadu(const value_t* p) { return _mm256_loadu_pd(p); }
+  static vec load(const value_t* p) { return _mm256_load_pd(p); }
+  // rem in [1, 3]: masked lanes read as +0.0 without touching memory.
+  static vec load_partial(const value_t* p, index_t rem) {
+    const __m256i mask = _mm256_setr_epi64x(
+        -1, rem > 1 ? -1 : 0, rem > 2 ? -1 : 0, 0);
+    return _mm256_maskload_pd(p, mask);
+  }
+  static vec diff_fma(vec a, vec b, vec acc) {
+    const vec diff = _mm256_sub_pd(a, b);
+    return _mm256_fmadd_pd(diff, diff, acc);
+  }
+  static vec mul_fma(vec a, vec b, vec acc) {
+    return _mm256_fmadd_pd(a, b, acc);
+  }
+  static vec add(vec a, vec b) { return _mm256_add_pd(a, b); }
+  // Fixed tree: (v0+v1) + (v2+v3) — chosen so the blocked tile can batch
+  // four reductions with hadd/permute below under the SAME association.
+  static value_t hsum(vec v) {
+    const vec h = _mm256_hadd_pd(v, v);  // (v0+v1, v0+v1, v2+v3, v2+v3)
+    return _mm_cvtsd_f64(_mm_add_sd(_mm256_castpd256_pd128(h),
+                                    _mm256_extractf128_pd(h, 1)));
+  }
+  // Batched tile reduction: hadd pairs lanes within each accumulator
+  // ((s0+s1) and (s2+s3)), the permutes gather the four low/high halves,
+  // one add finishes — per accumulator exactly (v0+v1) + (v2+v3), bitwise
+  // identical to hsum, at a quarter of the shuffle traffic.
+  static void reduce_tile(const vec s[4], value_t out[4]) {
+    const vec t0 = _mm256_hadd_pd(s[0], s[1]);  // (a01, b01, a23, b23)
+    const vec t1 = _mm256_hadd_pd(s[2], s[3]);  // (c01, d01, c23, d23)
+    const vec lo = _mm256_permute2f128_pd(t0, t1, 0x20);  // (a01 b01 c01 d01)
+    const vec hi = _mm256_permute2f128_pd(t0, t1, 0x31);  // (a23 b23 c23 d23)
+    _mm256_storeu_pd(out, _mm256_add_pd(lo, hi));
+  }
+};
+
+}  // namespace
+
+Ops avx2_ops() { return make_ops<Avx2Traits>(Isa::kAvx2); }
+#else
+Ops avx2_ops() { return Ops{}; }
+#endif
+
+}  // namespace knor::kernels::detail

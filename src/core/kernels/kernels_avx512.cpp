@@ -1,0 +1,74 @@
+// AVX-512F kernel table: 8 doubles per lane, fused multiply-add, native
+// masked loads for the partial chunk. Compiled with -mavx512f (see
+// CMakeLists); a compiler without AVX-512 support yields a null table and
+// the dispatcher clamps to AVX2.
+#include "core/kernels/isa_tables.hpp"
+
+#if defined(__AVX512F__)
+#define KNOR_HAVE_AVX512 1
+#include <immintrin.h>
+
+#include "core/kernels/vec_impl.hpp"
+
+// GCC 12's _mm512_extractf64x4_pd expands through _mm256_undefined_pd and
+// trips -Wuninitialized / -Wmaybe-uninitialized falsely (GCC PR105593).
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace knor::kernels::detail {
+
+#ifdef KNOR_HAVE_AVX512
+namespace {
+
+struct Avx512Traits {
+  using vec = __m512d;
+  static constexpr index_t kW = 8;
+  static vec zero() { return _mm512_setzero_pd(); }
+  static vec loadu(const value_t* p) { return _mm512_loadu_pd(p); }
+  static vec load(const value_t* p) { return _mm512_load_pd(p); }
+  // rem in [1, 7]: zero-masked load, dead lanes are +0.0.
+  static vec load_partial(const value_t* p, index_t rem) {
+    const __mmask8 mask = static_cast<__mmask8>((1u << rem) - 1u);
+    return _mm512_maskz_loadu_pd(mask, p);
+  }
+  static vec diff_fma(vec a, vec b, vec acc) {
+    const vec diff = _mm512_sub_pd(a, b);
+    return _mm512_fmadd_pd(diff, diff, acc);
+  }
+  static vec mul_fma(vec a, vec b, vec acc) {
+    return _mm512_fmadd_pd(a, b, acc);
+  }
+  static vec add(vec a, vec b) { return _mm512_add_pd(a, b); }
+  // Fixed tree: u = low256 + high256, then (u0+u1) + (u2+u3) — chosen so
+  // the blocked tile can batch four reductions below under the SAME
+  // association.
+  static value_t hsum(vec v) {
+    const __m256d u = _mm256_add_pd(_mm512_castpd512_pd256(v),
+                                    _mm512_extractf64x4_pd(v, 1));
+    const __m256d h = _mm256_hadd_pd(u, u);  // (u0+u1, u0+u1, u2+u3, u2+u3)
+    return _mm_cvtsd_f64(_mm_add_sd(_mm256_castpd256_pd128(h),
+                                    _mm256_extractf128_pd(h, 1)));
+  }
+  // Batched tile reduction, bitwise identical to hsum per accumulator.
+  static void reduce_tile(const vec s[4], value_t out[4]) {
+    __m256d u[4];
+    for (int t = 0; t < 4; ++t)
+      u[t] = _mm256_add_pd(_mm512_castpd512_pd256(s[t]),
+                           _mm512_extractf64x4_pd(s[t], 1));
+    const __m256d t0 = _mm256_hadd_pd(u[0], u[1]);
+    const __m256d t1 = _mm256_hadd_pd(u[2], u[3]);
+    const __m256d lo = _mm256_permute2f128_pd(t0, t1, 0x20);
+    const __m256d hi = _mm256_permute2f128_pd(t0, t1, 0x31);
+    _mm256_storeu_pd(out, _mm256_add_pd(lo, hi));
+  }
+};
+
+}  // namespace
+
+Ops avx512_ops() { return make_ops<Avx512Traits>(Isa::kAvx512); }
+#else
+Ops avx512_ops() { return Ops{}; }
+#endif
+
+}  // namespace knor::kernels::detail

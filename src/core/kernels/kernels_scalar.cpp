@@ -1,0 +1,58 @@
+// Scalar kernel table: thin adapters over the legacy reference
+// implementations in core/distance.hpp. `--simd scalar` must reproduce the
+// pre-SIMD engines bit-for-bit, so this TU adds no arithmetic of its own —
+// it only routes through the exact functions the engines used to inline.
+#include <limits>
+
+#include "core/distance.hpp"
+#include "core/kernels/isa_tables.hpp"
+
+namespace knor::kernels::detail {
+namespace {
+
+value_t scalar_dist_sq(const value_t* a, const value_t* b, index_t d) {
+  return knor::dist_sq(a, b, d);
+}
+
+value_t scalar_dot(const value_t* a, const value_t* b, index_t d) {
+  return knor::dot(a, b, d);
+}
+
+cluster_t scalar_nearest(const value_t* point, const value_t* centroids,
+                         int k, index_t d, value_t* out_sq) {
+  return knor::nearest_centroid(point, centroids, k, d, out_sq);
+}
+
+// The pack's rows hold the same d leading values as the original centroid
+// matrix and the scalar loop never reads past d, so this is bitwise equal
+// to the legacy k-successive-dist_sq scan.
+cluster_t scalar_nearest_blocked(const value_t* point,
+                                 const CentroidPack& pack, value_t* out_sq) {
+  const int k = pack.k();
+  const index_t d = pack.d();
+  cluster_t best = 0;
+  value_t best_sq = std::numeric_limits<value_t>::infinity();
+  for (int c = 0; c < k; ++c) {
+    const value_t dc = knor::dist_sq(point, pack.row(c), d);
+    if (dc < best_sq) {
+      best_sq = dc;
+      best = static_cast<cluster_t>(c);
+    }
+  }
+  if (out_sq != nullptr) *out_sq = best_sq;
+  return best;
+}
+
+}  // namespace
+
+Ops scalar_ops() {
+  Ops ops;
+  ops.isa = Isa::kScalar;
+  ops.dist_sq = &scalar_dist_sq;
+  ops.dot = &scalar_dot;
+  ops.nearest = &scalar_nearest;
+  ops.nearest_blocked = &scalar_nearest_blocked;
+  return ops;
+}
+
+}  // namespace knor::kernels::detail

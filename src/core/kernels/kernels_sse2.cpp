@@ -1,0 +1,50 @@
+// SSE2 kernel table: 2 doubles per lane-pair, no FMA (mul + add, like the
+// scalar form). SSE2 is the x86-64 baseline so this TU needs no extra
+// compiler flags; on non-x86 targets it compiles to a null table.
+#include "core/kernels/isa_tables.hpp"
+
+#if defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define KNOR_HAVE_SSE2 1
+#include <emmintrin.h>
+
+#include "core/kernels/vec_impl.hpp"
+#endif
+
+namespace knor::kernels::detail {
+
+#ifdef KNOR_HAVE_SSE2
+namespace {
+
+struct Sse2Traits {
+  using vec = __m128d;
+  static constexpr index_t kW = 2;
+  static vec zero() { return _mm_setzero_pd(); }
+  static vec loadu(const value_t* p) { return _mm_loadu_pd(p); }
+  static vec load(const value_t* p) { return _mm_load_pd(p); }
+  // rem can only be 1 at W=2: low lane live, high lane +0.0.
+  static vec load_partial(const value_t* p, index_t) { return _mm_set_sd(*p); }
+  static vec diff_fma(vec a, vec b, vec acc) {
+    const vec diff = _mm_sub_pd(a, b);
+    return _mm_add_pd(acc, _mm_mul_pd(diff, diff));
+  }
+  static vec mul_fma(vec a, vec b, vec acc) {
+    return _mm_add_pd(acc, _mm_mul_pd(a, b));
+  }
+  static vec add(vec a, vec b) { return _mm_add_pd(a, b); }
+  // Fixed tree: lane0 + lane1.
+  static value_t hsum(vec v) {
+    return _mm_cvtsd_f64(v) + _mm_cvtsd_f64(_mm_unpackhi_pd(v, v));
+  }
+  static void reduce_tile(const vec s[4], value_t out[4]) {
+    for (int t = 0; t < 4; ++t) out[t] = hsum(s[t]);
+  }
+};
+
+}  // namespace
+
+Ops sse2_ops() { return make_ops<Sse2Traits>(Isa::kSse2); }
+#else
+Ops sse2_ops() { return Ops{}; }
+#endif
+
+}  // namespace knor::kernels::detail

@@ -1,0 +1,171 @@
+// Runtime ISA dispatch for the SIMD kernel layer (see simd.hpp for the
+// contract). The kernel tables are built once; selection is an atomic
+// override (Options::simd via set_isa) falling back to KNOR_SIMD (read
+// once per process) and then CPUID, clamped down the
+// avx512 -> avx2 -> sse2 -> scalar chain to what both the binary and the
+// CPU can actually run.
+#include "core/kernels/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logger.hpp"
+#include "core/kernels/isa_tables.hpp"
+
+namespace knor::kernels {
+namespace {
+
+struct Tables {
+  Ops entries[kNumIsas];
+  Tables() {
+    entries[static_cast<int>(Isa::kScalar)] = detail::scalar_ops();
+    entries[static_cast<int>(Isa::kSse2)] = detail::sse2_ops();
+    entries[static_cast<int>(Isa::kAvx2)] = detail::avx2_ops();
+    entries[static_cast<int>(Isa::kAvx512)] = detail::avx512_ops();
+  }
+};
+
+const Tables& tables() {
+  static const Tables t;
+  return t;
+}
+
+bool cpu_supports(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+      return __builtin_cpu_supports("sse2");
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+    case Isa::kAuto:
+      return false;
+  }
+  return false;
+#else
+  return isa == Isa::kScalar;
+#endif
+}
+
+/// One step down the fallback chain.
+Isa lower(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx512:
+      return Isa::kAvx2;
+    case Isa::kAvx2:
+      return Isa::kSse2;
+    default:
+      return Isa::kScalar;
+  }
+}
+
+/// KNOR_SIMD, parsed once per process (documented in README): later env
+/// changes do not retarget a running process.
+Isa env_choice() {
+  static const Isa choice = [] {
+    const char* env = std::getenv("KNOR_SIMD");
+    if (env == nullptr || *env == '\0') return Isa::kAuto;
+    Isa parsed = Isa::kAuto;
+    if (!parse_isa(env, &parsed)) {
+      KNOR_LOG_WARN("KNOR_SIMD=", env, " not recognized; using auto");
+      return Isa::kAuto;
+    }
+    return parsed;
+  }();
+  return choice;
+}
+
+std::atomic<int> g_override{static_cast<int>(Isa::kAuto)};
+
+}  // namespace
+
+const char* to_string(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+bool parse_isa(const std::string& name, Isa* out) {
+  for (const Isa isa :
+       {Isa::kAuto, Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512}) {
+    if (name == to_string(isa)) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool available(Isa isa) {
+  if (isa == Isa::kAuto) return false;
+  return tables().entries[static_cast<int>(isa)].dist_sq != nullptr &&
+         cpu_supports(isa);
+}
+
+Isa detect_best() {
+  static const Isa best = [] {
+    Isa isa = Isa::kAvx512;
+    while (isa != Isa::kScalar && !available(isa)) isa = lower(isa);
+    return isa;
+  }();
+  return best;
+}
+
+std::vector<Isa> available_isas() {
+  std::vector<Isa> out;
+  for (const Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512})
+    if (available(isa)) out.push_back(isa);
+  return out;
+}
+
+void set_isa(Isa isa) {
+  g_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+Isa resolve(Isa requested) {
+  Isa isa = requested;
+  if (isa == Isa::kAuto)
+    isa = static_cast<Isa>(g_override.load(std::memory_order_relaxed));
+  if (isa == Isa::kAuto) isa = env_choice();
+  if (isa == Isa::kAuto) isa = detect_best();
+  while (isa != Isa::kScalar && !available(isa)) isa = lower(isa);
+  return isa;
+}
+
+const Ops& ops() { return tables().entries[static_cast<int>(resolve(Isa::kAuto))]; }
+
+const Ops& ops_for(Isa isa) {
+  return tables().entries[static_cast<int>(resolve(isa))];
+}
+
+void CentroidPack::pack(const value_t* centroids, int k, index_t d) {
+  const index_t stride = padded_stride(d);
+  const std::size_t need = static_cast<std::size_t>(k) * stride;
+  if (k != k_ || d != d_ || stride != stride_) {
+    // AlignedBuffer zero-fills, so the padding lanes start (and stay) +0.0.
+    buf_ = AlignedBuffer<value_t>(need, kCacheLine);
+    k_ = k;
+    d_ = d;
+    stride_ = stride;
+  }
+  for (int c = 0; c < k; ++c)
+    std::memcpy(buf_.data() + static_cast<std::size_t>(c) * stride,
+                centroids + static_cast<std::size_t>(c) * d,
+                d * sizeof(value_t));
+}
+
+}  // namespace knor::kernels

@@ -1,0 +1,141 @@
+// SIMD distance-kernel layer: explicit vector implementations of the inner
+// loops (dist_sq / dot / nearest-centroid) with runtime ISA dispatch.
+//
+// Every engine funnels its per-point arithmetic through the `Ops` table
+// returned by ops(); which implementation backs it is decided once per
+// process from (in priority order) the programmatic override set_isa()
+// (plumbed from Options::simd / CLI --simd), the KNOR_SIMD environment
+// variable, and CPUID detection, clamped to what this binary was compiled
+// with and what the CPU supports (avx512 -> avx2 -> sse2 -> scalar).
+//
+// Determinism contract (extends DESIGN.md §7 to the instruction level):
+//  * Each ISA variant uses a FIXED lane count and a FIXED horizontal-
+//    reduction tree, so for a given selected ISA results are bitwise
+//    invariant across runs, thread counts and scheduling policies.
+//  * For every ISA, the blocked nearest-centroid kernel interleaves the
+//    exact per-centroid accumulator/reduction sequence of that ISA's
+//    dist_sq, so blocked and per-centroid distance values are bitwise
+//    IDENTICAL. This is what keeps the MTI-pruned path (per-centroid
+//    dist_sq) in exact agreement with the full-scan path (blocked) —
+//    pruned vs. unpruned runs stay bitwise-equal under any ISA.
+//  * Isa::kScalar is the legacy reference in core/distance.hpp, bit-for-
+//    bit: `--simd scalar` reproduces the pre-SIMD clusterings of every
+//    Lloyd-family engine exactly. (Two call sites were normalized in the
+//    move and differ from pre-SIMD in final ulps under any ISA: gemm's
+//    stand-in inner product now uses the shared dot kernel instead of its
+//    private sequential loop, and minibatch's energy accumulates exact
+//    squared distances instead of sqrt-then-square.)
+//  * Different ISAs may differ in the last ulp on fractional data (FMA,
+//    different association); on integer-valued data every sum is exact so
+//    all ISAs agree bitwise (tests/conformance_test.cpp relies on this).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/aligned_buffer.hpp"
+#include "common/dense_matrix.hpp"
+#include "common/types.hpp"
+
+namespace knor::kernels {
+
+/// Instruction-set choice. kAuto defers to env/CPUID at dispatch time.
+enum class Isa { kScalar = 0, kSse2 = 1, kAvx2 = 2, kAvx512 = 3, kAuto = 4 };
+
+inline constexpr int kNumIsas = 4;  // dispatchable entries (kAuto excluded)
+
+const char* to_string(Isa isa);
+
+/// Parses "auto" | "scalar" | "sse2" | "avx2" | "avx512". Returns false on
+/// anything else (out untouched).
+bool parse_isa(const std::string& name, Isa* out);
+
+/// Centroid matrix re-packed for aligned SIMD streaming: k rows, each
+/// padded to a 64-byte multiple (stride() doubles, zero-filled beyond d).
+/// Every row(c) is 64-byte aligned, so full-width aligned loads are legal
+/// for any j < d that is a multiple of the lane width; padding lanes are
+/// exactly +0.0 and contribute nothing to a squared-distance accumulation.
+/// Engines rebuild the pack once per iteration (O(k*d), noise next to the
+/// O(n*k*d) scan it accelerates).
+class CentroidPack {
+ public:
+  /// Doubles per 64-byte cache line; row strides are rounded up to this.
+  static constexpr index_t kLaneAlign = kCacheLine / sizeof(value_t);
+
+  static index_t padded_stride(index_t d) {
+    return (d + kLaneAlign - 1) / kLaneAlign * kLaneAlign;
+  }
+
+  CentroidPack() = default;
+
+  /// (Re)pack `k` x `d` row-major centroids; reuses storage when the shape
+  /// is unchanged. Padding stays zero across repacks.
+  void pack(const value_t* centroids, int k, index_t d);
+  void pack(const DenseMatrix& m) {
+    pack(m.data(), static_cast<int>(m.rows()), m.cols());
+  }
+
+  const value_t* row(int c) const {
+    return buf_.data() + static_cast<std::size_t>(c) * stride_;
+  }
+  int k() const { return k_; }
+  index_t d() const { return d_; }
+  index_t stride() const { return stride_; }
+  bool empty() const { return k_ == 0; }
+
+ private:
+  AlignedBuffer<value_t> buf_;
+  int k_ = 0;
+  index_t d_ = 0;
+  index_t stride_ = 0;
+};
+
+/// One ISA's kernel table. All distances are SQUARED Euclidean — the
+/// single sqrt the MTI bookkeeping needs lives at its call site.
+struct Ops {
+  Isa isa = Isa::kScalar;
+  /// Squared Euclidean distance between two unaligned d-vectors.
+  value_t (*dist_sq)(const value_t* a, const value_t* b, index_t d) = nullptr;
+  /// Inner product of two unaligned d-vectors.
+  value_t (*dot)(const value_t* a, const value_t* b, index_t d) = nullptr;
+  /// Argmin over k unpadded row-major centroids (ties -> lowest index);
+  /// writes the squared distance to *out_sq when non-null.
+  cluster_t (*nearest)(const value_t* point, const value_t* centroids, int k,
+                       index_t d, value_t* out_sq) = nullptr;
+  /// Blocked argmin over a CentroidPack: streams the point once against
+  /// register-blocked tiles of centroids. Bitwise-identical result to k
+  /// independent dist_sq calls (see the header comment).
+  cluster_t (*nearest_blocked)(const value_t* point, const CentroidPack& pack,
+                               value_t* out_sq) = nullptr;
+};
+
+/// True when `isa` is both compiled into this binary and supported by the
+/// CPU we are running on. kScalar is always available; kAuto is not a
+/// dispatchable entry.
+bool available(Isa isa);
+
+/// Highest available ISA on this machine (the kAuto default).
+Isa detect_best();
+
+/// Every available ISA, lowest (scalar) first. For tests and benches.
+std::vector<Isa> available_isas();
+
+/// Process-wide override, plumbed from Options::simd at every engine entry
+/// point. kAuto clears the override (env/CPUID decide again). Unavailable
+/// requests clamp downward at resolve time rather than failing, so a flag
+/// like --simd avx512 degrades gracefully on older hardware.
+void set_isa(Isa isa);
+
+/// Resolves a request to a dispatchable ISA: kAuto consults the override,
+/// then KNOR_SIMD (read once per process), then detect_best(); anything
+/// unavailable clamps down the avx512 -> avx2 -> sse2 -> scalar chain.
+Isa resolve(Isa requested);
+
+/// The active ISA's kernel table (resolve(kAuto)). Hoist the reference out
+/// of hot loops: `const kernels::Ops& K = kernels::ops();`.
+const Ops& ops();
+
+/// A specific ISA's table (after resolve-clamping). For tests/benches.
+const Ops& ops_for(Isa isa);
+
+}  // namespace knor::kernels

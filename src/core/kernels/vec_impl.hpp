@@ -1,0 +1,184 @@
+// Shared skeleton for the vector ISA variants (SSE2 / AVX2 / AVX-512).
+//
+// Each ISA translation unit instantiates these templates with a Traits
+// type supplying the intrinsics. Keeping the algorithm in ONE place is
+// what enforces the determinism contract of simd.hpp:
+//
+//  * dist_sq_t uses a fixed two-accumulator chunk schedule — main loop in
+//    2W-element steps (acc0 then acc1), one optional W-element step into
+//    acc0, one optional masked partial step into acc1 — and a fixed
+//    horizontal reduction hsum(acc0 + acc1). No data-dependent control
+//    flow, so results are bitwise stable run to run.
+//
+//  * nearest_blocked_t runs the SAME per-centroid schedule for a tile of
+//    kTile centroids at once, sharing each point chunk across the tile.
+//    Per centroid it issues the identical FP operation sequence into its
+//    own acc0/acc1 pair, so every blocked distance is bitwise EQUAL to
+//    dist_sq_t on that centroid row. The tile only buys locality and ILP:
+//    the point chunk is loaded once per tile instead of once per centroid,
+//    and kTile independent FMA chains keep the pipeline full.
+//
+//  * The masked partial chunk masks the POINT load; the centroid side is a
+//    full-width aligned load whose padding lanes the CentroidPack
+//    guarantees to be +0.0. Masked-off point lanes are +0.0 too, so the
+//    lane difference is exactly +0.0 and fma(0, 0, acc) == acc bitwise —
+//    the partial chunk contributes only its live lanes, identically in
+//    dist_sq_t (both operands masked) and nearest_blocked_t (point masked,
+//    centroid padded).
+//
+// Traits interface:
+//   using vec;                      // the register type
+//   static constexpr index_t kW;    // lanes per vector
+//   static vec zero();
+//   static vec loadu(const value_t*);          // unaligned full load
+//   static vec load(const value_t*);           // 64B-aligned full load
+//   static vec load_partial(const value_t*, index_t rem);  // rem in [1, kW)
+//   static vec diff_fma(vec a, vec b, vec acc);  // acc + (a-b)*(a-b)
+//   static vec mul_fma(vec a, vec b, vec acc);   // acc + a*b
+//   static vec add(vec, vec);
+//   static value_t hsum(vec);       // fixed reduction tree
+//   static void reduce_tile(const vec s[kTile], value_t out[kTile]);
+//     // out[t] must be bitwise == hsum(s[t]); a Traits may batch the
+//     // four reductions with shuffles as long as the per-accumulator
+//     // ASSOCIATION matches its hsum exactly
+#pragma once
+
+#include <limits>
+
+#include "common/types.hpp"
+#include "core/kernels/simd.hpp"
+
+namespace knor::kernels::detail {
+
+/// Centroids per register-blocked tile. 4 keeps the working set at
+/// 8 accumulators + 2 point chunks, inside even the 16-register SSE/AVX
+/// file, while giving 8 independent FMA chains.
+inline constexpr int kTile = 4;
+
+template <class V>
+value_t dist_sq_t(const value_t* a, const value_t* b, index_t d) {
+  typename V::vec acc0 = V::zero(), acc1 = V::zero();
+  index_t j = 0;
+  for (; j + 2 * V::kW <= d; j += 2 * V::kW) {
+    acc0 = V::diff_fma(V::loadu(a + j), V::loadu(b + j), acc0);
+    acc1 = V::diff_fma(V::loadu(a + j + V::kW), V::loadu(b + j + V::kW), acc1);
+  }
+  if (j + V::kW <= d) {
+    acc0 = V::diff_fma(V::loadu(a + j), V::loadu(b + j), acc0);
+    j += V::kW;
+  }
+  if (j < d)
+    acc1 = V::diff_fma(V::load_partial(a + j, d - j),
+                       V::load_partial(b + j, d - j), acc1);
+  return V::hsum(V::add(acc0, acc1));
+}
+
+template <class V>
+value_t dot_t(const value_t* a, const value_t* b, index_t d) {
+  typename V::vec acc0 = V::zero(), acc1 = V::zero();
+  index_t j = 0;
+  for (; j + 2 * V::kW <= d; j += 2 * V::kW) {
+    acc0 = V::mul_fma(V::loadu(a + j), V::loadu(b + j), acc0);
+    acc1 = V::mul_fma(V::loadu(a + j + V::kW), V::loadu(b + j + V::kW), acc1);
+  }
+  if (j + V::kW <= d) {
+    acc0 = V::mul_fma(V::loadu(a + j), V::loadu(b + j), acc0);
+    j += V::kW;
+  }
+  if (j < d)
+    acc1 = V::mul_fma(V::load_partial(a + j, d - j),
+                      V::load_partial(b + j, d - j), acc1);
+  return V::hsum(V::add(acc0, acc1));
+}
+
+template <class V>
+cluster_t nearest_t(const value_t* point, const value_t* centroids, int k,
+                    index_t d, value_t* out_sq) {
+  cluster_t best = 0;
+  value_t best_sq = std::numeric_limits<value_t>::infinity();
+  for (int c = 0; c < k; ++c) {
+    const value_t dc =
+        dist_sq_t<V>(point, centroids + static_cast<std::size_t>(c) * d, d);
+    if (dc < best_sq) {
+      best_sq = dc;
+      best = static_cast<cluster_t>(c);
+    }
+  }
+  if (out_sq != nullptr) *out_sq = best_sq;
+  return best;
+}
+
+template <class V>
+cluster_t nearest_blocked_t(const value_t* point, const CentroidPack& pack,
+                            value_t* out_sq) {
+  const int k = pack.k();
+  const index_t d = pack.d();
+  cluster_t best = 0;
+  value_t best_sq = std::numeric_limits<value_t>::infinity();
+  int c = 0;
+  for (; c + kTile <= k; c += kTile) {
+    const value_t* rows[kTile];
+    typename V::vec acc0[kTile], acc1[kTile];
+    for (int t = 0; t < kTile; ++t) {
+      rows[t] = pack.row(c + t);
+      acc0[t] = V::zero();
+      acc1[t] = V::zero();
+    }
+    index_t j = 0;
+    for (; j + 2 * V::kW <= d; j += 2 * V::kW) {
+      const typename V::vec p0 = V::loadu(point + j);
+      const typename V::vec p1 = V::loadu(point + j + V::kW);
+      for (int t = 0; t < kTile; ++t) {
+        acc0[t] = V::diff_fma(p0, V::load(rows[t] + j), acc0[t]);
+        acc1[t] = V::diff_fma(p1, V::load(rows[t] + j + V::kW), acc1[t]);
+      }
+    }
+    if (j + V::kW <= d) {
+      const typename V::vec p0 = V::loadu(point + j);
+      for (int t = 0; t < kTile; ++t)
+        acc0[t] = V::diff_fma(p0, V::load(rows[t] + j), acc0[t]);
+      j += V::kW;
+    }
+    if (j < d) {
+      // Point masked, centroid full-width: the pack's zero padding makes
+      // the dead lanes contribute exactly nothing (see header comment).
+      const typename V::vec pp = V::load_partial(point + j, d - j);
+      for (int t = 0; t < kTile; ++t)
+        acc1[t] = V::diff_fma(pp, V::load(rows[t] + j), acc1[t]);
+    }
+    typename V::vec sums[kTile];
+    for (int t = 0; t < kTile; ++t) sums[t] = V::add(acc0[t], acc1[t]);
+    value_t dist[kTile];
+    V::reduce_tile(sums, dist);  // dist[t] bitwise == hsum(sums[t])
+    for (int t = 0; t < kTile; ++t) {
+      if (dist[t] < best_sq) {
+        best_sq = dist[t];
+        best = static_cast<cluster_t>(c + t);
+      }
+    }
+  }
+  // Remainder centroids (k % kTile): the per-centroid schedule on the
+  // padded rows — same bits as dist_sq_t on the original rows.
+  for (; c < k; ++c) {
+    const value_t dc = dist_sq_t<V>(point, pack.row(c), d);
+    if (dc < best_sq) {
+      best_sq = dc;
+      best = static_cast<cluster_t>(c);
+    }
+  }
+  if (out_sq != nullptr) *out_sq = best_sq;
+  return best;
+}
+
+template <class V>
+Ops make_ops(Isa isa) {
+  Ops ops;
+  ops.isa = isa;
+  ops.dist_sq = &dist_sq_t<V>;
+  ops.dot = &dot_t<V>;
+  ops.nearest = &nearest_t<V>;
+  ops.nearest_blocked = &nearest_blocked_t<V>;
+  return ops;
+}
+
+}  // namespace knor::kernels::detail

@@ -9,6 +9,7 @@
 #include "common/dense_matrix.hpp"
 #include "common/timer.hpp"
 #include "common/types.hpp"
+#include "core/kernels/simd.hpp"
 #include "sched/scheduler.hpp"
 
 namespace knor {
@@ -53,6 +54,11 @@ struct Options {
   index_t task_size = 0;
   /// Simulated NUMA node count (0 = use detected topology). See DESIGN.md.
   int numa_nodes = 0;
+  /// Distance-kernel ISA (CLI --simd, env KNOR_SIMD). kAuto picks the best
+  /// the CPU supports; unavailable requests clamp downward. Results are
+  /// bitwise-deterministic per selected ISA; kScalar reproduces the legacy
+  /// scalar kernels bit-for-bit (core/kernels/simd.hpp).
+  kernels::Isa simd = kernels::Isa::kAuto;
   /// Used when init == kProvided; k x d.
   DenseMatrix initial_centroids;
 };

@@ -17,9 +17,12 @@ namespace knor {
 /// chunk of the (n, task_size) grid and merge in a fixed tree keyed to
 /// the chunk count alone (DESIGN.md §7), so not even floating point can
 /// tell schedules apart; changing task_size picks a different (equally
-/// deterministic) chunk grid and may differ in the last ulp. Only
-/// Result's timing fields and the scheduler/NUMA attribution counters
-/// vary run to run.
+/// deterministic) chunk grid and may differ in the last ulp. The
+/// guarantee is per selected SIMD ISA (opts.simd, DESIGN.md §8): each
+/// ISA is bitwise self-stable, different ISAs may differ in the last ulp
+/// on fractional data, and opts.simd = kScalar reproduces the pre-SIMD
+/// engine bit-for-bit. Only Result's timing fields and the
+/// scheduler/NUMA attribution counters vary run to run.
 Result kmeans(ConstMatrixView data, const Options& opts);
 
 namespace detail {

@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
@@ -22,6 +22,8 @@
 namespace knor {
 
 Result lloyd_locked(ConstMatrixView data, const Options& opts) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -36,6 +38,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
   DenseMatrix sums(static_cast<index_t>(k), d);
   std::vector<index_t> counts(static_cast<std::size_t>(k));
   std::vector<std::mutex> locks(static_cast<std::size_t>(k));
+  kernels::CentroidPack pack;
 
   numa::Partitioner parts(n, T, topo);
   sched::Scheduler sched(T, topo, /*bind=*/false);
@@ -46,6 +49,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     std::memset(sums.data(), 0, sums.size() * sizeof(value_t));
     std::fill(counts.begin(), counts.end(), 0);
 
@@ -54,8 +58,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
       tchanged[static_cast<std::size_t>(tid)] = 0;
       const numa::RowRange rows = parts.thread_rows(tid);
       for (index_t r = rows.begin; r < rows.end; ++r) {
-        const cluster_t best =
-            nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+        const cluster_t best = K.nearest_blocked(data.row(r), pack, nullptr);
         if (best != res.assignments[r])
           ++tchanged[static_cast<std::size_t>(tid)];
         res.assignments[r] = best;
@@ -91,7 +94,7 @@ Result lloyd_locked(ConstMatrixView data, const Options& opts) {
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
   return res;
 }

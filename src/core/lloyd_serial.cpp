@@ -4,14 +4,16 @@
 // every parallel/pruned/SEM/distributed engine must reproduce its
 // clustering (same tie rule, empty-cluster rule, convergence rule).
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 
 namespace knor {
 
 Result lloyd_serial(ConstMatrixView data, const Options& opts) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -21,17 +23,18 @@ Result lloyd_serial(ConstMatrixView data, const Options& opts) {
   DenseMatrix cur = init_centroids(data, opts);
   DenseMatrix next(static_cast<index_t>(k), d);
   LocalCentroids acc(k, d);
+  kernels::CentroidPack pack;
 
   const auto tol_changes =
       static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     acc.clear();
     std::uint64_t changed = 0;
     for (index_t r = 0; r < n; ++r) {
-      const cluster_t best =
-          nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+      const cluster_t best = K.nearest_blocked(data.row(r), pack, nullptr);
       res.counters.dist_computations += static_cast<std::uint64_t>(k);
       if (best != res.assignments[r]) ++changed;
       res.assignments[r] = best;
@@ -48,7 +51,7 @@ Result lloyd_serial(ConstMatrixView data, const Options& opts) {
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
   return res;
 }

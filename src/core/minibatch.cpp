@@ -13,8 +13,8 @@
 
 #include "common/prng.hpp"
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/engines.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/init.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
@@ -23,12 +23,15 @@ namespace knor {
 
 Result minibatch(ConstMatrixView data, const Options& opts,
                  const MinibatchOptions& mb) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
 
   Result res;
   DenseMatrix cur = init_centroids(data, opts);
+  kernels::CentroidPack pack;
   std::vector<index_t> counts(static_cast<std::size_t>(k), 0);
   std::vector<index_t> batch(static_cast<std::size_t>(mb.batch_size));
   std::vector<cluster_t> batch_assign(static_cast<std::size_t>(mb.batch_size));
@@ -44,6 +47,7 @@ Result minibatch(ConstMatrixView data, const Options& opts,
 
   for (int it = 0; it < mb.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     for (auto& b : batch) b = rng.next_below(n);
     // Assign the whole batch against frozen centroids (parallel; each
     // position is independent)...
@@ -51,9 +55,8 @@ Result minibatch(ConstMatrixView data, const Options& opts,
         static_cast<index_t>(batch.size()), 0, nullptr,
         [&](int tid, const sched::Task& task) {
           for (index_t i = task.begin; i < task.end; ++i)
-            batch_assign[static_cast<std::size_t>(i)] = nearest_centroid(
-                data.row(batch[static_cast<std::size_t>(i)]), cur.data(), k,
-                d, nullptr);
+            batch_assign[static_cast<std::size_t>(i)] = K.nearest_blocked(
+                data.row(batch[static_cast<std::size_t>(i)]), pack, nullptr);
           tdists[static_cast<std::size_t>(tid)] +=
               task.size() * static_cast<std::uint64_t>(k);
         });
@@ -74,6 +77,7 @@ Result minibatch(ConstMatrixView data, const Options& opts,
   // Final full assignment + energy (the approximation is in the centroids,
   // not in the reported clustering). Per-chunk energies summed in chunk
   // order keep the FP result thread-count independent.
+  pack.pack(cur);
   res.assignments.resize(static_cast<std::size_t>(n));
   res.cluster_sizes.assign(static_cast<std::size_t>(k), 0);
   const index_t task_size = sched::Scheduler::auto_task_size(n);
@@ -88,12 +92,12 @@ Result minibatch(ConstMatrixView data, const Options& opts,
                        double e = 0.0;
                        auto& tc = tcounts[static_cast<std::size_t>(tid)];
                        for (index_t r = task.begin; r < task.end; ++r) {
-                         value_t dbest = 0;
-                         const cluster_t best = nearest_centroid(
-                             data.row(r), cur.data(), k, d, &dbest);
+                         value_t best_sq = 0;
+                         const cluster_t best =
+                             K.nearest_blocked(data.row(r), pack, &best_sq);
                          res.assignments[static_cast<std::size_t>(r)] = best;
                          ++tc[best];
-                         e += static_cast<double>(dbest) * dbest;
+                         e += static_cast<double>(best_sq);
                        }
                        chunk_energy[task.chunk] = e;
                        tdists[static_cast<std::size_t>(tid)] +=

@@ -1,8 +1,9 @@
 #include "core/mti.hpp"
 
+#include <cmath>
 #include <limits>
 
-#include "core/distance.hpp"
+#include "core/kernels/simd.hpp"
 
 namespace knor {
 
@@ -17,12 +18,20 @@ MtiState::MtiState(index_t n, int k)
 }
 
 void MtiState::prepare(const DenseMatrix& prev, const DenseMatrix& cur) {
+  prepare(prev, cur, kernels::ops());
+}
+
+void MtiState::prepare(const DenseMatrix& prev, const DenseMatrix& cur,
+                       const kernels::Ops& K) {
   const index_t d = cur.cols();
+  // The triangle-inequality bookkeeping needs TRUE distances; these are
+  // the only sqrts of the pruning machinery (kernels return squared).
   for (int a = 0; a < k_; ++a) {
     c2c_[static_cast<std::size_t>(a) * k_ + a] = 0;
     for (int b = a + 1; b < k_; ++b) {
-      const value_t dab = euclidean(cur.row(static_cast<index_t>(a)),
-                               cur.row(static_cast<index_t>(b)), d);
+      const value_t dab = std::sqrt(K.dist_sq(cur.row(static_cast<index_t>(a)),
+                                              cur.row(static_cast<index_t>(b)),
+                                              d));
       c2c_[static_cast<std::size_t>(a) * k_ + b] = dab;
       c2c_[static_cast<std::size_t>(b) * k_ + a] = dab;
     }
@@ -40,8 +49,8 @@ void MtiState::prepare(const DenseMatrix& prev, const DenseMatrix& cur) {
   } else {
     for (int c = 0; c < k_; ++c)
       drift_[static_cast<std::size_t>(c)] =
-          euclidean(prev.row(static_cast<index_t>(c)),
-               cur.row(static_cast<index_t>(c)), d);
+          std::sqrt(K.dist_sq(prev.row(static_cast<index_t>(c)),
+                              cur.row(static_cast<index_t>(c)), d));
   }
 }
 

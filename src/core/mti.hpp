@@ -25,6 +25,7 @@
 #include "common/aligned_buffer.hpp"
 #include "common/dense_matrix.hpp"
 #include "common/types.hpp"
+#include "core/kernels/simd.hpp"
 
 namespace knor {
 
@@ -34,7 +35,12 @@ class MtiState {
   MtiState(index_t n, int k);
 
   /// Recompute c2c distances, s_half and drift for a new iteration.
-  /// `prev` may be empty on the first call (drift = 0).
+  /// `prev` may be empty on the first call (drift = 0). Engines pass
+  /// their hoisted kernel table so the bounds use the SAME ISA as the
+  /// distances they gate even if another thread retargets the process-
+  /// wide dispatch mid-run; the two-argument form resolves ops() itself.
+  void prepare(const DenseMatrix& prev, const DenseMatrix& cur,
+               const kernels::Ops& K);
   void prepare(const DenseMatrix& prev, const DenseMatrix& cur);
 
   /// Upper bound of point i (Euclidean).

@@ -6,8 +6,8 @@
 #include "common/prng.hpp"
 #include "common/timer.hpp"
 #include "core/chunk_accum.hpp"
-#include "core/distance.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "core/variants.hpp"
 #include "numa/partitioner.hpp"
@@ -22,6 +22,7 @@ namespace {
 /// sampling over the *unlabeled* points against the seeded centres.
 DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
                         const std::vector<cluster_t>& labels) {
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -66,8 +67,9 @@ DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
       for (index_t r = 0; r < n; ++r) {
         if (labels[r] != kInvalidCluster) continue;
         auto& dr = dist2[static_cast<std::size_t>(r)];
-        dr = std::min(dr, dist_sq(data.row(r),
-                                  centroids.row(static_cast<index_t>(c)), d));
+        dr = std::min(dr, K.dist_sq(data.row(r),
+                                    centroids.row(static_cast<index_t>(c)),
+                                    d));
       }
     }
   }
@@ -118,7 +120,7 @@ DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
       if (labels[r] != kInvalidCluster) continue;
       auto& dr = dist2[static_cast<std::size_t>(r)];
       const value_t dc =
-          dist_sq(data.row(r), centroids.row(static_cast<index_t>(c)), d);
+          K.dist_sq(data.row(r), centroids.row(static_cast<index_t>(c)), d);
       if (std::isinf(static_cast<double>(dr)) || dc < dr) dr = dc;
     }
   }
@@ -130,6 +132,8 @@ DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
 Result seeded_kmeans(ConstMatrixView data, const Options& opts,
                      const std::vector<cluster_t>& labels) {
   if (data.empty()) throw std::invalid_argument("seeded_kmeans: empty dataset");
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   if (labels.size() != data.rows())
     throw std::invalid_argument("seeded_kmeans: labels size != n");
   const index_t n = data.rows();
@@ -141,6 +145,7 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
                         ? init_centroids(data, opts)
                         : seeded_init(data, opts, labels);
   DenseMatrix next(static_cast<index_t>(k), d);
+  kernels::CentroidPack pack;
 
   const auto topo = opts.numa_nodes > 0
                         ? numa::Topology::simulated(opts.numa_nodes)
@@ -166,6 +171,7 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     sched.begin_chunks(n, task_size, &parts);
     sched.run([&](int tid) {
       tchanged[static_cast<std::size_t>(tid)] = 0;
@@ -177,7 +183,7 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
           const cluster_t best =
               labels[r] != kInvalidCluster
                   ? labels[r]
-                  : nearest_centroid(data.row(r), cur.data(), k, d, nullptr);
+                  : K.nearest_blocked(data.row(r), pack, nullptr);
           if (best != res.assignments[r])
             ++tchanged[static_cast<std::size_t>(tid)];
           res.assignments[r] = best;
@@ -205,7 +211,7 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+    res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
   return res;
 }

@@ -5,6 +5,7 @@
 #include "common/timer.hpp"
 #include "core/chunk_accum.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "core/variants.hpp"
 #include "numa/partitioner.hpp"
@@ -14,17 +15,8 @@
 namespace knor {
 namespace {
 
-/// Dot product (the spherical kernel; larger = more similar on the sphere).
-value_t dot(const value_t* a, const value_t* b, index_t d) {
-  value_t s0 = 0, s1 = 0;
-  index_t j = 0;
-  for (; j + 2 <= d; j += 2) {
-    s0 += a[j] * b[j];
-    s1 += a[j + 1] * b[j + 1];
-  }
-  if (j < d) s0 += a[j] * b[j];
-  return s0 + s1;
-}
+// The dot kernel (larger = more similar on the sphere) comes from
+// kernels::ops(); the scalar reference lives in core/distance.hpp.
 
 /// L2-normalize every row of `m` in place; throws on zero rows (no
 /// direction on the sphere).
@@ -60,6 +52,8 @@ void normalize_centroid(value_t* c, const value_t* prev, index_t d) {
 Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
   if (data.empty())
     throw std::invalid_argument("spherical_kmeans: empty dataset");
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -108,9 +102,9 @@ Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
         for (index_t r = task.begin; r < task.end; ++r) {
           const value_t* v = unit.row(r);
           cluster_t best = 0;
-          value_t best_sim = dot(v, cur.row(0), d);
+          value_t best_sim = K.dot(v, cur.row(0), d);
           for (int c = 1; c < k; ++c) {
-            const value_t sim = dot(v, cur.row(static_cast<index_t>(c)), d);
+            const value_t sim = K.dot(v, cur.row(static_cast<index_t>(c)), d);
             if (sim > best_sim) {
               best_sim = sim;
               best = static_cast<cluster_t>(c);
@@ -146,7 +140,7 @@ Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
   }
 
   for (index_t r = 0; r < n; ++r)
-    res.energy += 1.0 - dot(unit.row(r), cur.row(res.assignments[r]), d);
+    res.energy += 1.0 - K.dot(unit.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
   return res;
 }

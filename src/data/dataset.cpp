@@ -1,6 +1,9 @@
 #include "data/dataset.hpp"
 
+#include <cassert>
 #include <cstring>
+
+#include "common/aligned_buffer.hpp"
 
 namespace knor::data {
 
@@ -14,6 +17,10 @@ void NumaDataset::allocate_blocks(sched::Scheduler& sched) {
     block.data = numa::NodeBuffer<value_t>(
         static_cast<std::size_t>(block.range.size()) * d_,
         parts_.node_of_thread(t));
+    // NodeBuffer is page-backed (mmap), so each block's base meets the
+    // SIMD layer's 64-byte requirement; rows inside a block are reached
+    // with unaligned loads (odd d), see common/dense_matrix.hpp.
+    assert(block.range.empty() || is_cacheline_aligned(block.data.data()));
   });
 }
 

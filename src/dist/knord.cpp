@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/knori.hpp"
 #include "dist/comm.hpp"
 #include "numa/partitioner.hpp"
@@ -139,6 +140,7 @@ DenseMatrix generator_initial(const data::GeneratorSpec& spec,
 Result kmeans(ConstMatrixView data, const Options& opts,
               const DistOptions& dopts) {
   validate(data.rows(), data.cols(), opts, dopts);
+  kernels::set_isa(opts.simd);  // driver-side init uses the kernels too
   const DenseMatrix initial = init_centroids(data, opts);
   return run_cluster(
       data.rows(), opts, dopts, initial,
@@ -151,6 +153,7 @@ Result kmeans(ConstMatrixView data, const Options& opts,
 Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
               const DistOptions& dopts) {
   validate(spec.n, spec.d, opts, dopts);
+  kernels::set_isa(opts.simd);
   const DenseMatrix initial = generator_initial(spec, opts);
   return run_cluster(
       spec.n, opts, dopts, initial,
@@ -165,6 +168,7 @@ Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
 Result mpi_kmeans(ConstMatrixView data, const Options& opts,
                   const DistOptions& dopts) {
   validate(data.rows(), data.cols(), opts, dopts);
+  kernels::set_isa(opts.simd);
   const DenseMatrix initial = init_centroids(data, opts);
   return run_cluster(
       data.rows(), opts, dopts, initial,

@@ -15,7 +15,10 @@
 // how knord's clustering stays invariant across rank counts and matches
 // single-node knori (tests/dist_test.cpp; tests/conformance_test.cpp
 // pins bitwise equality on integer-valued data, where the grouping
-// cannot matter).
+// cannot matter). All guarantees are per selected SIMD ISA
+// (Options::simd, replicated to every rank; DESIGN.md §8) — each ISA is
+// bitwise self-stable, and the scalar ISA reproduces the pre-SIMD
+// engine bit-for-bit.
 //
 // Two data forms:
 //   * matrix form — the caller holds the full n x d matrix; each rank

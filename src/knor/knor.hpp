@@ -15,8 +15,13 @@
 // Within one module the guarantee is bitwise (per-chunk reductions keyed
 // to the (n, task_size) grid, DESIGN.md §7); across modules with
 // different reduction shapes it is last-ulp, upgraded to bitwise on
-// integer-valued data (tests/conformance_test.cpp). The per-module
-// headers state the precise guarantee; DESIGN.md §5/§7 derive it.
+// integer-valued data (tests/conformance_test.cpp). The guarantee is PER
+// SELECTED SIMD ISA (Options::simd / --simd / KNOR_SIMD): each ISA has a
+// fixed lane count and reduction tree so it is bitwise self-stable, but
+// different ISAs may differ in the last ulp on fractional data;
+// --simd scalar reproduces the pre-SIMD kernels bit-for-bit (DESIGN.md
+// §8). The per-module headers state the precise guarantee; DESIGN.md
+// §5/§7/§8 derive it.
 //
 // See README.md for a quickstart and DESIGN.md for the architecture.
 #pragma once

@@ -1,14 +1,15 @@
 #include "sem/sem_kmeans.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <stdexcept>
 
 #include "common/logger.hpp"
 #include "common/memory_tracker.hpp"
 #include "common/timer.hpp"
-#include "core/distance.hpp"
 #include "core/init.hpp"
+#include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
 #include "numa/partitioner.hpp"
@@ -89,6 +90,12 @@ DenseMatrix sem_init_centroids(PageFile& file, IoEngine& engine,
 
 Result kmeans(const std::string& path, const Options& opts,
               const SemOptions& sem_opts, SemStats* stats) {
+  kernels::set_isa(opts.simd);
+  const kernels::Ops& K = kernels::ops();
+  // MTI bookkeeping below is in TRUE distances (kernels return squared).
+  const auto edist = [&K](const value_t* a, const value_t* b, index_t dim) {
+    return std::sqrt(K.dist_sq(a, b, dim));
+  };
   PageFile file(path, sem_opts.page_size, sem_opts.ssd);
   const index_t n = file.n();
   const index_t d = file.d();
@@ -140,6 +147,9 @@ Result kmeans(const std::string& path, const Options& opts,
   DenseMatrix cur = resumed ? std::move(restored.centroids)
                             : sem_init_centroids(file, engine, opts);
   DenseMatrix prev(static_cast<index_t>(k), d);
+  // Padded centroid tile for the blocked full-scan kernel; repacked on the
+  // driver thread before each iteration's super-phase.
+  kernels::CentroidPack pack;
   if (resumed) res.assignments = std::move(restored.assignments);
 
   MtiState mti;
@@ -147,7 +157,7 @@ Result kmeans(const std::string& path, const Options& opts,
     mti = MtiState(n, k);
     // prev == empty: drift 0. Restored bounds were pre-loosened against the
     // checkpointed centroids, so drift 0 keeps them valid.
-    mti.prepare(DenseMatrix{}, cur);
+    mti.prepare(DenseMatrix{}, cur, K);
     if (resumed)
       for (index_t i = 0; i < n; ++i)
         mti.set_ub(i, restored.upper_bounds[static_cast<std::size_t>(i)]);
@@ -203,7 +213,7 @@ Result kmeans(const std::string& path, const Options& opts,
     value_t best_d;
     if (opts.prune && a != kInvalidCluster) {
       const value_t loosened = mti.ub(r) + mti.drift(a);
-      best_d = euclidean(v, cur.row(a), d);
+      best_d = edist(v, cur.row(a), d);
       ++pt.counters.dist_computations;
       best = a;
       for (int c = 0; c < k; ++c) {
@@ -218,7 +228,7 @@ Result kmeans(const std::string& path, const Options& opts,
           ++pt.counters.clause3_skips;
           continue;
         }
-        const value_t dc = euclidean(v, cur.row(static_cast<index_t>(c)), d);
+        const value_t dc = edist(v, cur.row(static_cast<index_t>(c)), d);
         ++pt.counters.dist_computations;
         if (dc < best_d) {
           best_d = dc;
@@ -226,7 +236,9 @@ Result kmeans(const std::string& path, const Options& opts,
         }
       }
     } else {
-      best = nearest_centroid(v, cur.data(), k, d, &best_d);
+      value_t best_sq = 0;
+      best = K.nearest_blocked(v, pack, &best_sq);
+      best_d = std::sqrt(best_sq);  // the MTI upper bound is a true distance
       pt.counters.dist_computations += static_cast<std::uint64_t>(k);
     }
     if (opts.prune) mti.set_ub(r, best_d);
@@ -316,6 +328,7 @@ Result kmeans(const std::string& path, const Options& opts,
 
   for (int it = start_iter; it < opts.max_iters; ++it) {
     WallTimer timer;
+    pack.pack(cur);
     refresh_mode = use_rc && row_cache.begin_iteration(it + 1) ==
                                  RowCache::Mode::kRefresh;
     sched.begin_chunks(n, task_size, &parts);
@@ -341,7 +354,7 @@ Result kmeans(const std::string& path, const Options& opts,
       const value_t inv = static_cast<value_t>(1.0) / static_cast<value_t>(count);
       for (index_t j = 0; j < d; ++j) dst[j] = s[j] * inv;
     }
-    if (opts.prune) mti.prepare(prev, cur);
+    if (opts.prune) mti.prepare(prev, cur, K);
 
     std::uint64_t changed = 0;
     if (stats != nullptr) {
@@ -408,7 +421,8 @@ Result kmeans(const std::string& path, const Options& opts,
         for (index_t r = begin; r < end; ++r) batch.push_back(r);
         engine.fetch_rows(batch, buf.data());
         for (index_t r = begin; r < end; ++r)
-          e += dist_sq(buf.row(r - begin), cur.row(res.assignments[r]), d);
+          e += K.dist_sq(buf.row(r - begin), cur.row(res.assignments[r]),
+                         d);
       }
       chunk_energy[task.chunk] = e;
     }

@@ -33,6 +33,14 @@ run_step(cluster_im_fifo ${KNOR_CLI} cluster --data ${DATA} --mode im
          --k 4 --iters 10 --threads 3 --sched fifo)
 run_step(cluster_im_static ${KNOR_CLI} cluster --data ${DATA} --mode im
          --k 4 --iters 10 --threads 3 --sched static --numa-bind on)
+# SIMD kernel ISA plumbing: explicit scalar (the legacy-bit-exact path),
+# auto, and a vector ISA (clamps down gracefully on CPUs without it).
+run_step(cluster_im_simd_scalar ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 2 --simd scalar)
+run_step(cluster_im_simd_auto ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 2 --simd auto)
+run_step(cluster_im_simd_avx2 ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 2 --simd avx2)
 run_step(cluster_sem ${KNOR_CLI} cluster --data ${DATA} --mode sem
          --k 4 --iters 10 --threads 2 --page-kb 4 --row-cache-mb 1)
 run_step(cluster_sem_sched ${KNOR_CLI} cluster --data ${DATA} --mode sem
@@ -60,5 +68,7 @@ reject_step(bad_numa_bind ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
             --numa-bind sideways)
 reject_step(bad_sched ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
             --sched lottery)
+reject_step(bad_simd ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
+            --simd quantum)
 
 file(REMOVE_RECURSE ${WORK_DIR})

@@ -40,7 +40,7 @@ TEST(Distance, NearestCentroidLowestIndexTie) {
   const value_t centroids[6] = {5, 5, 1, 1, 1, 1};  // c1 == c2
   value_t d = 0;
   EXPECT_EQ(nearest_centroid(point, centroids, 3, 2, &d), 1u);
-  EXPECT_DOUBLE_EQ(d, std::sqrt(2.0));
+  EXPECT_DOUBLE_EQ(d, 2.0);  // out-param is the SQUARED distance
 }
 
 TEST(SampleRows, DistinctAndInRange) {

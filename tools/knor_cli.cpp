@@ -39,13 +39,16 @@ subcommands:
           [--iters I] [--threads T] [--seed S] [--init forgy|random|
            kmeans++] [--no-prune] [--numa-oblivious] [--numa-nodes N]
           [--numa-bind on|off] [--sched numa|fifo|static] [--task-size N]
-          [--tolerance F]
+          [--simd auto|scalar|sse2|avx2|avx512] [--tolerance F]
       --threads T      worker threads (0 = one per hardware CPU)
       --numa-bind      pin workers to their NUMA node's CPUs (default on)
       --sched          scheduling policy: numa = per-node work-stealing
                        deques, fifo = one flat shared queue, static = no
                        stealing (default numa)
       --task-size N    rows per scheduler task (0 = adaptive, default)
+      --simd ISA       distance-kernel instruction set (default auto =
+                       best supported; unavailable choices clamp down;
+                       KNOR_SIMD sets the default)
           sem:  [--page-kb K] [--page-cache-mb M] [--row-cache-mb M]
                 [--no-row-cache] [--cache-interval I]
                 [--checkpoint FILE] [--checkpoint-interval I] [--resume]
@@ -157,6 +160,11 @@ Options options_from(const Args& args) {
   else
     usage(("unknown --sched policy " + sched).c_str());
   opts.task_size = static_cast<index_t>(args.num("task-size", 0));
+  const std::string simd = args.str("simd", "auto");
+  if (!kernels::parse_isa(simd, &opts.simd))
+    usage(("unknown --simd isa " + simd +
+           " (want auto|scalar|sse2|avx2|avx512)")
+              .c_str());
   const std::string init = args.str("init", "forgy");
   if (init == "forgy")
     opts.init = Init::kForgy;
