@@ -8,7 +8,9 @@
 namespace knor::bench {
 
 std::string format_double(double v) {
-  if (std::isnan(v) || std::isinf(v)) return "0";
+  // JSON has no NaN/Inf; emit null rather than fabricating a plausible 0
+  // (a "0ms" timing reads as a measurement — null reads as "absent").
+  if (std::isnan(v) || std::isinf(v)) return "null";
   if (v == static_cast<double>(static_cast<long long>(v)) &&
       std::fabs(v) < 9.007199254740992e15) {  // 2^53: exact integer range
     char buf[32];

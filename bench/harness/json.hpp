@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,8 +14,10 @@
 namespace knor::bench {
 
 /// Shortest decimal string that strtod round-trips to exactly `v`
-/// (integral values print without a decimal point; NaN/Inf degrade to "0",
-/// JSON has no representation for them).
+/// (integral values print without a decimal point). JSON has no NaN/Inf:
+/// they serialize as "null", parse back as a null value, and number()
+/// reads a null as NaN — a failed measurement round-trips as "absent"
+/// instead of being fabricated into a plausible 0.
 std::string format_double(double v);
 
 class Json {
@@ -55,7 +58,12 @@ class Json {
   Object& members() { return obj_; }
   const Array& elements() const { return arr_; }
   Array& elements() { return arr_; }
-  double number() const { return num_; }
+  /// Numeric value; a null reads as NaN (the null <-> NaN round-trip —
+  /// report renderers show both as "-").
+  double number() const {
+    return type_ == Type::kNull ? std::numeric_limits<double>::quiet_NaN()
+                                : num_;
+  }
   bool boolean() const { return bool_; }
   const std::string& str() const { return str_; }
 

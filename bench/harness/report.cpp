@@ -64,6 +64,9 @@ std::string anchor_of(const std::string& title) {
 }
 
 std::string timing_cell(const TimingAgg& agg) {
+  // A non-finite median (failed/absent measurement, serialized as JSON
+  // null) renders as a bare "-" — no fabricated min-max range around it.
+  if (!std::isfinite(agg.median)) return "-";
   std::string cell = pretty_number(agg.median);
   if (agg.repeats > 1)
     cell += " (" + pretty_number(agg.min) + "-" + pretty_number(agg.max) + ")";
@@ -141,7 +144,7 @@ bool chart_values(const SuiteRun& run, std::string& metric,
     if (std::isnan(value))
       for (const auto& [k, v] : row.stats)
         if (k == metric) { value = v; break; }
-    if (std::isnan(value)) continue;
+    if (!std::isfinite(value)) continue;  // no bar for a failed measurement
     std::string label;
     for (const auto& [k, v] : row.labels) {
       if (v.empty()) continue;  // blank label values would leave "1/" stubs

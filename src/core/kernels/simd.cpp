@@ -9,8 +9,8 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <stdexcept>
 
-#include "common/logger.hpp"
 #include "core/kernels/isa_tables.hpp"
 
 namespace knor::kernels {
@@ -64,17 +64,16 @@ Isa lower(Isa isa) {
 }
 
 /// KNOR_SIMD, parsed once per process (documented in README): later env
-/// changes do not retarget a running process.
+/// changes do not retarget a running process. An unrecognized value throws
+/// (the same rejection the --simd flag applies) instead of silently
+/// falling back — a typo'd ISA must never produce numbers under a
+/// different kernel set. The static cache only latches a successful
+/// parse, so the error repeats on every resolve until the env is fixed.
 Isa env_choice() {
   static const Isa choice = [] {
     const char* env = std::getenv("KNOR_SIMD");
     if (env == nullptr || *env == '\0') return Isa::kAuto;
-    Isa parsed = Isa::kAuto;
-    if (!parse_isa(env, &parsed)) {
-      KNOR_LOG_WARN("KNOR_SIMD=", env, " not recognized; using auto");
-      return Isa::kAuto;
-    }
-    return parsed;
+    return parse_isa_or_throw(env, "KNOR_SIMD");
   }();
   return choice;
 }
@@ -108,6 +107,15 @@ bool parse_isa(const std::string& name, Isa* out) {
     }
   }
   return false;
+}
+
+Isa parse_isa_or_throw(const std::string& name, const char* what) {
+  Isa parsed = Isa::kAuto;
+  if (!parse_isa(name, &parsed))
+    throw std::invalid_argument(std::string(what) + "=" + name +
+                                " is not a SIMD ISA "
+                                "(want auto|scalar|sse2|avx2|avx512)");
+  return parsed;
 }
 
 bool available(Isa isa) {

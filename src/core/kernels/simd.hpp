@@ -50,6 +50,12 @@ const char* to_string(Isa isa);
 /// anything else (out untouched).
 bool parse_isa(const std::string& name, Isa* out);
 
+/// The throwing form every selection surface shares: CLI flags and the
+/// KNOR_SIMD environment variable reject unknown names through this one
+/// parser (std::invalid_argument naming `what`), so a typo can never
+/// silently fall back to a different ISA.
+Isa parse_isa_or_throw(const std::string& name, const char* what);
+
 /// Centroid matrix re-packed for aligned SIMD streaming: k rows, each
 /// padded to a 64-byte multiple (stride() doubles, zero-filled beyond d).
 /// Every row(c) is 64-byte aligned, so full-width aligned loads are legal

@@ -109,22 +109,49 @@ DenseMatrix read_matrix(const std::string& path) {
   return m;
 }
 
+namespace {
+
+void read_rows_from(std::FILE* f, const MatrixHeader& h,
+                    const std::string& path, index_t begin, index_t end,
+                    MutMatrixView out) {
+  if (end < begin || end > h.n)
+    throw std::out_of_range("matrix_io: '" + path +
+                            "' row range out of bounds");
+  if (out.rows() != end - begin || out.cols() != h.d)
+    throw std::invalid_argument("matrix_io: '" + path +
+                                "' output shape mismatch");
+  const auto offset = static_cast<long>(
+      kHeaderBytes + static_cast<std::size_t>(begin) * h.d * sizeof(value_t));
+  if (std::fseek(f, offset, SEEK_SET) != 0)
+    throw std::runtime_error("matrix_io: '" + path + "' seek failed");
+  const std::size_t count = static_cast<std::size_t>(end - begin) * h.d;
+  if (count > 0 &&
+      std::fread(out.data(), sizeof(value_t), count, f) != count)
+    throw std::runtime_error("matrix_io: '" + path + "' row read failed");
+}
+
+}  // namespace
+
 void read_rows(const std::string& path, index_t begin, index_t end,
                MutMatrixView out) {
   FilePtr f = open_or_throw(path, "rb");
   const MatrixHeader h = parse_header(f.get(), path);
-  if (end < begin || end > h.n)
-    throw std::out_of_range("matrix_io: row range out of bounds");
-  if (out.rows() != end - begin || out.cols() != h.d)
-    throw std::invalid_argument("matrix_io: output shape mismatch");
-  const auto offset = static_cast<long>(
-      kHeaderBytes + static_cast<std::size_t>(begin) * h.d * sizeof(value_t));
-  if (std::fseek(f.get(), offset, SEEK_SET) != 0)
-    throw std::runtime_error("matrix_io: seek failed");
-  const std::size_t count = static_cast<std::size_t>(end - begin) * h.d;
-  if (count > 0 &&
-      std::fread(out.data(), sizeof(value_t), count, f.get()) != count)
-    throw std::runtime_error("matrix_io: row read failed");
+  read_rows_from(f.get(), h, path, begin, end, out);
+}
+
+RowReader::RowReader(const std::string& path) : path_(path) {
+  FilePtr f = open_or_throw(path, "rb");
+  header_ = parse_header(f.get(), path);
+  check_body_size(f.get(), header_, path);
+  file_ = f.release();
+}
+
+RowReader::~RowReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void RowReader::read(index_t begin, index_t end, MutMatrixView out) {
+  read_rows_from(file_, header_, path_, begin, end, out);
 }
 
 }  // namespace knor::data

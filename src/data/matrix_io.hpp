@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <string>
 
 #include "common/dense_matrix.hpp"
@@ -42,7 +43,33 @@ MatrixHeader read_header(const std::string& path);
 DenseMatrix read_matrix(const std::string& path);
 
 /// Read rows [begin, end) into `out` ((end-begin) x d).
+/// Opens and validates the file per call; batched readers (the streaming
+/// engine, the assign server) should hold a RowReader instead.
 void read_rows(const std::string& path, index_t begin, index_t end,
                MutMatrixView out);
+
+/// Persistent-handle row reader: the header is parsed once at open and the
+/// file stays open across read() calls — no per-batch open/validate/close
+/// in streaming loops. Not thread-safe (one reader per thread).
+class RowReader {
+ public:
+  /// Throws std::runtime_error on malformed files.
+  explicit RowReader(const std::string& path);
+  ~RowReader();
+
+  RowReader(const RowReader&) = delete;
+  RowReader& operator=(const RowReader&) = delete;
+
+  index_t n() const { return header_.n; }
+  index_t d() const { return header_.d; }
+
+  /// Read rows [begin, end) into `out` ((end-begin) x d).
+  void read(index_t begin, index_t end, MutMatrixView out);
+
+ private:
+  std::string path_;
+  MatrixHeader header_;
+  std::FILE* file_ = nullptr;
+};
 
 }  // namespace knor::data

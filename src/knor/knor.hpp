@@ -6,6 +6,9 @@
 //   knor::kmeans(data, opts)            — knori, in-memory NUMA-optimized
 //   knor::sem::kmeans(path, opts, sopts) — knors, semi-external memory
 //   knor::dist::kmeans(spec, opts, dopts)— knord, distributed (MPI-lite)
+//   knor::stream::StreamEngine           — streaming ingestion (unbounded)
+//   knor::stream::AssignServer           — assignment serving over frozen
+//                                          centroids
 //
 // Determinism (the contract every entry point shares): given the same
 // data, Options and seed, every module produces the same clustering —
@@ -37,3 +40,5 @@
 #include "data/matrix_io.hpp"           // IWYU pragma: export
 #include "dist/knord.hpp"               // IWYU pragma: export
 #include "sem/sem_kmeans.hpp"           // IWYU pragma: export
+#include "stream/assign_server.hpp"     // IWYU pragma: export
+#include "stream/stream_engine.hpp"     // IWYU pragma: export

@@ -47,6 +47,7 @@ void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
     std::memcpy(header + 8, fields, sizeof(fields));
     header[40] = ckpt.upper_bounds.empty() ? 0 : 1;
     header[41] = ckpt.sums.empty() ? 0 : 1;
+    header[42] = ckpt.weights.empty() ? 0 : 1;
     write_all(f.get(), header, sizeof(header));
     write_all(f.get(), ckpt.centroids.data(),
               ckpt.centroids.size() * sizeof(value_t));
@@ -57,6 +58,12 @@ void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
     if (!ckpt.sums.empty()) {
       write_all(f.get(), ckpt.sums.data(),
                 ckpt.sums.size() * sizeof(value_t));
+      write_all(f.get(), ckpt.counts.data(),
+                ckpt.counts.size() * sizeof(std::int64_t));
+    }
+    if (!ckpt.weights.empty()) {
+      write_all(f.get(), ckpt.weights.data(),
+                ckpt.weights.size() * sizeof(value_t));
       write_all(f.get(), ckpt.counts.data(),
                 ckpt.counts.size() * sizeof(std::int64_t));
     }
@@ -102,6 +109,14 @@ Checkpoint load_checkpoint(const std::string& path) {
     ckpt.counts.resize(static_cast<std::size_t>(k));
     read_all(f.get(), ckpt.counts.data(),
              ckpt.counts.size() * sizeof(std::int64_t), "counts");
+  }
+  if (header[42] != 0) {
+    ckpt.weights.resize(static_cast<std::size_t>(k));
+    read_all(f.get(), ckpt.weights.data(),
+             ckpt.weights.size() * sizeof(value_t), "weights");
+    ckpt.counts.resize(static_cast<std::size_t>(k));
+    read_all(f.get(), ckpt.counts.data(),
+             ckpt.counts.size() * sizeof(std::int64_t), "stream counts");
   }
   return ckpt;
 }

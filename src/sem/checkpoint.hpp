@@ -12,6 +12,12 @@
 // u8 has_mti} + centroids (k*d value_t) + assignments (n cluster_t) +
 // optional ubs (n value_t), with a trailing CRC-less length check (a
 // truncated file is rejected).
+//
+// The streaming engine (src/stream/) reuses this module for its snapshots:
+// a stream snapshot has n == 0 (no per-point state — the stream is
+// unbounded) and carries a `weights` block (header byte 42: per-cluster
+// decayed weights + row counts) instead of the SEM sums block. Both blocks
+// are optional and independent, so old files load unchanged.
 #pragma once
 
 #include <cstdint>
@@ -31,7 +37,11 @@ struct Checkpoint {
   /// Persistent centroid accumulators (the SEM engine maintains sums/counts
   /// incrementally by membership deltas, so they are part of the state).
   DenseMatrix sums;                  ///< k x d (empty when not saved)
-  std::vector<std::int64_t> counts;  ///< k
+  std::vector<std::int64_t> counts;  ///< k (saved with sums OR weights)
+  /// Streaming-engine state: per-cluster decayed batch weights (empty for
+  /// SEM checkpoints). When non-empty, `counts` holds the total rows ever
+  /// assigned per cluster and `iteration` counts ingested batches.
+  std::vector<value_t> weights;  ///< k (empty when not saved)
 
   index_t n() const { return assignments.size(); }
   int k() const { return static_cast<int>(centroids.rows()); }

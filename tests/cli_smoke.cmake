@@ -1,9 +1,15 @@
-# CLI smoke test (run via ctest): generate a tiny dataset, inspect it, then
-# cluster it with every mode (im / sem / dist) and check exit codes.
+# CLI smoke test (run via ctest): generate a tiny dataset, inspect it,
+# cluster it with every mode (im / sem / dist), stream it through
+# knor_stream (ingest / snapshot / resume / assign), and check exit codes —
+# including the rejection paths of every strictly-parsed flag and env var.
 # Invoked as:
-#   cmake -DKNOR_CLI=<path> -DWORK_DIR=<dir> -P cli_smoke.cmake
-if(NOT DEFINED KNOR_CLI OR NOT DEFINED WORK_DIR)
-  message(FATAL_ERROR "cli_smoke: KNOR_CLI and WORK_DIR must be defined")
+#   cmake -DKNOR_CLI=<path> -DKNOR_STREAM=<path> -DKNOR_BENCH=<path>
+#         -DWORK_DIR=<dir> -P cli_smoke.cmake
+if(NOT DEFINED KNOR_CLI OR NOT DEFINED KNOR_STREAM OR NOT DEFINED KNOR_BENCH
+   OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR
+          "cli_smoke: KNOR_CLI, KNOR_STREAM, KNOR_BENCH and WORK_DIR must "
+          "be defined")
 endif()
 
 file(REMOVE_RECURSE ${WORK_DIR})
@@ -53,6 +59,22 @@ run_step(cluster_dist_sched ${KNOR_CLI} cluster --data ${DATA} --mode dist
          --k 4 --iters 10 --ranks 2 --threads-per-rank 2 --sched static
          --numa-bind off)
 
+# Streaming subsystem: ingest the dataset in small batches, snapshot, resume
+# from the snapshot, inspect it, and serve assignments from both sources.
+set(SNAP ${WORK_DIR}/stream.ckpt)
+run_step(stream_ingest ${KNOR_STREAM} ingest --data ${DATA} --k 4
+         --decay 0.9 --batch-rows 128 --threads 2 --snapshot ${SNAP})
+run_step(stream_resume ${KNOR_STREAM} ingest --data ${DATA} --k 4
+         --decay 0.9 --batch-rows 128 --threads 2 --snapshot ${SNAP}
+         --resume)
+run_step(stream_snapshot_info ${KNOR_STREAM} snapshot ${SNAP})
+run_step(stream_assign_io ${KNOR_STREAM} assign --snapshot ${SNAP}
+         --queries ${DATA} --out ${WORK_DIR}/assign.bin --batch-rows 256
+         --threads 2 --source io)
+run_step(stream_assign_page ${KNOR_STREAM} assign --snapshot ${SNAP}
+         --queries ${DATA} --batch-rows 256 --threads 2 --source page
+         --page-kb 4)
+
 # A bad invocation must fail loudly, not silently succeed. Pass valid data
 # so the only rejectable thing is the flag under test.
 function(reject_step name)
@@ -70,5 +92,48 @@ reject_step(bad_sched ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
             --sched lottery)
 reject_step(bad_simd ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
             --simd quantum)
+# knor_cli numerics share the strict parser (tools/cli_args.hpp) too.
+reject_step(bad_iters ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
+            --iters abc)
+reject_step(bad_tolerance ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
+            --tolerance loose)
+# An unknown KNOR_SIMD env value must reject like the --simd flag does,
+# never silently fall back to a different ISA.
+reject_step(bad_simd_env ${CMAKE_COMMAND} -E env KNOR_SIMD=quantum
+            ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2 --iters 2)
+run_step(good_simd_env ${CMAKE_COMMAND} -E env KNOR_SIMD=scalar
+         ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2 --iters 2)
+
+# knor_bench numeric flags are strictly parsed: `--repeats abc` used to
+# atoi to 0 and "succeed" with no samples.
+reject_step(bench_bad_repeats ${KNOR_BENCH} --suite kernels_micro
+            --scale smoke --repeats abc)
+reject_step(bench_bad_repeats_zero ${KNOR_BENCH} --suite kernels_micro
+            --scale smoke --repeats 0)
+reject_step(bench_bad_warmup ${KNOR_BENCH} --suite kernels_micro
+            --scale smoke --warmup 1x)
+reject_step(bench_bad_factor ${KNOR_BENCH} --suite kernels_micro
+            --scale smoke --factor fast)
+
+# knor_stream shares the strict-parsing contract.
+reject_step(stream_bad_decay ${KNOR_STREAM} ingest --data ${DATA} --k 4
+            --decay hot)
+reject_step(stream_bad_decay_range ${KNOR_STREAM} ingest --data ${DATA}
+            --k 4 --decay 1.5)
+reject_step(stream_bad_batch_rows ${KNOR_STREAM} ingest --data ${DATA}
+            --k 4 --batch-rows many)
+# Negative counts must reject BEFORE the unsigned cast (a wrap once caused
+# a buffer-sizing overflow in the page-source reader).
+reject_step(stream_negative_batch_rows ${KNOR_STREAM} assign
+            --snapshot ${SNAP} --queries ${DATA} --batch-rows -1
+            --source page)
+reject_step(stream_negative_io_buffers ${KNOR_STREAM} assign
+            --snapshot ${SNAP} --queries ${DATA} --io-buffers -2)
+reject_step(stream_bad_source ${KNOR_STREAM} assign --snapshot ${SNAP}
+            --queries ${DATA} --source tape)
+reject_step(stream_bad_simd ${KNOR_STREAM} ingest --data ${DATA} --k 4
+            --simd quantum)
+reject_step(stream_snapshot_every_without_path ${KNOR_STREAM} ingest
+            --data ${DATA} --k 4 --snapshot-every 2)
 
 file(REMOVE_RECURSE ${WORK_DIR})

@@ -41,7 +41,57 @@ TEST(Json, NumberRoundTrip) {
   }
   EXPECT_EQ(format_double(42), "42");          // integers print bare
   EXPECT_EQ(format_double(-7), "-7");
-  EXPECT_EQ(format_double(NAN), "0");          // JSON has no NaN
+}
+
+// JSON has no NaN/Inf: they must serialize as null (never a fabricated
+// "0"), parse back as null, and read as NaN through number().
+TEST(Json, NanAndInfSerializeAsNull) {
+  EXPECT_EQ(format_double(NAN), "null");
+  EXPECT_EQ(format_double(INFINITY), "null");
+  EXPECT_EQ(format_double(-INFINITY), "null");
+
+  Json doc = Json::object();
+  doc.set("bad", Json(static_cast<double>(NAN)));
+  doc.set("good", 1.5);
+  const std::string text = doc.dump(0);
+  EXPECT_NE(text.find("\"bad\": null"), std::string::npos) << text;
+  EXPECT_EQ(text.find("nan"), std::string::npos) << text;
+
+  std::string error;
+  const Json back = Json::parse(text, &error);
+  ASSERT_TRUE(error.empty()) << error;
+  ASSERT_NE(back.find("bad"), nullptr);
+  EXPECT_TRUE(back.find("bad")->is_null());
+  EXPECT_TRUE(std::isnan(back.find("bad")->number()));
+  EXPECT_DOUBLE_EQ(back.find("good")->number(), 1.5);
+  // The round trip is stable: re-dumping the parsed document emits null
+  // again, not 0.
+  EXPECT_NE(back.dump(0).find("\"bad\": null"), std::string::npos);
+}
+
+// A NaN timing (failed measurement) must render as "-" in the report, not
+// as a plausible number.
+TEST(Report, NanTimingRendersAsDash) {
+  const Suite nan_suite = {"missing_timing", "Missing-timing suite",
+                           "test fixture", "trend", 4, [](Context& ctx) {
+                             ctx.row()
+                                 .label("variant", "broken")
+                                 .timing("wall_ms",
+                                         TimingAgg::single(
+                                             static_cast<double>(NAN)));
+                             ctx.row().label("variant", "fine").timing(
+                                 "wall_ms", 2.0);
+                           }};
+  const RunOptions opts = RunOptions::for_scale(Scale::kSmoke);
+  const SuiteRun run = run_suite(nan_suite, opts);
+  ASSERT_TRUE(run.ok);
+  const std::string md = render_report({run}, opts);
+  EXPECT_NE(md.find("| broken | - |"), std::string::npos) << md;
+  EXPECT_EQ(md.find("nan"), std::string::npos);
+  // ...and the JSON side of the same run serializes the NaN as null.
+  const std::string js = results_json({run}, opts).dump(0);
+  EXPECT_NE(js.find("null"), std::string::npos);
+  EXPECT_EQ(js.find("nan"), std::string::npos);
 }
 
 TEST(Json, DocumentRoundTrip) {

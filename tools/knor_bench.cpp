@@ -8,6 +8,8 @@
 // removing the machine-dependent timing fields, so
 //   diff <(knor_bench --strip a.json) <(knor_bench --strip b.json)
 // verifies the determinism contract of DESIGN.md §6.
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -86,6 +88,27 @@ bool write_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+// Strict numeric parsing (knor_cli-style rejection): `--repeats abc` must
+// exit nonzero with a message, never silently become 0 samples that "pass".
+int parse_int(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || errno == ERANGE || v < INT_MIN ||
+      v > INT_MAX)
+    usage((flag + " expects an integer, got '" + value + "'").c_str());
+  return static_cast<int>(v);
+}
+
+double parse_num(const std::string& flag, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (value.empty() || *end != '\0' || errno == ERANGE)
+    usage((flag + " expects a number, got '" + value + "'").c_str());
+  return v;
+}
+
 std::vector<std::string> split_csv(const std::string& csv) {
   std::vector<std::string> out;
   std::string cur;
@@ -125,9 +148,16 @@ int main(int argc, char** argv) {
       if (tier == "smoke") scale = Scale::kSmoke;
       else if (tier == "paper") scale = Scale::kPaper;
       else usage(("unknown scale " + tier).c_str());
-    } else if (arg == "--factor") factor = std::atof(next().c_str());
-    else if (arg == "--repeats") repeats = std::atoi(next().c_str());
-    else if (arg == "--warmup") warmup = std::atoi(next().c_str());
+    } else if (arg == "--factor") {
+      factor = parse_num(arg, next());
+      if (!(factor > 0)) usage("--factor must be > 0");
+    } else if (arg == "--repeats") {
+      repeats = parse_int(arg, next());
+      if (repeats < 1) usage("--repeats must be >= 1");
+    } else if (arg == "--warmup") {
+      warmup = parse_int(arg, next());
+      if (warmup < 0) usage("--warmup must be >= 0");
+    }
     else if (arg == "--out") out_path = next();
     else if (arg == "--report") report_path = next();
     else if (arg == "--quiet") quiet = true;

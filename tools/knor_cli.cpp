@@ -9,11 +9,10 @@
 // Exercises the full public API; run `knor_cli help` for every flag.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "cli_args.hpp"
 #include "knor/knor.hpp"
 
 namespace {
@@ -59,38 +58,14 @@ subcommands:
   std::exit(error != nullptr ? 2 : 0);
 }
 
-/// Tiny --flag [value] parser: flags with values become map entries; bare
-/// flags map to "1".
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      std::string key = argv[i];
-      if (key.rfind("--", 0) != 0) usage(("unexpected argument " + key).c_str());
-      key = key.substr(2);
-      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0)
-        values_[key] = argv[++i];
-      else
-        values_[key] = "1";
-    }
-  }
-  bool has(const std::string& key) const { return values_.count(key) > 0; }
-  std::string str(const std::string& key, const std::string& dflt = "") const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? dflt : it->second;
-  }
-  long long num(const std::string& key, long long dflt) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::atoll(it->second.c_str());
-  }
-  double real(const std::string& key, double dflt) const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? dflt : std::atof(it->second.c_str());
-  }
+// Shared strict --flag parser (tools/cli_args.hpp): a malformed numeric
+// value exits through usage() instead of atoi-style silently becoming 0.
+using Args = tools::Args;
 
- private:
-  std::map<std::string, std::string> values_;
-};
+Args parse_args(int argc, char** argv, int first) {
+  return Args(argc, argv, first,
+              [](const std::string& msg) { usage(msg.c_str()); });
+}
 
 data::Distribution parse_dist(const std::string& name) {
   if (name == "natural") return data::Distribution::kNaturalClusters;
@@ -134,46 +109,13 @@ int cmd_info(const std::string& path) {
 }
 
 Options options_from(const Args& args) {
-  Options opts;
-  opts.k = static_cast<int>(args.num("k", 8));
-  opts.max_iters = static_cast<int>(args.num("iters", 100));
-  opts.threads = static_cast<int>(args.num("threads", 0));
-  opts.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  // Shared engine flags (k/threads/seed/NUMA/sched/simd/init) parse in
+  // tools/cli_args.hpp — one builder for knor_cli and knor_stream.
+  Options opts = tools::engine_options_from(args);
+  opts.max_iters = static_cast<int>(args.num_min("iters", 100, 0));
   opts.prune = !args.has("no-prune");
   opts.numa_aware = !args.has("numa-oblivious");
-  opts.numa_nodes = static_cast<int>(args.num("numa-nodes", 0));
   opts.tolerance = args.real("tolerance", 0.0);
-  const std::string bind = args.str("numa-bind", "on");
-  if (bind == "on")
-    opts.numa_bind = true;
-  else if (bind == "off")
-    opts.numa_bind = false;
-  else
-    usage(("--numa-bind must be on or off, got " + bind).c_str());
-  const std::string sched = args.str("sched", "numa");
-  if (sched == "numa")
-    opts.sched = sched::SchedPolicy::kNumaAware;
-  else if (sched == "fifo")
-    opts.sched = sched::SchedPolicy::kFifo;
-  else if (sched == "static")
-    opts.sched = sched::SchedPolicy::kStatic;
-  else
-    usage(("unknown --sched policy " + sched).c_str());
-  opts.task_size = static_cast<index_t>(args.num("task-size", 0));
-  const std::string simd = args.str("simd", "auto");
-  if (!kernels::parse_isa(simd, &opts.simd))
-    usage(("unknown --simd isa " + simd +
-           " (want auto|scalar|sse2|avx2|avx512)")
-              .c_str());
-  const std::string init = args.str("init", "forgy");
-  if (init == "forgy")
-    opts.init = Init::kForgy;
-  else if (init == "random")
-    opts.init = Init::kRandom;
-  else if (init == "kmeans++")
-    opts.init = Init::kKmeansPP;
-  else
-    usage(("unknown init " + init).c_str());
   return opts;
 }
 
@@ -251,12 +193,12 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   try {
     if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
-    if (cmd == "generate") return cmd_generate(Args(argc, argv, 2));
+    if (cmd == "generate") return cmd_generate(parse_args(argc, argv, 2));
     if (cmd == "info") {
       if (argc < 3) usage("info requires a file argument");
       return cmd_info(argv[2]);
     }
-    if (cmd == "cluster") return cmd_cluster(Args(argc, argv, 2));
+    if (cmd == "cluster") return cmd_cluster(parse_args(argc, argv, 2));
     usage(("unknown subcommand " + cmd).c_str());
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
