@@ -149,7 +149,12 @@ SuiteRun run_suite(const Suite& suite, const RunOptions& opts) {
 }
 
 const std::vector<std::string>& timing_keys() {
-  static const std::vector<std::string> keys = {"timings", "wall_s"};
+  // "timing" is the wall-clock half of an obs::Registry metrics export
+  // (knor-metrics-v1, DESIGN.md §10): stripping it canonicalizes a
+  // --metrics file down to its deterministic partition, so the same
+  // `knor_bench --strip` diff covers bench results and metric exports.
+  static const std::vector<std::string> keys = {"timings", "wall_s",
+                                                "timing"};
   return keys;
 }
 

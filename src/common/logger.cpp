@@ -1,14 +1,19 @@
 #include "common/logger.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <stdexcept>
 
 namespace knor {
 namespace {
 
+// Strict parse (the KNOR_SIMD discipline): an unknown value must reject
+// loudly, never silently fall back — a typo'd KNOR_LOG=dbug that quietly
+// means "warn" hides exactly the output the user asked for.
 LogLevel level_from_env() {
   const char* env = std::getenv("KNOR_LOG");
   if (env == nullptr) return LogLevel::kWarn;
@@ -16,12 +21,29 @@ LogLevel level_from_env() {
   if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
   if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
-  return LogLevel::kWarn;
+  throw std::runtime_error(
+      std::string("KNOR_LOG: unknown level '") + env +
+      "' (expected error|warn|info|debug)");
+}
+
+LogFormat format_from_env() {
+  const char* env = std::getenv("KNOR_LOG_FORMAT");
+  if (env == nullptr) return LogFormat::kPlain;
+  if (std::strcmp(env, "plain") == 0) return LogFormat::kPlain;
+  if (std::strcmp(env, "full") == 0) return LogFormat::kFull;
+  throw std::runtime_error(
+      std::string("KNOR_LOG_FORMAT: unknown format '") + env +
+      "' (expected plain|full)");
 }
 
 std::atomic<int>& level_storage() {
   static std::atomic<int> level{static_cast<int>(level_from_env())};
   return level;
+}
+
+std::atomic<int>& format_storage() {
+  static std::atomic<int> format{static_cast<int>(format_from_env())};
+  return format;
 }
 
 const char* level_name(LogLevel level) {
@@ -32,6 +54,18 @@ const char* level_name(LogLevel level) {
     case LogLevel::kDebug: return "DEBUG";
   }
   return "?";
+}
+
+double elapsed_ms() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+int thread_log_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
 }
 
 }  // namespace
@@ -48,10 +82,29 @@ bool log_enabled(LogLevel level) {
   return static_cast<int>(level) <= level_storage().load(std::memory_order_relaxed);
 }
 
+LogFormat log_format() {
+  return static_cast<LogFormat>(
+      format_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_format(LogFormat format) {
+  format_storage().store(static_cast<int>(format), std::memory_order_relaxed);
+}
+
+void log_init_from_env() {
+  level_storage();
+  format_storage();
+  elapsed_ms();  // pin the epoch to process start, not the first log line
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   static std::mutex mu;
   std::lock_guard<std::mutex> lock(mu);
-  std::fprintf(stderr, "[knor %s] %s\n", level_name(level), msg.c_str());
+  if (log_format() == LogFormat::kFull)
+    std::fprintf(stderr, "[knor %s +%.3fms t%d] %s\n", level_name(level),
+                 elapsed_ms(), thread_log_id(), msg.c_str());
+  else
+    std::fprintf(stderr, "[knor %s] %s\n", level_name(level), msg.c_str());
 }
 
 }  // namespace knor

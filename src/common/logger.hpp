@@ -1,5 +1,15 @@
 // Minimal leveled logger. Level is process-global and settable via the
 // KNOR_LOG environment variable (error|warn|info|debug) or programmatically.
+// KNOR_LOG_FORMAT selects the line prefix: "plain" (default) is the bare
+// "[knor LEVEL]", "full" adds elapsed milliseconds since process start and
+// a small sequential thread id ("[knor LEVEL +12.345ms t0]") for reading
+// multi-threaded runs.
+//
+// Both variables are strictly parsed (the KNOR_SIMD discipline): an
+// unknown value throws std::runtime_error instead of silently defaulting.
+// Tools call log_init_from_env() early inside their try block so the error
+// surfaces as a clean nonzero exit rather than a terminate during lazy
+// static init.
 #pragma once
 
 #include <sstream>
@@ -8,10 +18,18 @@
 namespace knor {
 
 enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+enum class LogFormat { kPlain = 0, kFull = 1 };
 
 LogLevel log_level();
 void set_log_level(LogLevel level);
 bool log_enabled(LogLevel level);
+
+LogFormat log_format();
+void set_log_format(LogFormat format);
+
+/// Force evaluation of KNOR_LOG / KNOR_LOG_FORMAT now; throws
+/// std::runtime_error on an unknown value. Idempotent.
+void log_init_from_env();
 
 /// Thread-safe line-buffered emission to stderr.
 void log_line(LogLevel level, const std::string& msg);

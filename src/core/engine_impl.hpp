@@ -36,6 +36,8 @@
 #include "core/mti.hpp"
 #include "numa/cost_model.hpp"
 #include "numa/partitioner.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sched/scheduler.hpp"
 
 namespace knor::detail {
@@ -106,6 +108,15 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
       sched::Scheduler::resolve_task_size(n, opts.task_size);
   const auto chunks = static_cast<std::size_t>(
       sched::Scheduler::num_chunks(n, task_size));
+
+  // Per-run registry slice (DESIGN.md §10): diff a snapshot around the run
+  // and attach it to the Result. Skipped when a reducer is present — knord
+  // ranks run concurrently in one process, so a per-rank diff would
+  // interleave with its siblings; dist::kmeans attaches the cluster-level
+  // diff instead.
+  obs::Registry& reg = obs::Registry::global();
+  obs::Snapshot obs_before;
+  if (reducer == nullptr) obs_before = reg.snapshot();
 
   Result res;
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
@@ -281,12 +292,19 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     WallTimer timer;
     pack.pack(cur);
     sched.begin_chunks(n, task_size, &parts);
-    sched.run(iteration);
+    {
+      // Driver-side view of the super-phase: workers' nearest-centroid +
+      // local accumulation + the per-chunk fold (one trace slice per
+      // iteration; per-worker slices would distort the steal schedule).
+      obs::Span span_assign("assign");
+      sched.run(iteration);
+    }
 
     std::uint64_t changed = 0;
     for (const auto& pt : per_thread) changed += pt.changed;
 
     if (reducer != nullptr) {
+      obs::Span span_allreduce("allreduce");
       // Pack the merged accumulator (slot 0) + changed, allreduce once,
       // unpack: slot 0 now holds the global accumulator on every rank.
       double* w = wire.data();
@@ -316,6 +334,7 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     }
 
     // Finalize next centroids from the merged accumulator (slot 0).
+    obs::Span span_update("update");
     std::memcpy(prev.data(), cur.data(), cur.size() * sizeof(value_t));
     if (prune) {
       deltas.merged().apply_to(sums.data(), counts.data());
@@ -345,19 +364,23 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   // Exact final energy: one full pass (pruned iterations skip distances, so
   // energy cannot be accumulated during the main loop). Per-chunk partial
   // energies summed in chunk order keep it deterministic across T too.
-  std::vector<double> chunk_energy(chunks, 0.0);
-  sched.parallel_for(n, task_size, &parts, [&](int tid, const sched::Task& task) {
-    const int my_node = parts.node_of_thread(tid);
-    double e = 0.0;
-    for_task_rows(data, parts, task, my_node, nullptr,
-                  [&](index_t r, const value_t* base, index_t seg_begin) {
-                    e += K.dist_sq(
-                        base + static_cast<std::size_t>(r - seg_begin) * d,
-                        cur.row(res.assignments[r]), d);
-                  });
-    chunk_energy[task.chunk] = e;
-  });
-  for (const double e : chunk_energy) res.energy += e;
+  {
+    obs::Span span_energy("energy");
+    std::vector<double> chunk_energy(chunks, 0.0);
+    sched.parallel_for(n, task_size, &parts,
+                       [&](int tid, const sched::Task& task) {
+      const int my_node = parts.node_of_thread(tid);
+      double e = 0.0;
+      for_task_rows(data, parts, task, my_node, nullptr,
+                    [&](index_t r, const value_t* base, index_t seg_begin) {
+                      e += K.dist_sq(
+                          base + static_cast<std::size_t>(r - seg_begin) * d,
+                          cur.row(res.assignments[r]), d);
+                    });
+      chunk_energy[task.chunk] = e;
+    });
+    for (const double e : chunk_energy) res.energy += e;
+  }
 
   for (const auto& pt : per_thread) {
     res.counters += pt.counters;
@@ -367,6 +390,31 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   res.counters.tasks_own = steals.own;
   res.counters.tasks_same_node = steals.same_node;
   res.counters.tasks_remote_node = steals.remote_node;
+
+  // Publish the run's counters into the global registry — bulk adds at run
+  // end, so the hot loops above keep their plain per-thread structs. The
+  // algorithmic counters are deterministic (pure functions of data + opts,
+  // like the clustering); the attribution counters follow the steal
+  // schedule (Counters doc above / DESIGN.md §6).
+  using obs::Det;
+  reg.counter("core.dist_computations", Det::kDeterministic)
+      .add(res.counters.dist_computations);
+  reg.counter("core.clause1_skips", Det::kDeterministic)
+      .add(res.counters.clause1_skips);
+  reg.counter("core.clause2_skips", Det::kDeterministic)
+      .add(res.counters.clause2_skips);
+  reg.counter("core.clause3_skips", Det::kDeterministic)
+      .add(res.counters.clause3_skips);
+  reg.counter("core.iterations", Det::kDeterministic)
+      .add(static_cast<std::uint64_t>(res.iters));
+  reg.counter("core.local_accesses", Det::kTiming)
+      .add(res.counters.local_accesses);
+  reg.counter("core.remote_accesses", Det::kTiming)
+      .add(res.counters.remote_accesses);
+  reg.counter("sched.tasks_own", Det::kTiming).add(steals.own);
+  reg.counter("sched.tasks_same_node", Det::kTiming).add(steals.same_node);
+  reg.counter("sched.tasks_remote_node", Det::kTiming).add(steals.remote_node);
+  if (reducer == nullptr) res.metrics = obs::diff(obs_before, reg.snapshot());
 
   res.centroids = std::move(cur);
   return res;

@@ -9,12 +9,32 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "core/kernels/isa_tables.hpp"
+#include "obs/registry.hpp"
 
 namespace knor::kernels {
 namespace {
+
+// Per-ISA dispatch counters ("kernels.dispatch.<isa>"). Every ops()/
+// ops_for() resolution bumps the selected ISA's counter; call sites hoist
+// the table reference at engine entry / once per iteration, so the counts
+// are a pure function of (opts, iterations) — deterministic for a fixed
+// machine + KNOR_SIMD, which is all the strip-diff compares (both CI runs
+// share one host).
+obs::Counter& dispatch_counter(Isa isa) {
+  static obs::Counter* counters[kNumIsas] = {};
+  static std::once_flag once;
+  std::call_once(once, [] {
+    for (const Isa i : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512})
+      counters[static_cast<int>(i)] = &obs::Registry::global().counter(
+          std::string("kernels.dispatch.") + to_string(i),
+          obs::Det::kDeterministic);
+  });
+  return *counters[static_cast<int>(isa)];
+}
 
 struct Tables {
   Ops entries[kNumIsas];
@@ -154,10 +174,12 @@ Isa resolve(Isa requested) {
   return isa;
 }
 
-const Ops& ops() { return tables().entries[static_cast<int>(resolve(Isa::kAuto))]; }
+const Ops& ops() { return ops_for(Isa::kAuto); }
 
 const Ops& ops_for(Isa isa) {
-  return tables().entries[static_cast<int>(resolve(isa))];
+  const Isa resolved = resolve(isa);
+  dispatch_counter(resolved).inc();
+  return tables().entries[static_cast<int>(resolved)];
 }
 
 void CentroidPack::pack(const value_t* centroids, int k, index_t d) {

@@ -10,6 +10,7 @@
 #include "common/timer.hpp"
 #include "common/types.hpp"
 #include "core/kernels/simd.hpp"
+#include "obs/registry.hpp"
 #include "sched/scheduler.hpp"
 
 namespace knor {
@@ -101,6 +102,13 @@ struct Result {
   /// CPU seconds of inherently serial driver-side work (shuffle, master
   /// reductions); 0 for knor engines, nonzero for framework stand-ins.
   double driver_serial_s = 0.0;
+  /// This run's slice of the global obs registry (snapshot diff taken
+  /// around the engine run): cache/pruning/steal counters and phase
+  /// histograms, queryable by name without reaching into process globals
+  /// (DESIGN.md §10). Empty under -DKNOR_OBS=OFF and for knord worker
+  /// ranks (concurrent ranks share the process registry, so only the
+  /// cluster-level dist::kmeans entry attaches a coherent diff).
+  obs::Snapshot metrics;
 
   /// Modeled time per iteration on dedicated cores: the slowest worker's
   /// compute plus the serial driver share. Falls back to wall time when no

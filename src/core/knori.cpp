@@ -5,6 +5,7 @@
 #include "core/engine_impl.hpp"
 #include "core/init.hpp"
 #include "data/dataset.hpp"
+#include "obs/span.hpp"
 
 namespace knor {
 namespace {
@@ -59,7 +60,11 @@ Result run_node(ConstMatrixView data, const Options& opts,
 Result kmeans(ConstMatrixView data, const Options& opts) {
   if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
   kernels::set_isa(opts.simd);  // before init_centroids' D^2 distances
-  DenseMatrix initial = init_centroids(data, opts);
+  DenseMatrix initial;
+  {
+    obs::Span span_init("init");
+    initial = init_centroids(data, opts);
+  }
   return detail::run_node(data, opts, std::move(initial), nullptr);
 }
 

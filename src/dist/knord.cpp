@@ -11,6 +11,7 @@
 #include "core/knori.hpp"
 #include "dist/comm.hpp"
 #include "numa/partitioner.hpp"
+#include "obs/registry.hpp"
 
 namespace knor::dist {
 namespace {
@@ -55,6 +56,13 @@ Result run_cluster(index_t n, const Options& opts,
   const int num_ranks = dopts.ranks;
   NetModelGuard net_guard(dopts.net);
   Cluster cluster(num_ranks);
+
+  // Per-run registry slice taken at the CLUSTER level: ranks run
+  // concurrently in this process, so run_parallel_lloyd skips its own
+  // attach (reducer != nullptr) and the coherent diff — covering every
+  // rank's counters plus the NetSim collective traffic — is taken here.
+  obs::Registry& reg = obs::Registry::global();
+  const obs::Snapshot obs_before = reg.snapshot();
 
   std::vector<Result> rank_results(static_cast<std::size_t>(num_ranks));
 
@@ -105,6 +113,7 @@ Result run_cluster(index_t n, const Options& opts,
                              rr.thread_busy_s.begin(),
                              rr.thread_busy_s.end());
   }
+  out.metrics = obs::diff(obs_before, reg.snapshot());
   return out;
 }
 

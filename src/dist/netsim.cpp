@@ -5,6 +5,8 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/registry.hpp"
+
 namespace knor::dist {
 namespace {
 
@@ -33,6 +35,20 @@ NetModel NetSim::current() {
 }
 
 void NetSim::charge(std::size_t bytes, int ranks) {
+  // Collective traffic accounting (DESIGN.md §10): every rank's arrival at
+  // a collective is one charge, so messages = collectives x ranks and both
+  // totals are pure functions of (data, opts, ranks) — deterministic.
+  // Counted even when the cost model is disabled: the traffic exists, only
+  // its simulated latency is free.
+  {
+    using obs::Det;
+    static obs::Counter& messages = obs::Registry::global().counter(
+        "dist.collective_messages", Det::kDeterministic);
+    static obs::Counter& total_bytes = obs::Registry::global().counter(
+        "dist.collective_bytes", Det::kDeterministic);
+    messages.inc();
+    total_bytes.add(static_cast<std::uint64_t>(bytes));
+  }
   const NetModel m = current();
   if (!m.enabled() || ranks < 2) return;
   const int hops = tree_hops(ranks);

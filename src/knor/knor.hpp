@@ -30,6 +30,7 @@
 #pragma once
 
 #include "common/dense_matrix.hpp"      // IWYU pragma: export
+#include "common/logger.hpp"            // IWYU pragma: export
 #include "common/types.hpp"             // IWYU pragma: export
 #include "core/engines.hpp"             // IWYU pragma: export
 #include "core/init.hpp"                // IWYU pragma: export
@@ -39,6 +40,9 @@
 #include "data/generator.hpp"           // IWYU pragma: export
 #include "data/matrix_io.hpp"           // IWYU pragma: export
 #include "dist/knord.hpp"               // IWYU pragma: export
+#include "obs/export.hpp"               // IWYU pragma: export
+#include "obs/registry.hpp"             // IWYU pragma: export
+#include "obs/span.hpp"                 // IWYU pragma: export
 #include "sem/sem_kmeans.hpp"           // IWYU pragma: export
 #include "stream/assign_server.hpp"     // IWYU pragma: export
 #include "stream/stream_engine.hpp"     // IWYU pragma: export

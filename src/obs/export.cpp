@@ -1,0 +1,64 @@
+#include "obs/export.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/memory_tracker.hpp"
+#include "obs/span.hpp"
+
+namespace knor::obs {
+
+namespace {
+
+std::string flag_or_env(const std::string& flag, const char* env_name) {
+  if (!flag.empty()) return flag;
+  const char* env = std::getenv(env_name);
+  return env != nullptr ? std::string(env) : std::string();
+}
+
+void write_file(const std::string& path, const std::string& content,
+                const char* what) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  out.close();
+  if (!out)
+    throw std::runtime_error(std::string(what) + ": cannot write " + path);
+}
+
+}  // namespace
+
+ExportConfig export_config(const std::string& metrics_flag,
+                           const std::string& trace_flag) {
+  ExportConfig config;
+  config.metrics_path = flag_or_env(metrics_flag, "KNOR_METRICS");
+  config.trace_path = flag_or_env(trace_flag, "KNOR_TRACE");
+  if (!config.trace_path.empty()) Tracer::global().enable();
+  return config;
+}
+
+void update_memory_gauges() {
+  // All timing-class: RSS is physical truth and peaks race on the thread
+  // schedule; even the logical live_bytes depends on which worker freed
+  // last at snapshot time.
+  Registry& reg = Registry::global();
+  const MemoryTracker& tracker = MemoryTracker::instance();
+  reg.gauge("mem.live_bytes", Det::kTiming).set(tracker.live_bytes());
+  reg.gauge("mem.peak_bytes", Det::kTiming).set(tracker.peak_bytes());
+  reg.gauge("mem.current_rss_bytes", Det::kTiming)
+      .set(static_cast<std::int64_t>(current_rss_bytes()));
+  reg.gauge("mem.peak_rss_bytes", Det::kTiming)
+      .set(static_cast<std::int64_t>(peak_rss_bytes()));
+}
+
+void write_exports(const ExportConfig& config) {
+  if (!config.metrics_path.empty()) {
+    update_memory_gauges();
+    write_file(config.metrics_path, Registry::global().snapshot().to_json(),
+               "metrics");
+  }
+  if (!config.trace_path.empty())
+    write_file(config.trace_path, Tracer::global().to_chrome_json(), "trace");
+}
+
+}  // namespace knor::obs

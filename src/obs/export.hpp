@@ -1,0 +1,48 @@
+// Metrics/trace export plumbing shared by the CLI tools (DESIGN.md §10).
+//
+// Every tool resolves the same two outputs the same way — a command-line
+// flag wins over its environment variable:
+//
+//   --metrics FILE   /  KNOR_METRICS=FILE   knor-metrics JSON (registry
+//                                           snapshot split deterministic /
+//                                           timing)
+//   --trace FILE     /  KNOR_TRACE=FILE     Chrome trace-event JSON (load
+//                                           in chrome://tracing / Perfetto)
+//
+// Usage in a tool's main path:
+//   obs::ExportConfig exp = obs::export_config(metrics_flag, trace_flag);
+//   ... run ...
+//   obs::write_exports(exp);   // throws on unwritable paths
+//
+// export_config() must run before the engine: it enables the Tracer when a
+// trace path is configured (spans that close while disabled are dropped).
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+
+namespace knor::obs {
+
+struct ExportConfig {
+  std::string metrics_path;  ///< empty = no metrics export
+  std::string trace_path;    ///< empty = no trace export
+};
+
+/// Resolve output paths (flag value if non-empty, else the environment
+/// variable, else off) and enable tracing when a trace path is set.
+ExportConfig export_config(const std::string& metrics_flag,
+                           const std::string& trace_flag);
+
+/// Refresh the "mem.*" gauges from MemoryTracker and /proc/self/status so
+/// a snapshot taken now reports the run's memory footprint. Called by
+/// write_exports(); exposed for engines that snapshot mid-process.
+void update_memory_gauges();
+
+/// Write the configured outputs: the full global-registry snapshot as
+/// knor-metrics JSON and/or the tracer contents as Chrome trace JSON.
+/// Throws std::runtime_error on write failure (tools report and exit
+/// nonzero — never print success over a truncated file).
+void write_exports(const ExportConfig& config);
+
+}  // namespace knor::obs

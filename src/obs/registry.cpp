@@ -1,0 +1,347 @@
+#include "obs/registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+namespace knor::obs {
+
+const char* to_string(Det det) {
+  return det == Det::kDeterministic ? "deterministic" : "timing";
+}
+
+const char* to_string(Kind kind) {
+  switch (kind) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+int Counter::shard() {
+  // Sequential thread ids wrapped to kShards: two threads may share a
+  // shard (correct — adds commute), but the common worker-pool sizes get
+  // distinct cache lines.
+  static std::atomic<int> next{0};
+  thread_local const int id =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return id;
+}
+
+namespace {
+
+int msb_index(std::uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return 63 - __builtin_clzll(v);
+#else
+  int m = 0;
+  while ((v >> m) > 1) ++m;
+  return m;
+#endif
+}
+
+}  // namespace
+
+int Histogram::bucket_of(std::uint64_t v) {
+  if (v < kSub) return static_cast<int>(v);
+  const int m = msb_index(v);
+  return ((m - 1) << kSubBits) +
+         static_cast<int>((v >> (m - kSubBits)) & (kSub - 1));
+}
+
+std::uint64_t Histogram::bucket_lo(int b) {
+  if (b < kSub) return static_cast<std::uint64_t>(b);
+  const int octave = b >> kSubBits;  // >= 1
+  const std::uint64_t sub = static_cast<std::uint64_t>(b & (kSub - 1));
+  return (static_cast<std::uint64_t>(kSub) + sub) << (octave - 1);
+}
+
+std::uint64_t Histogram::bucket_hi(int b) {
+  if (b + 1 >= kBuckets) return ~std::uint64_t{0};
+  return bucket_lo(b + 1) - 1;
+}
+
+double HistogramData::quantile(double q) const {
+  if (count == 0) return std::nan("");
+  q = std::min(std::max(q, 0.0), 1.0);
+  // Rank of the q-quantile sample, 1-based, ceil(q * count) clamped to
+  // [1, count]; walk the sparse buckets until the cumulative count covers
+  // it and report that bucket's midpoint.
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))));
+  std::uint64_t seen = 0;
+  for (const auto& [idx, n] : buckets) {
+    seen += n;
+    if (seen >= rank) {
+      const std::uint64_t lo = Histogram::bucket_lo(idx);
+      const std::uint64_t hi =
+          std::min(Histogram::bucket_hi(idx), max > 0 ? max : ~std::uint64_t{0});
+      return (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0;
+    }
+  }
+  return static_cast<double>(max);  // unreachable when buckets are consistent
+}
+
+const Metric* Snapshot::find(const std::string& name) const {
+  for (const Metric& m : metrics)
+    if (m.name == name) return &m;
+  return nullptr;
+}
+
+std::int64_t Snapshot::value_or(const std::string& name,
+                                std::int64_t dflt) const {
+  const Metric* m = find(name);
+  if (m == nullptr || m->kind == Kind::kHistogram) return dflt;
+  return m->value;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+std::string format_double(double v) {
+  if (std::isnan(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Guarantee a JSON number that round-trips as floating point.
+  return buf;
+}
+
+void append_metric_value(std::string& out, const Metric& m,
+                         const std::string& pad) {
+  if (m.kind != Kind::kHistogram) {
+    out += std::to_string(m.value);
+    return;
+  }
+  const HistogramData& h = m.hist;
+  out += "{\n";
+  out += pad + "  \"count\": " + std::to_string(h.count) + ",\n";
+  out += pad + "  \"sum\": " + std::to_string(h.sum) + ",\n";
+  out += pad + "  \"max\": " + std::to_string(h.max) + ",\n";
+  out += pad + "  \"p50\": " + format_double(h.quantile(0.50)) + ",\n";
+  out += pad + "  \"p95\": " + format_double(h.quantile(0.95)) + ",\n";
+  out += pad + "  \"p99\": " + format_double(h.quantile(0.99)) + ",\n";
+  out += pad + "  \"buckets\": [";
+  for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "[" + std::to_string(h.buckets[i].first) + ", " +
+           std::to_string(h.buckets[i].second) + "]";
+  }
+  out += "]\n";
+  out += pad + "}";
+}
+
+void append_partition(std::string& out, const Snapshot& snap, Det det,
+                      const std::string& pad) {
+  out += "{";
+  bool first = true;
+  for (const Metric& m : snap.metrics) {
+    if (m.det != det) continue;
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "  ";
+    append_escaped(out, m.name);
+    out += ": ";
+    append_metric_value(out, m, pad + "  ");
+  }
+  if (!first) out += "\n" + pad;
+  out += "}";
+}
+
+}  // namespace
+
+std::string Snapshot::to_json(int indent) const {
+  // Hand-rolled on purpose: libknor cannot depend on the bench-layer Json,
+  // and the document must serialize identically across runs (sorted names,
+  // fixed number formatting) for the CI strip-diff.
+  (void)indent;
+  std::string out = "{\n";
+  out += "  \"schema\": \"knor-metrics-v1\",\n";
+  out += "  \"deterministic\": ";
+  append_partition(out, *this, Det::kDeterministic, "  ");
+  out += ",\n";
+  out += "  \"timing\": ";
+  append_partition(out, *this, Det::kTiming, "  ");
+  out += "\n}\n";
+  return out;
+}
+
+Snapshot diff(const Snapshot& before, const Snapshot& after) {
+  Snapshot out;
+  out.metrics.reserve(after.metrics.size());
+  for (const Metric& a : after.metrics) {
+    const Metric* b = before.find(a.name);
+    Metric d = a;
+    if (b != nullptr && b->kind == a.kind) {
+      switch (a.kind) {
+        case Kind::kCounter:
+          d.value = a.value >= b->value ? a.value - b->value : 0;
+          break;
+        case Kind::kGauge:
+          break;  // gauges are point-in-time: keep `after`
+        case Kind::kHistogram: {
+          d.hist.count = a.hist.count - std::min(b->hist.count, a.hist.count);
+          d.hist.sum = a.hist.sum - std::min(b->hist.sum, a.hist.sum);
+          // max cannot be un-merged; keep the whole-run max (documented).
+          d.hist.buckets.clear();
+          std::size_t bi = 0;
+          for (const auto& [idx, n] : a.hist.buckets) {
+            while (bi < b->hist.buckets.size() &&
+                   b->hist.buckets[bi].first < idx)
+              ++bi;
+            std::uint64_t prev = 0;
+            if (bi < b->hist.buckets.size() && b->hist.buckets[bi].first == idx)
+              prev = b->hist.buckets[bi].second;
+            if (n > prev) d.hist.buckets.emplace_back(idx, n - prev);
+          }
+          break;
+        }
+      }
+    }
+    // Drop zero-valued counter/histogram deltas: a per-run snapshot should
+    // list what the run did, not every metric the process ever registered.
+    const bool dead = (d.kind == Kind::kCounter && d.value == 0) ||
+                      (d.kind == Kind::kHistogram && d.hist.count == 0);
+    if (!dead) out.metrics.push_back(std::move(d));
+  }
+  return out;
+}
+
+struct Registry::Impl {
+  struct Entry {
+    Kind kind;
+    Det det;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu;
+  std::map<std::string, Entry> entries;  // std::map: snapshot() is name-sorted
+
+  Entry& get(const std::string& name, Kind kind, Det det) {
+    auto [it, inserted] = entries.try_emplace(name);
+    Entry& e = it->second;
+    if (inserted) {
+      e.kind = kind;
+      e.det = det;
+      switch (kind) {
+        case Kind::kCounter: e.counter.reset(new Counter()); break;
+        case Kind::kGauge: e.gauge.reset(new Gauge()); break;
+        case Kind::kHistogram: e.histogram.reset(new Histogram()); break;
+      }
+    } else if (e.kind != kind || e.det != det) {
+      // One name must never straddle the deterministic/timing partition or
+      // change shape — that would silently corrupt the strip-diff contract.
+      throw std::logic_error("obs: metric '" + name + "' re-registered as " +
+                             std::string(to_string(kind)) + "/" +
+                             to_string(det) + " (was " +
+                             to_string(e.kind) + "/" + to_string(e.det) + ")");
+    }
+    return e;
+  }
+};
+
+Registry::Registry() : impl_(new Impl()) {}
+Registry::~Registry() { delete impl_; }
+
+Registry& Registry::global() {
+  // Leaked singleton: worker threads and atexit-ordered exporters may bump
+  // counters after static destructors would have run.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+#ifndef KNOR_NO_OBS
+
+Counter& Registry::counter(const std::string& name, Det det) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return *impl_->get(name, Kind::kCounter, det).counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, Det det) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return *impl_->get(name, Kind::kGauge, det).gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name, Det det) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return *impl_->get(name, Kind::kHistogram, det).histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  Snapshot snap;
+  snap.metrics.reserve(impl_->entries.size());
+  for (const auto& [name, e] : impl_->entries) {
+    Metric m;
+    m.name = name;
+    m.kind = e.kind;
+    m.det = e.det;
+    switch (e.kind) {
+      case Kind::kCounter:
+        m.value = static_cast<std::int64_t>(e.counter->value());
+        break;
+      case Kind::kGauge:
+        m.value = e.gauge->value();
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        m.hist.count = h.count();
+        m.hist.sum = h.sum();
+        m.hist.max = h.max();
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          const std::uint64_t n = h.bucket_count(b);
+          if (n > 0)
+            m.hist.buckets.emplace_back(static_cast<std::uint16_t>(b), n);
+        }
+        break;
+      }
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  return snap;
+}
+
+#else  // KNOR_NO_OBS: registration hands out shared no-op instances.
+
+Counter& Registry::counter(const std::string&, Det) {
+  static Counter dummy;
+  return dummy;
+}
+
+Gauge& Registry::gauge(const std::string&, Det) {
+  static Gauge dummy;
+  return dummy;
+}
+
+Histogram& Registry::histogram(const std::string&, Det) {
+  static Histogram dummy;
+  return dummy;
+}
+
+Snapshot Registry::snapshot() const { return Snapshot{}; }
+
+#endif  // KNOR_NO_OBS
+
+}  // namespace knor::obs

@@ -1,0 +1,262 @@
+// Unified observability layer — process-wide metric registry (DESIGN.md §10).
+//
+// The paper's evaluation is one long exercise in attributing time and I/O
+// (per-iteration makespan, pruning-clause effectiveness, SEM bytes read,
+// NUMA locality); before this layer those counters lived in ad-hoc structs
+// scattered across the scheduler, SEM caches, the stream subsystem and
+// Result::counters. obs::Registry is the single place they all land — the
+// ClickHouse ProfileEvents discipline: named process-wide counters, cheap
+// to bump anywhere, queryable and exportable per run.
+//
+// Three metric kinds:
+//   * Counter   — monotonic u64, sharded over kShards cache-line-padded
+//                 cells (relaxed atomics; a bump never contends with other
+//                 threads' bumps). value() sums the cells — integer adds
+//                 commute, so the total is independent of which thread
+//                 landed in which shard.
+//   * Gauge     — a point-in-time i64 (memory footprints, depths).
+//   * Histogram — log-bucketed u64 samples (4 sub-buckets per power of
+//                 two, <= 25% relative bucket width) with p50/p95/p99
+//                 extraction. Latency samples are recorded in microseconds
+//                 by convention (".._us" names).
+//
+// Determinism taxonomy (the repo-wide stat/timing split of DESIGN.md §6,
+// applied per metric): every metric is declared at registration as either
+//   * kDeterministic — a pure function of (inputs, Options): distance
+//     computations, pruning-clause skips, demand-side I/O bytes, row-cache
+//     hits, rows/batches ingested, kernel dispatch counts, collective
+//     message/byte counts; or
+//   * kTiming — wall-clock durations and anything that races on the thread
+//     schedule: steal attribution, page-cache hits/misses (concurrent
+//     workers race to fault the same page), supply-side bytes read, memory
+//     peaks, every histogram of latencies.
+// Snapshot::to_json() splits the two into separate top-level objects so CI
+// can strip the "timing" object and diff the deterministic half bit-for-bit
+// across runs, exactly as knor_bench --strip does for suite stats.
+//
+// Compile-out: configuring with -DKNOR_OBS=OFF defines KNOR_NO_OBS and
+// turns every bump into an inline no-op (registration returns dummies,
+// snapshots are empty) — the overhead-guard CI job pins the on-vs-off
+// delta on the kernel microbenches.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace knor::obs {
+
+/// Determinism class, fixed at registration (see the header comment).
+enum class Det { kDeterministic, kTiming };
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+const char* to_string(Det det);
+const char* to_string(Kind kind);
+
+/// Monotonic counter, sharded to keep concurrent bumps off each other's
+/// cache lines. Handles are obtained from a Registry and stay valid for the
+/// registry's lifetime; hot paths hoist the reference out of loops.
+class Counter {
+ public:
+  static constexpr int kShards = 16;
+
+  void add(std::uint64_t v) {
+#ifndef KNOR_NO_OBS
+    cells_[shard()].v.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void inc() { add(1); }
+
+  /// Sum over shards. Exact once writers are quiescent; a mid-run read is
+  /// a consistent-enough lower bound (relaxed, never torn per-cell).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  Counter(const Counter&) = delete;
+  Counter& operator=(const Counter&) = delete;
+
+  /// Calling thread's shard: a small sequential id assigned on first use,
+  /// wrapped to kShards. Which shard a thread lands in never changes the
+  /// sum (integer adds commute).
+  static int shard();
+
+  struct alignas(kCacheLine) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kShards> cells_;
+};
+
+/// Point-in-time signed value (set/add). Single atomic — gauges are
+/// updated at phase boundaries, not in hot loops.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+#ifndef KNOR_NO_OBS
+    v_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  void add(std::int64_t v) {
+#ifndef KNOR_NO_OBS
+    v_.fetch_add(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  Gauge() = default;
+  Gauge(const Gauge&) = delete;
+  Gauge& operator=(const Gauge&) = delete;
+
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Log-bucketed histogram of non-negative u64 samples.
+///
+/// Bucket layout (kSubBits = 2 -> 4 sub-buckets per octave): values
+/// 0..3 get exact buckets 0..3; a larger v with msb m lands in bucket
+/// ((m - 1) << 2) + ((v >> (m - 2)) & 3), so every bucket spans at most
+/// [lo, 1.25*lo). The layout is a pure function of the value — identical
+/// across threads and runs — and bucket counts are relaxed atomic adds, so
+/// merged counts are schedule-independent.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 2;
+  static constexpr int kSub = 1 << kSubBits;
+  /// Buckets 0..kSub-1 are exact small values; 62 octaves of kSub above.
+  static constexpr int kBuckets = ((63 - kSubBits) << kSubBits) + kSub + kSub;
+
+  void record(std::uint64_t v) {
+#ifndef KNOR_NO_OBS
+    buckets_[static_cast<std::size_t>(bucket_of(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    std::uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (prev < v &&
+           !max_.compare_exchange_weak(prev, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(int b) const {
+    return buckets_[static_cast<std::size_t>(b)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// Bucket index of `v` (pure function; tested against a sorted-vector
+  /// oracle in tests/obs_test.cpp).
+  static int bucket_of(std::uint64_t v);
+  /// Smallest value mapping to bucket `b`.
+  static std::uint64_t bucket_lo(int b);
+  /// Largest value mapping to bucket `b` (inclusive).
+  static std::uint64_t bucket_hi(int b);
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+};
+
+/// Point-in-time histogram contents inside a Snapshot. Buckets are sparse
+/// (index, count) pairs in ascending index order.
+struct HistogramData {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+  std::vector<std::pair<std::uint16_t, std::uint64_t>> buckets;
+
+  /// Quantile estimate (q in [0,1]): the midpoint of the bucket holding
+  /// the rank-ceil(q*count) sample. Within 25% of the true sample value by
+  /// the bucket-width bound; exact for values < 4. NaN when empty.
+  double quantile(double q) const;
+};
+
+/// One metric's value at snapshot time.
+struct Metric {
+  std::string name;
+  Kind kind = Kind::kCounter;
+  Det det = Det::kDeterministic;
+  std::int64_t value = 0;  ///< counter (>=0) or gauge
+  HistogramData hist;      ///< kHistogram only
+};
+
+/// Point-in-time copy of a registry, sorted by metric name (deterministic
+/// serialization order). Attached per run to Result::metrics so callers and
+/// tests can assert on cache/pruning counters without reaching into
+/// process globals.
+struct Snapshot {
+  std::vector<Metric> metrics;
+
+  const Metric* find(const std::string& name) const;
+  /// Counter/gauge value by name; `dflt` when absent or a histogram.
+  std::int64_t value_or(const std::string& name, std::int64_t dflt) const;
+  bool empty() const { return metrics.empty(); }
+
+  /// Serialize as the knor-metrics JSON document: two top-level objects,
+  /// "deterministic" and "timing", each mapping metric name -> value
+  /// (counters/gauges as integers, histograms as {count, sum, max, p50,
+  /// p95, p99, buckets}). Stripping "timing" canonicalizes the document
+  /// for determinism diffs (knor_bench --strip does exactly that).
+  std::string to_json(int indent = 2) const;
+};
+
+/// The per-run delta: counters and histograms subtract (bucket-wise),
+/// gauges take `after`'s value. Metrics absent from `before` pass through.
+Snapshot diff(const Snapshot& before, const Snapshot& after);
+
+/// Named-metric registry. Registration is idempotent (same name returns
+/// the same handle; the first registration fixes kind and determinism
+/// class — a mismatched re-registration throws, so one name can never
+/// straddle the deterministic/timing partition).
+class Registry {
+ public:
+  /// The process-wide registry every subsystem publishes into.
+  static Registry& global();
+
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, Det det);
+  Gauge& gauge(const std::string& name, Det det);
+  Histogram& histogram(const std::string& name, Det det);
+
+  /// Point-in-time copy of every registered metric, sorted by name.
+  Snapshot snapshot() const;
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace knor::obs

@@ -1,0 +1,87 @@
+// Phase-span tracing (DESIGN.md §10). An obs::Span marks one nested engine
+// phase — init, assign, fold, update, io_wait, allreduce — on the calling
+// thread:
+//
+//   { obs::Span span("assign"); ... }   // RAII: duration on scope exit
+//
+// Every span records its duration (µs) into the timing histogram
+// "phase.<name>" in the global registry, so --metrics always carries
+// per-phase duration stats. When tracing is enabled (--trace /
+// KNOR_TRACE), the span additionally appends a complete event to the
+// global Tracer, which serializes as Chrome trace-event-format JSON —
+// load the file in chrome://tracing or https://ui.perfetto.dev to see the
+// per-thread phase timeline.
+//
+// Spans nest (thread-local depth); trace events therefore form a
+// well-formed forest per thread — tested in tests/obs_test.cpp. Span names
+// must be string literals (stored by pointer, never copied).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace knor::obs {
+
+/// Process-wide collector of completed span events. Buffers are
+/// per-thread (appends are lock-free after first use); serialization
+/// merges and time-sorts them.
+class Tracer {
+ public:
+  struct Event {
+    const char* name;
+    int tid;               ///< sequential thread id (registration order)
+    std::uint64_t ts_us;   ///< start, µs since tracing was enabled
+    std::uint64_t dur_us;  ///< duration, µs
+  };
+
+  static Tracer& global();
+
+  /// Start capturing (idempotent). Records the trace epoch; spans that
+  /// close while enabled are kept.
+  void enable();
+  bool enabled() const;
+
+  /// Append a completed event for the calling thread. No-op when
+  /// disabled.
+  void record(const char* name, std::uint64_t ts_us, std::uint64_t dur_us);
+
+  /// Merge every thread's buffer and serialize as Chrome trace-event
+  /// format: {"traceEvents": [{"name","cat","ph":"X","pid","tid","ts",
+  /// "dur"}, ...]}. Events are sorted by (ts, tid, name) so the document
+  /// is stable for a given set of events.
+  std::string to_chrome_json() const;
+
+  /// Completed-event count across all threads (tests).
+  std::size_t event_count() const;
+
+  /// µs since the trace epoch (process start until enable() rebases it).
+  static std::uint64_t now_us();
+
+ private:
+  Tracer();
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII phase span. Cheap when tracing is off: one clock read at open and
+/// one at close, plus the "phase.<name>" histogram record.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Current nesting depth on the calling thread (0 outside any span).
+  static int depth();
+
+ private:
+  const char* name_;
+  std::uint64_t t0_us_;
+};
+
+}  // namespace knor::obs

@@ -1,0 +1,154 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace knor::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point& epoch() {
+  static Clock::time_point t0 = Clock::now();
+  return t0;
+}
+
+}  // namespace
+
+struct Tracer::Impl {
+  std::atomic<bool> enabled{false};
+  mutable std::mutex mu;  // guards buffers registration + serialization
+  // Owned per-thread buffers; thread-local raw pointers index into these.
+  std::vector<std::unique_ptr<std::vector<Event>>> buffers;
+  std::atomic<int> next_tid{0};
+
+  struct ThreadSlot {
+    std::vector<Event>* buf = nullptr;
+    int tid = -1;
+  };
+
+  ThreadSlot& slot() {
+    thread_local ThreadSlot tls;
+    if (tls.buf == nullptr) {
+      std::lock_guard<std::mutex> lock(mu);
+      buffers.emplace_back(new std::vector<Event>());
+      tls.buf = buffers.back().get();
+      tls.tid = next_tid.fetch_add(1, std::memory_order_relaxed);
+    }
+    return tls;
+  }
+};
+
+Tracer::Tracer() : impl_(new Impl()) {}
+Tracer::~Tracer() { delete impl_; }
+
+Tracer& Tracer::global() {
+  // Leaked, like Registry::global(): spans on detached worker threads may
+  // close during static destruction.
+  static Tracer* g = new Tracer();
+  return *g;
+}
+
+std::uint64_t Tracer::now_us() {
+#ifndef KNOR_NO_OBS
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            epoch())
+          .count());
+#else
+  return 0;
+#endif
+}
+
+void Tracer::enable() {
+#ifndef KNOR_NO_OBS
+  if (!impl_->enabled.exchange(true, std::memory_order_acq_rel))
+    epoch() = Clock::now();  // rebase: trace timestamps start near 0
+#endif
+}
+
+bool Tracer::enabled() const {
+  return impl_->enabled.load(std::memory_order_acquire);
+}
+
+void Tracer::record(const char* name, std::uint64_t ts_us,
+                    std::uint64_t dur_us) {
+#ifndef KNOR_NO_OBS
+  if (!enabled()) return;
+  Impl::ThreadSlot& s = impl_->slot();
+  s.buf->push_back(Event{name, s.tid, ts_us, dur_us});
+#else
+  (void)name;
+  (void)ts_us;
+  (void)dur_us;
+#endif
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  std::size_t n = 0;
+  for (const auto& buf : impl_->buffers) n += buf->size();
+  return n;
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    for (const auto& buf : impl_->buffers)
+      events.insert(events.end(), buf->begin(), buf->end());
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return std::strcmp(a.name, b.name) < 0;
+  });
+
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"name\": \"";
+    out += e.name;  // span names are identifier-like literals, no escaping
+    out += "\", \"cat\": \"knor\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(e.tid) + ", \"ts\": " + std::to_string(e.ts_us) +
+           ", \"dur\": " + std::to_string(e.dur_us) + "}";
+  }
+  out += events.empty() ? "]}\n" : "\n]}\n";
+  return out;
+}
+
+namespace {
+
+thread_local int g_span_depth = 0;
+
+}  // namespace
+
+Span::Span(const char* name) : name_(name), t0_us_(Tracer::now_us()) {
+#ifndef KNOR_NO_OBS
+  ++g_span_depth;
+#endif
+}
+
+Span::~Span() {
+#ifndef KNOR_NO_OBS
+  --g_span_depth;
+  const std::uint64_t dur = Tracer::now_us() - t0_us_;
+  Registry::global()
+      .histogram(std::string("phase.") + name_, Det::kTiming)
+      .record(dur);
+  Tracer::global().record(name_, t0_us_, dur);
+#endif
+}
+
+int Span::depth() { return g_span_depth; }
+
+}  // namespace knor::obs

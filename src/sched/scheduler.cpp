@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "numa/thread_bind.hpp"
+#include "obs/registry.hpp"
 
 namespace knor::sched {
 
@@ -152,6 +153,11 @@ void Scheduler::begin_chunks(index_t n, index_t task_size,
         static_cast<std::uint32_t>(c));
   }
   for (auto& q : queues_) q->fill_done();
+  // Chunk-grid size is a pure function of (n, task_size) — deterministic,
+  // unlike the per-thread acquisition stats which follow the schedule.
+  obs::Registry::global()
+      .counter("sched.chunks", obs::Det::kDeterministic)
+      .add(static_cast<std::uint64_t>(chunks));
 }
 
 void Scheduler::make_task(std::uint32_t chunk, int thread, Task& out) {

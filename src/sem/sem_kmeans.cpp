@@ -14,6 +14,8 @@
 #include "core/mti.hpp"
 #include "numa/partitioner.hpp"
 #include "core/chunk_accum.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sched/scheduler.hpp"
 #include "sem/checkpoint.hpp"
 #include "sem/io_engine.hpp"
@@ -91,6 +93,13 @@ DenseMatrix sem_init_centroids(PageFile& file, IoEngine& engine,
 Result kmeans(const std::string& path, const Options& opts,
               const SemOptions& sem_opts, SemStats* stats) {
   kernels::set_isa(opts.simd);
+  // Per-run registry slice (DESIGN.md §10), diffed around the whole run.
+  obs::Registry& reg = obs::Registry::global();
+  const obs::Snapshot obs_before = reg.snapshot();
+  // Demand-side I/O wait as seen by one worker: each blocking fetch_rows
+  // call is one sample. Timing-class, like every latency.
+  obs::Histogram& io_wait_us =
+      reg.histogram("sem.io_wait_us", obs::Det::kTiming);
   const kernels::Ops& K = kernels::ops();
   // MTI bookkeeping below is in TRUE distances (kernels return squared).
   const auto edist = [&K](const value_t* a, const value_t* b, index_t dim) {
@@ -312,7 +321,11 @@ Result kmeans(const std::string& path, const Options& opts,
         take_batch(fetch_next);
         IoEngine::Ticket ticket;
         if (!fetch_next.empty()) ticket = engine.prefetch(fetch_next);
-        engine.fetch_rows(fetch_now, buf_now.data());
+        {
+          const std::uint64_t t0 = obs::Tracer::now_us();
+          engine.fetch_rows(fetch_now, buf_now.data());
+          io_wait_us.record(obs::Tracer::now_us() - t0);
+        }
         for (std::size_t i = 0; i < fetch_now.size(); ++i) {
           const index_t r = fetch_now[i];
           const value_t* v = buf_now.row(static_cast<index_t>(i));
@@ -333,8 +346,12 @@ Result kmeans(const std::string& path, const Options& opts,
                                  RowCache::Mode::kRefresh;
     sched.begin_chunks(n, task_size, &parts);
     const std::uint64_t rc_hits_before = row_cache.hits();
-    sched.run(worker);
+    {
+      obs::Span span_assign("assign");
+      sched.run(worker);
+    }
     if (refresh_mode) row_cache.publish();
+    obs::Span span_update("update");
 
     // Apply the dirty chunk deltas to the persistent sums in ascending
     // chunk order (fixed, thread-count-independent association), then
@@ -406,33 +423,63 @@ Result kmeans(const std::string& path, const Options& opts,
   // Exact final energy: stream every row once (not counted in iteration
   // I/O statistics). Per-chunk partial energies summed in chunk order keep
   // the FP result thread-count independent like the centroid reduction.
-  std::vector<double> chunk_energy(chunks, 0.0);
-  sched.begin_chunks(n, task_size, &parts);
-  sched.run([&](int tid) {
-    DenseMatrix buf(batch_rows, d);
-    std::vector<index_t> batch;
-    sched::Task task;
-    while (sched.next_chunk(tid, task)) {
-      double e = 0.0;
-      for (index_t begin = task.begin; begin < task.end;
-           begin += batch_rows) {
-        const index_t end = std::min(task.end, begin + batch_rows);
-        batch.clear();
-        for (index_t r = begin; r < end; ++r) batch.push_back(r);
-        engine.fetch_rows(batch, buf.data());
-        for (index_t r = begin; r < end; ++r)
-          e += K.dist_sq(buf.row(r - begin), cur.row(res.assignments[r]),
-                         d);
+  {
+    obs::Span span_energy("energy");
+    std::vector<double> chunk_energy(chunks, 0.0);
+    sched.begin_chunks(n, task_size, &parts);
+    sched.run([&](int tid) {
+      DenseMatrix buf(batch_rows, d);
+      std::vector<index_t> batch;
+      sched::Task task;
+      while (sched.next_chunk(tid, task)) {
+        double e = 0.0;
+        for (index_t begin = task.begin; begin < task.end;
+             begin += batch_rows) {
+          const index_t end = std::min(task.end, begin + batch_rows);
+          batch.clear();
+          for (index_t r = begin; r < end; ++r) batch.push_back(r);
+          engine.fetch_rows(batch, buf.data());
+          for (index_t r = begin; r < end; ++r)
+            e += K.dist_sq(buf.row(r - begin), cur.row(res.assignments[r]),
+                           d);
+        }
+        chunk_energy[task.chunk] = e;
       }
-      chunk_energy[task.chunk] = e;
-    }
-  });
-  for (const double e : chunk_energy) res.energy += e;
+    });
+    for (const double e : chunk_energy) res.energy += e;
+  }
 
   for (const auto& pt : per_thread) res.counters += pt.counters;
   res.counters.tasks_own = steals.own;
   res.counters.tasks_same_node = steals.same_node;
   res.counters.tasks_remote_node = steals.remote_node;
+
+  // Publish the run's SEM counters (classification per the SemStats
+  // contract in sem_kmeans.hpp): demand-side request volume, row-cache
+  // hits and clause-1 active-row counts are pure functions of
+  // (data, opts); supply-side page traffic races on which worker faults a
+  // shared page first, so page-cache hits/misses, device bytes and request
+  // counts are timing-class.
+  using obs::Det;
+  std::uint64_t active_rows = 0;
+  for (const auto& pt : per_thread) active_rows += pt.active;
+  reg.counter("sem.bytes_requested", Det::kDeterministic)
+      .add(engine.bytes_requested());
+  reg.counter("sem.active_rows", Det::kDeterministic).add(active_rows);
+  reg.counter("sem.row_cache_hits", Det::kDeterministic)
+      .add(row_cache.hits());
+  reg.counter("sem.bytes_read", Det::kTiming).add(file.bytes_read());
+  reg.counter("sem.device_requests", Det::kTiming)
+      .add(file.read_requests());
+  reg.counter("sem.page_cache_hits", Det::kTiming).add(page_cache.hits());
+  reg.counter("sem.page_cache_misses", Det::kTiming)
+      .add(page_cache.misses());
+  reg.counter("sched.tasks_own", Det::kTiming).add(steals.own);
+  reg.counter("sched.tasks_same_node", Det::kTiming).add(steals.same_node);
+  reg.counter("sched.tasks_remote_node", Det::kTiming)
+      .add(steals.remote_node);
+  res.metrics = obs::diff(obs_before, reg.snapshot());
+
   res.centroids = std::move(cur);
   return res;
 }

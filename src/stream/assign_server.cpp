@@ -12,6 +12,8 @@
 #include "core/kernels/simd.hpp"
 #include "data/matrix_io.hpp"
 #include "numa/topology.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sem/page_file.hpp"
 #include "sched/scheduler.hpp"
 
@@ -226,6 +228,16 @@ AssignStats AssignServer::assign_file(const std::string& path,
     cv_full.notify_one();
   });
 
+  // Serving metrics (DESIGN.md §10; the substrate for the SLO stats of
+  // ROADMAP item 1): per-batch service latency as a p50/p99-extractable
+  // histogram, plus the row/batch/byte totals. Rows, batches and the
+  // matrix_io byte count replay deterministically; latency and the ring
+  // stall/wait splits are wall-clock.
+  using obs::Det;
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& batch_us =
+      reg.histogram("stream.assign.batch_us", Det::kTiming);
+
   const WallTimer wall;
   std::vector<cluster_t> assignments(static_cast<std::size_t>(
       std::min<index_t>(n, batch_rows)));
@@ -240,7 +252,12 @@ AssignStats AssignServer::assign_file(const std::string& path,
       }
       BatchSlot& slot = slots[consumed % S];
       const index_t rows = slot.view.rows();
-      impl_->assign(slot.view, assignments.data(), nullptr);
+      {
+        obs::Span span_assign("assign");
+        const std::uint64_t t0 = obs::Tracer::now_us();
+        impl_->assign(slot.view, assignments.data(), nullptr);
+        batch_us.record(obs::Tracer::now_us() - t0);
+      }
       stats.rows += rows;
       if (sink) sink(slot.first_row, assignments.data(), rows);
       {
@@ -266,6 +283,18 @@ AssignStats AssignServer::assign_file(const std::string& path,
       pf != nullptr
           ? pf->bytes_read()
           : static_cast<std::uint64_t>(stats.rows) * d * sizeof(value_t);
+
+  reg.counter("stream.assign.rows", Det::kDeterministic).add(stats.rows);
+  reg.counter("stream.assign.batches", Det::kDeterministic)
+      .add(stats.batches);
+  // Page-sourced reads include row/page misalignment slack — still a pure
+  // function of (file, page_size, batch_rows), so deterministic.
+  reg.counter("stream.assign.bytes_read", Det::kDeterministic)
+      .add(stats.bytes_read);
+  reg.counter("stream.assign.compute_wait_us", Det::kTiming)
+      .add(static_cast<std::uint64_t>(stats.compute_wait_s * 1e6));
+  reg.counter("stream.assign.io_stall_us", Det::kTiming)
+      .add(static_cast<std::uint64_t>(stats.io_stall_s * 1e6));
   return stats;
 }
 

@@ -10,6 +10,8 @@
 #include "core/local_centroids.hpp"
 #include "data/matrix_io.hpp"
 #include "numa/topology.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sched/scheduler.hpp"
 
 namespace knor::stream {
@@ -107,6 +109,15 @@ void StreamEngine::seed_from_buffer() {
 
 void StreamEngine::apply_batch(ConstMatrixView batch) {
   WallTimer timer;
+  // Batch/row throughput is deterministic (replaying a stream ingests the
+  // same rows in the same batches); the phase spans below are timing.
+  {
+    using obs::Det;
+    obs::Registry& reg = obs::Registry::global();
+    reg.counter("stream.batches", Det::kDeterministic).inc();
+    reg.counter("stream.rows", Det::kDeterministic)
+        .add(static_cast<std::uint64_t>(batch.rows()));
+  }
   const index_t m = batch.rows();
   const int k = opts_.k;
   const int T = impl_->threads;
@@ -128,27 +139,31 @@ void StreamEngine::apply_batch(ConstMatrixView batch) {
   std::vector<double>& chunk_sse = impl_->chunk_sse;
   auto& sched = impl_->sched;
   sched.begin_chunks(m, task_size, nullptr);
-  sched.run([&](int tid) {
-    sched::Task task;
-    while (sched.next_chunk(tid, task)) {
-      LocalCentroids& acc = accum.touch(task.chunk);
-      double sse = 0.0;
-      for (index_t r = task.begin; r < task.end; ++r) {
-        const value_t* row = batch.row(r);
-        value_t best_sq = 0;
-        const cluster_t best = K.nearest_blocked(row, impl_->pack, &best_sq);
-        acc.add(best, row);
-        sse += static_cast<double>(best_sq);
+  {
+    obs::Span span_assign("assign");
+    sched.run([&](int tid) {
+      sched::Task task;
+      while (sched.next_chunk(tid, task)) {
+        LocalCentroids& acc = accum.touch(task.chunk);
+        double sse = 0.0;
+        for (index_t r = task.begin; r < task.end; ++r) {
+          const value_t* row = batch.row(r);
+          value_t best_sq = 0;
+          const cluster_t best = K.nearest_blocked(row, impl_->pack, &best_sq);
+          acc.add(best, row);
+          sse += static_cast<double>(best_sq);
+        }
+        chunk_sse[task.chunk] = sse;
       }
-      chunk_sse[task.chunk] = sse;
-    }
-    // One barrier, then the fixed-tree fold into slot 0 (DESIGN.md §7).
-    sched.barrier().arrive_and_wait();
-    accum.fold(tid, T, sched.barrier());
-  });
+      // One barrier, then the fixed-tree fold into slot 0 (DESIGN.md §7).
+      sched.barrier().arrive_and_wait();
+      accum.fold(tid, T, sched.barrier());
+    });
+  }
 
   // Decayed update, applied sequentially in cluster order: a pure function
   // of (previous state, merged batch accumulator) — no thread dependence.
+  obs::Span span_update("update");
   const LocalCentroids& merged = accum.merged();
   const double decay = sopts_.decay;
   for (int c = 0; c < k; ++c) {

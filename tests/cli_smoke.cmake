@@ -136,4 +136,67 @@ reject_step(stream_bad_simd ${KNOR_STREAM} ingest --data ${DATA} --k 4
 reject_step(stream_snapshot_every_without_path ${KNOR_STREAM} ingest
             --data ${DATA} --k 4 --snapshot-every 2)
 
+# Observability exports (DESIGN.md §10): --metrics / --trace must produce
+# valid JSON, and the "deterministic" half of a metrics document must be
+# bit-identical across two runs at the same thread count. knor_bench
+# --strip both validates the JSON (it parses strictly) and canonicalizes
+# it by deleting the "timing" object.
+function(strip_to out in)
+  execute_process(COMMAND ${KNOR_BENCH} --strip ${in}
+                  OUTPUT_FILE ${out} RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cli_smoke: --strip ${in} failed:\n${err}")
+  endif()
+endfunction()
+
+run_step(metrics_run1 ${KNOR_CLI} cluster --data ${DATA} --mode im --k 4
+         --iters 10 --threads 4 --metrics ${WORK_DIR}/m1.json
+         --trace ${WORK_DIR}/t1.json)
+run_step(metrics_run2 ${KNOR_CLI} cluster --data ${DATA} --mode im --k 4
+         --iters 10 --threads 4 --metrics ${WORK_DIR}/m2.json)
+foreach(f m1.json t1.json m2.json)
+  if(NOT EXISTS ${WORK_DIR}/${f})
+    message(FATAL_ERROR "cli_smoke: expected export ${f} was not written")
+  endif()
+endforeach()
+strip_to(${WORK_DIR}/m1.stripped ${WORK_DIR}/m1.json)
+strip_to(${WORK_DIR}/m2.stripped ${WORK_DIR}/m2.json)
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                ${WORK_DIR}/m1.stripped ${WORK_DIR}/m2.stripped
+                RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR
+          "cli_smoke: deterministic metrics differ across two identical "
+          "runs (strip-diff)")
+endif()
+message(STATUS "cli_smoke metrics_strip_diff: ok")
+
+# The env-var spelling (KNOR_METRICS / KNOR_TRACE) is equivalent to the
+# flags; SEM and stream-assign exports carry their subsystem's metrics.
+run_step(metrics_env ${CMAKE_COMMAND} -E env
+         KNOR_METRICS=${WORK_DIR}/menv.json ${KNOR_CLI} cluster
+         --data ${DATA} --mode sem --k 4 --iters 5 --threads 2
+         --page-kb 4 --row-cache-mb 1)
+if(NOT EXISTS ${WORK_DIR}/menv.json)
+  message(FATAL_ERROR "cli_smoke: KNOR_METRICS export was not written")
+endif()
+run_step(stream_assign_metrics ${KNOR_STREAM} assign --snapshot ${SNAP}
+         --queries ${DATA} --batch-rows 256 --threads 2
+         --metrics ${WORK_DIR}/assign_metrics.json)
+strip_to(${WORK_DIR}/assign_metrics.stripped ${WORK_DIR}/assign_metrics.json)
+# An unwritable export path must fail the command, never print success
+# over a missing file.
+reject_step(bad_metrics_path ${KNOR_CLI} cluster --data ${DATA} --mode im
+            --k 2 --iters 2 --metrics ${WORK_DIR}/no_such_dir/m.json)
+
+# KNOR_LOG / KNOR_LOG_FORMAT are strictly parsed, like KNOR_SIMD above.
+reject_step(bad_log_env ${CMAKE_COMMAND} -E env KNOR_LOG=verbose
+            ${KNOR_CLI} info ${DATA})
+reject_step(bad_log_format_env ${CMAKE_COMMAND} -E env KNOR_LOG_FORMAT=fancy
+            ${KNOR_CLI} info ${DATA})
+reject_step(stream_bad_log_env ${CMAKE_COMMAND} -E env KNOR_LOG=verbose
+            ${KNOR_STREAM} snapshot ${SNAP})
+run_step(good_log_env ${CMAKE_COMMAND} -E env KNOR_LOG=debug
+         KNOR_LOG_FORMAT=full ${KNOR_CLI} info ${DATA})
+
 file(REMOVE_RECURSE ${WORK_DIR})

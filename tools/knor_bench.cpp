@@ -18,8 +18,10 @@
 #include <string>
 #include <vector>
 
+#include "common/logger.hpp"
 #include "harness/harness.hpp"
 #include "harness/report.hpp"
+#include "obs/export.hpp"
 
 namespace {
 
@@ -32,7 +34,7 @@ using namespace knor::bench;
 usage:
   knor_bench [--suite NAME[,NAME...]] [--scale smoke|paper] [--factor F]
              [--repeats N] [--warmup N] [--out FILE] [--report FILE]
-             [--quiet]
+             [--metrics FILE] [--trace FILE] [--quiet]
   knor_bench --list
   knor_bench --strip FILE
 
@@ -45,8 +47,13 @@ options:
   --warmup N      discarded warmup runs per measurement
   --out FILE      write BENCH_results.json (schema: DESIGN.md §6)
   --report FILE   write the RESULTS.md markdown report
+  --metrics FILE  write the process metric registry as JSON after all
+                  suites ran (env KNOR_METRICS; DESIGN.md §10)
+  --trace FILE    write a Chrome trace-event JSON of engine phases
+                  (env KNOR_TRACE)
   --list          print registered suites and exit
-  --strip FILE    print FILE with timing fields removed (determinism diffs)
+  --strip FILE    print FILE with timing fields removed (determinism diffs;
+                  also strips the "timing" half of a --metrics export)
   --quiet         suppress per-suite progress on stderr
 )");
   std::exit(error != nullptr ? 2 : 0);
@@ -127,7 +134,16 @@ std::vector<std::string> split_csv(const std::string& csv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Strict env validation up front: a typo'd KNOR_LOG/KNOR_LOG_FORMAT
+  // exits nonzero here instead of terminating inside a lazy static init.
+  try {
+    knor::log_init_from_env();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::string suites_csv, out_path, report_path;
+  std::string metrics_path, trace_path;
   bool quiet = false;
   Scale scale = Scale::kPaper;
   double factor = 0;
@@ -160,9 +176,16 @@ int main(int argc, char** argv) {
     }
     else if (arg == "--out") out_path = next();
     else if (arg == "--report") report_path = next();
+    else if (arg == "--metrics") metrics_path = next();
+    else if (arg == "--trace") trace_path = next();
     else if (arg == "--quiet") quiet = true;
     else usage(("unknown argument " + arg).c_str());
   }
+
+  // Resolve before any suite runs: a --trace/KNOR_TRACE path enables the
+  // tracer (spans that close while it is disabled are dropped).
+  const knor::obs::ExportConfig exports =
+      knor::obs::export_config(metrics_path, trace_path);
 
   RunOptions opts = RunOptions::for_scale(scale);
   if (factor > 0) opts.scale_factor *= factor;
@@ -204,6 +227,13 @@ int main(int argc, char** argv) {
                    run.fingerprint.c_str());
     }
     runs.push_back(std::move(run));
+  }
+
+  try {
+    knor::obs::write_exports(exports);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
   if (!out_path.empty() &&

@@ -39,7 +39,14 @@ subcommands:
            kmeans++] [--no-prune] [--numa-oblivious] [--numa-nodes N]
           [--numa-bind on|off] [--sched numa|fifo|static] [--task-size N]
           [--simd auto|scalar|sse2|avx2|avx512] [--tolerance F]
+          [--metrics FILE] [--trace FILE]
       --threads T      worker threads (0 = one per hardware CPU)
+      --metrics FILE   write the run's metric registry as JSON (env
+                       KNOR_METRICS; deterministic/timing split,
+                       DESIGN.md §10)
+      --trace FILE     write a Chrome trace-event JSON of the engine
+                       phases (env KNOR_TRACE; open in chrome://tracing
+                       or Perfetto)
       --numa-bind      pin workers to their NUMA node's CPUs (default on)
       --sched          scheduling policy: numa = per-node work-stealing
                        deques, fifo = one flat shared queue, static = no
@@ -130,6 +137,14 @@ void print_result(const Result& res) {
 int cmd_cluster(const Args& args) {
   const std::string mode = args.str("mode", "im");
   Options opts = options_from(args);
+  // Resolve before the run: a --trace/KNOR_TRACE path enables the tracer
+  // (spans that close while it is disabled are dropped).
+  const obs::ExportConfig exports =
+      obs::export_config(args.str("metrics"), args.str("trace"));
+  const auto finish = [&](int rc) {
+    obs::write_exports(exports);
+    return rc;
+  };
 
   // Acquire data: a .kmat file, or generated in memory.
   const std::string path = args.str("data");
@@ -147,7 +162,7 @@ int cmd_cluster(const Args& args) {
 
   if (mode == "im") {
     print_result(kmeans(matrix.const_view(), opts));
-    return 0;
+    return finish(0);
   }
   if (mode == "sem") {
     sem::SemOptions sopts;
@@ -170,7 +185,7 @@ int cmd_cluster(const Args& args) {
     std::printf("io: requested %.1f MB, read %.1f MB over %zu iterations\n",
                 stats.total_requested() / 1e6, stats.total_read() / 1e6,
                 stats.per_iter.size());
-    return 0;
+    return finish(0);
   }
   if (mode == "dist") {
     dist::DistOptions dopts;
@@ -181,7 +196,7 @@ int cmd_cluster(const Args& args) {
     dopts.net.gigabytes_per_sec = args.real("net-gbps", 0);
     if (opts.init == Init::kRandom) opts.init = Init::kForgy;
     print_result(dist::kmeans(matrix.const_view(), opts, dopts));
-    return 0;
+    return finish(0);
   }
   usage(("unknown mode " + mode).c_str());
 }
@@ -192,6 +207,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage("missing subcommand");
   const std::string cmd = argv[1];
   try {
+    // Strict env validation up front: a typo'd KNOR_LOG/KNOR_LOG_FORMAT
+    // exits nonzero here instead of terminating inside a lazy static init.
+    knor::log_init_from_env();
     if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
     if (cmd == "generate") return cmd_generate(parse_args(argc, argv, 2));
     if (cmd == "info") {

@@ -34,6 +34,7 @@ subcommands:
          [--seed S] [--init forgy|random|kmeans++]
          [--threads T] [--numa-bind on|off] [--sched numa|fifo|static]
          [--task-size N] [--numa-nodes N] [--simd ISA]
+         [--metrics FILE] [--trace FILE]
       Stream FILE through a StreamEngine in --batch-rows chunks.
       --decay F          per-batch weight decay in (0,1]; 1 = running mean
                          over the whole stream (default 1)
@@ -47,6 +48,7 @@ subcommands:
   assign (--snapshot CKPT | --centroids FILE.kmat) --queries FILE
          [--out FILE] [--batch-rows N] [--source io|page] [--page-kb K]
          [--io-buffers N] [--threads T] [--simd ISA]
+         [--metrics FILE] [--trace FILE]
       Stream-assign every query row against the frozen centroids.
       --out FILE        raw little-endian u32 assignment per row, row order
       --source io|page  read whole rows (matrix_io) or page extents
@@ -56,6 +58,11 @@ subcommands:
 
   snapshot FILE
       Print a snapshot's shape (k, d, batches, rows per cluster).
+
+Both ingest and assign accept --metrics FILE (env KNOR_METRICS) for the
+run's metric-registry JSON — including the stream.assign.batch_us p50/p99
+latency histogram — and --trace FILE (env KNOR_TRACE) for a Chrome
+trace-event JSON of the engine phases (DESIGN.md §10).
 )");
   std::exit(error != nullptr ? 2 : 0);
 }
@@ -73,6 +80,8 @@ Args parse_args(int argc, char** argv, int first) {
 int cmd_ingest(const Args& args) {
   const std::string data = args.str("data");
   if (data.empty()) usage("ingest requires --data FILE");
+  const obs::ExportConfig exports =
+      obs::export_config(args.str("metrics"), args.str("trace"));
   const Options opts = tools::engine_options_from(args);
   stream::StreamOptions sopts;
   sopts.decay = args.real("decay", 1.0);
@@ -106,6 +115,7 @@ int cmd_ingest(const Args& args) {
     std::printf("snapshot -> %s (%" PRIu64 " auto-snapshots during run)\n",
                 sopts.snapshot_path.c_str(), st.snapshots);
   }
+  obs::write_exports(exports);
   return 0;
 }
 
@@ -118,6 +128,8 @@ int cmd_assign(const Args& args) {
     usage("assign requires exactly one of --snapshot CKPT / --centroids "
           "FILE.kmat");
 
+  const obs::ExportConfig exports =
+      obs::export_config(args.str("metrics"), args.str("trace"));
   Options opts = tools::engine_options_from(args);
   DenseMatrix centroids = ckpt_path.empty()
                               ? data::read_matrix(cent_path)
@@ -177,6 +189,7 @@ int cmd_assign(const Args& args) {
   std::printf("\n");
   if (!out_path.empty())
     std::printf("assignments -> %s\n", out_path.c_str());
+  obs::write_exports(exports);
   return 0;
 }
 
@@ -202,6 +215,9 @@ int main(int argc, char** argv) {
   if (argc < 2) usage("missing subcommand");
   const std::string cmd = argv[1];
   try {
+    // Strict env validation up front: a typo'd KNOR_LOG/KNOR_LOG_FORMAT
+    // exits nonzero here instead of terminating inside a lazy static init.
+    knor::log_init_from_env();
     if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
     if (cmd == "ingest") return cmd_ingest(parse_args(argc, argv, 2));
     if (cmd == "assign") return cmd_assign(parse_args(argc, argv, 2));
