@@ -13,6 +13,7 @@
 #include <string>
 #include <unistd.h>
 
+#include "core/init.hpp"
 #include "data/generator.hpp"
 #include "data/matrix_io.hpp"
 #include "harness/harness.hpp"
@@ -81,6 +82,29 @@ inline data::GeneratorSpec ru_proxy(const Context& ctx,
   spec.d = 64;
   spec.seed = 2100;
   return spec;
+}
+
+/// Frozen (centroids, query pool) pair for the serving suites: k centroids
+/// trained-by-init over a friendster32 proxy, plus the proxy itself as the
+/// query pool. One definition so serve_closed and serve_open measure the
+/// same model and workload.
+struct ServeWorkload {
+  DenseMatrix centroids;
+  DenseMatrix pool;
+};
+
+inline ServeWorkload serve_workload(Context& ctx, int k = 64,
+                                    index_t paper_n = 60000) {
+  data::GeneratorSpec spec = friendster32_proxy(ctx, paper_n);
+  ctx.dataset(spec);
+  ctx.config("k", k);
+  ServeWorkload w;
+  w.pool = data::generate(spec);
+  Options opts;
+  opts.k = k;
+  opts.seed = 1765;
+  w.centroids = init_centroids(w.pool.const_view(), opts);
+  return w;
 }
 
 /// Temp .kmat file for SEM suites, removed on destruction.

@@ -9,6 +9,8 @@
 //   knor::stream::StreamEngine           — streaming ingestion (unbounded)
 //   knor::stream::AssignServer           — assignment serving over frozen
 //                                          centroids
+//   knor::serve::QueryFrontEnd           — concurrent multi-client query
+//                                          front end (batching + top-m)
 //
 // Determinism (the contract every entry point shares): given the same
 // data, Options and seed, every module produces the same clustering —
@@ -44,5 +46,7 @@
 #include "obs/registry.hpp"             // IWYU pragma: export
 #include "obs/span.hpp"                 // IWYU pragma: export
 #include "sem/sem_kmeans.hpp"           // IWYU pragma: export
+#include "serve/front_end.hpp"          // IWYU pragma: export
+#include "serve/loadgen.hpp"            // IWYU pragma: export
 #include "stream/assign_server.hpp"     // IWYU pragma: export
 #include "stream/stream_engine.hpp"     // IWYU pragma: export

@@ -100,6 +100,14 @@ std::int64_t Snapshot::value_or(const std::string& name,
   return m->value;
 }
 
+double Snapshot::quantile_or(const std::string& name, double q,
+                             double dflt) const {
+  const Metric* m = find(name);
+  if (m == nullptr || m->kind != Kind::kHistogram || m->hist.count == 0)
+    return dflt;
+  return m->hist.quantile(q);
+}
+
 namespace {
 
 void append_escaped(std::string& out, const std::string& s) {

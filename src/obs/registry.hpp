@@ -219,6 +219,10 @@ struct Snapshot {
   const Metric* find(const std::string& name) const;
   /// Counter/gauge value by name; `dflt` when absent or a histogram.
   std::int64_t value_or(const std::string& name, std::int64_t dflt) const;
+  /// Histogram quantile by name (see HistogramData::quantile); `dflt` when
+  /// the metric is absent, not a histogram, or empty. The p50/p99 readout
+  /// the serving front end and its tests use.
+  double quantile_or(const std::string& name, double q, double dflt) const;
   bool empty() const { return metrics.empty(); }
 
   /// Serialize as the knor-metrics JSON document: two top-level objects,

@@ -1,0 +1,254 @@
+#include "serve/loadgen.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "common/prng.hpp"
+
+namespace knor::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secs_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+void validate(const DenseMatrix& pool, const LoadOptions& o) {
+  if (pool.empty()) throw std::invalid_argument("loadgen: empty query pool");
+  if (o.clients < 1) throw std::invalid_argument("loadgen: clients must be >= 1");
+  if (o.rows_per_request < 1)
+    throw std::invalid_argument("loadgen: rows_per_request must be >= 1");
+  if (o.topm_every < 0)
+    throw std::invalid_argument("loadgen: topm_every must be >= 0");
+  if (o.topm_every > 0 && o.m < 1)
+    throw std::invalid_argument("loadgen: m must be >= 1");
+  if (o.pipeline < 1)
+    throw std::invalid_argument("loadgen: pipeline must be >= 1");
+}
+
+/// Fill `out` (rows_per_request x d) with request i's rows: drawn from the
+/// pool by Prng(seed, i). Pure function of (pool, seed, i).
+void fill_request(const DenseMatrix& pool, const LoadOptions& o,
+                  std::uint64_t i, value_t* out) {
+  Prng g(o.seed, /*stream=*/i + 1);
+  const index_t d = pool.cols();
+  for (index_t r = 0; r < o.rows_per_request; ++r) {
+    const index_t src = g.next_below(pool.rows());
+    std::copy(pool.row(src), pool.row(src) + d,
+              out + static_cast<std::size_t>(r) * d);
+  }
+}
+
+bool is_topm(const LoadOptions& o, std::uint64_t i) {
+  return o.topm_every > 0 &&
+         i % static_cast<std::uint64_t>(o.topm_every) ==
+             static_cast<std::uint64_t>(o.topm_every) - 1;
+}
+
+struct ClientResult {
+  std::uint64_t completed = 0;
+  std::uint64_t shed = 0;
+  std::vector<double> latencies_s;
+};
+
+LoadStats merge(std::vector<ClientResult>& per_client,
+                const LoadOptions& o, double wall_s) {
+  LoadStats stats;
+  stats.requests = o.requests;
+  stats.rows = o.requests * o.rows_per_request;
+  stats.wall_s = wall_s;
+  for (auto& c : per_client) {
+    stats.completed += c.completed;
+    stats.shed += c.shed;
+    stats.latencies_s.insert(stats.latencies_s.end(), c.latencies_s.begin(),
+                             c.latencies_s.end());
+  }
+  std::sort(stats.latencies_s.begin(), stats.latencies_s.end());
+  return stats;
+}
+
+}  // namespace
+
+double LoadStats::latency_quantile(double q) const {
+  if (latencies_s.empty()) return 0;
+  const auto n = latencies_s.size();
+  auto rank = static_cast<std::size_t>(std::ceil(q * static_cast<double>(n)));
+  if (rank > 0) --rank;
+  return latencies_s[std::min(rank, n - 1)];
+}
+
+double LoadStats::completed_rows_per_sec() const {
+  // Every completed request carries rows_per_request rows (shed requests
+  // never compute), so completed rows = total rows minus shed rows.
+  if (wall_s <= 0 || requests == 0) return 0;
+  const double rows_per_request =
+      static_cast<double>(rows) / static_cast<double>(requests);
+  return static_cast<double>(completed) * rows_per_request / wall_s;
+}
+
+LoadStats run_closed_loop(QueryFrontEnd& fe, const DenseMatrix& pool,
+                          const LoadOptions& opts) {
+  validate(pool, opts);
+  const int C = opts.clients;
+  const index_t d = pool.cols();
+  std::vector<ClientResult> results(static_cast<std::size_t>(C));
+
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    clients.emplace_back([&, c] {
+      Session session(fe);
+      ClientResult& res = results[static_cast<std::size_t>(c)];
+      const int P = opts.direct ? 1 : opts.pipeline;
+      // One buffer per in-flight slot: submit() hands the front end a VIEW
+      // of the request rows, so a slot's buffer must stay untouched until
+      // its response has been drained.
+      struct Slot {
+        DenseMatrix buf;
+        std::future<Response> fut;
+        Clock::time_point t0;
+      };
+      std::vector<Slot> slots(static_cast<std::size_t>(P));
+      for (auto& s : slots) s.buf = DenseMatrix(opts.rows_per_request, d);
+      // Ring of in-flight slots, drained oldest-first (submission order).
+      std::size_t head = 0, inflight = 0;
+      const auto drain_one = [&] {
+        Slot& s = slots[head];
+        const Response resp = s.fut.get();
+        if (resp.shed) {
+          ++res.shed;
+        } else {
+          ++res.completed;
+          res.latencies_s.push_back(secs_between(s.t0, Clock::now()));
+        }
+        head = (head + 1) % static_cast<std::size_t>(P);
+        --inflight;
+      };
+      for (std::uint64_t i = static_cast<std::uint64_t>(c); i < opts.requests;
+           i += static_cast<std::uint64_t>(C)) {
+        if (inflight == static_cast<std::size_t>(P)) drain_one();
+        Slot& s = slots[(head + inflight) % static_cast<std::size_t>(P)];
+        fill_request(pool, opts, i, s.buf.data());
+        const ConstMatrixView view = s.buf.const_view();
+        s.t0 = Clock::now();
+        if (opts.direct) {
+          const Response resp = session.assign_now(view);
+          if (resp.shed) {
+            ++res.shed;
+          } else {
+            ++res.completed;
+            res.latencies_s.push_back(secs_between(s.t0, Clock::now()));
+          }
+        } else {
+          s.fut = is_topm(opts, i) ? session.submit_topm(view, opts.m)
+                                   : session.submit_assign(view);
+          ++inflight;
+        }
+      }
+      while (inflight > 0) drain_one();
+    });
+  }
+  for (auto& t : clients) t.join();
+  return merge(results, opts, secs_between(start, Clock::now()));
+}
+
+LoadStats run_open_loop(QueryFrontEnd& fe, const DenseMatrix& pool,
+                        const LoadOptions& opts) {
+  validate(pool, opts);
+  if (!(opts.arrival_rate > 0))
+    throw std::invalid_argument("loadgen: arrival_rate must be > 0");
+  const int C = opts.clients;
+  const index_t d = pool.cols();
+  const double client_rate = opts.arrival_rate / C;
+  std::vector<ClientResult> results(static_cast<std::size_t>(C));
+
+  // Phase 1 (untimed): per client, materialize its request buffers and its
+  // Poisson arrival schedule in virtual time — both pure functions of the
+  // seed, so the offered workload is identical run to run; only the
+  // replay against the wall clock differs.
+  struct ClientPlan {
+    std::vector<std::uint64_t> request_ids;
+    std::vector<double> arrival_s;  ///< virtual arrival offsets, ascending
+    DenseMatrix rows;               ///< all requests' rows, concatenated
+  };
+  std::vector<ClientPlan> plans(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    ClientPlan& plan = plans[static_cast<std::size_t>(c)];
+    for (std::uint64_t i = static_cast<std::uint64_t>(c); i < opts.requests;
+         i += static_cast<std::uint64_t>(C))
+      plan.request_ids.push_back(i);
+    const auto nreq = plan.request_ids.size();
+    plan.arrival_s.resize(nreq);
+    Prng g(opts.seed ^ 0x9e3779b97f4a7c15ULL,
+           /*stream=*/static_cast<std::uint64_t>(c) + 1);
+    double t = 0;
+    for (std::size_t j = 0; j < nreq; ++j) {
+      // Exponential gap at the per-client rate; 1 - u in (0, 1] keeps the
+      // log finite.
+      t += -std::log(1.0 - g.next_double()) / client_rate;
+      plan.arrival_s[j] = t;
+    }
+    plan.rows = DenseMatrix(static_cast<index_t>(nreq) * opts.rows_per_request,
+                            d);
+    for (std::size_t j = 0; j < nreq; ++j)
+      fill_request(pool, opts, plan.request_ids[j],
+                   plan.rows.row(static_cast<index_t>(j) *
+                                 opts.rows_per_request));
+  }
+
+  // Phase 2: replay. Submission never waits for completion (open loop);
+  // futures are drained after the last arrival.
+  const Clock::time_point start = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(C));
+  for (int c = 0; c < C; ++c) {
+    clients.emplace_back([&, c] {
+      Session session(fe);
+      ClientPlan& plan = plans[static_cast<std::size_t>(c)];
+      ClientResult& res = results[static_cast<std::size_t>(c)];
+      const auto nreq = plan.request_ids.size();
+      std::vector<std::future<Response>> inflight;
+      std::vector<double> submit_delay_s;  ///< scheduled arrival -> submit
+      inflight.reserve(nreq);
+      submit_delay_s.reserve(nreq);
+      for (std::size_t j = 0; j < nreq; ++j) {
+        const Clock::time_point due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(plan.arrival_s[j]));
+        std::this_thread::sleep_until(due);  // no-op when behind schedule
+        const ConstMatrixView view = plan.rows.const_view().sub_rows(
+            static_cast<index_t>(j) * opts.rows_per_request,
+            opts.rows_per_request);
+        submit_delay_s.push_back(secs_between(due, Clock::now()));
+        inflight.push_back(is_topm(opts, plan.request_ids[j])
+                               ? session.submit_topm(view, opts.m)
+                               : session.submit_assign(view));
+      }
+      for (std::size_t j = 0; j < nreq; ++j) {
+        const Response resp = inflight[j].get();
+        if (resp.shed) {
+          ++res.shed;
+        } else {
+          ++res.completed;
+          // Coordinated-omission-free: latency from the SCHEDULED arrival
+          // — any delay submitting (a blocked admission queue, a late
+          // client thread) plus the front end's own admission-to-demux
+          // time. Measured at demux, not at this drain loop's get().
+          res.latencies_s.push_back(
+              std::max(0.0, submit_delay_s[j]) + resp.total_s);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  return merge(results, opts, secs_between(start, Clock::now()));
+}
+
+}  // namespace knor::serve

@@ -1,0 +1,94 @@
+// Closed- and open-loop load generators for the serving front end
+// (DESIGN.md §11) — the measurement half of the "millions of users" story:
+// throughput-vs-latency curves come from driving a QueryFrontEnd with a
+// reproducible multi-client workload.
+//
+// The workload is defined by GLOBAL request index, not by client: request
+// i's rows are drawn from the query pool by Prng(seed, i), and client c of
+// C handles requests {i : i mod C == c}. The request SET is therefore a
+// pure function of (pool, seed, requests, rows_per_request, topm knobs) —
+// identical across client counts, worker counts and batching windows,
+// which is what lets tests/serve_test.cpp compare results bitwise across
+// the whole configuration grid.
+//
+//   * Closed loop — each client holds at most `pipeline` requests in
+//     flight and submits the next only when a slot frees (pipeline=1 is
+//     the classic submit-wait-repeat client; think connection pools):
+//     offered load adapts to service rate; the headline number is
+//     throughput.
+//   * Open loop — arrivals follow a seeded Poisson schedule computed in
+//     VIRTUAL time before the run starts (exponential inter-arrival gaps
+//     at arrival_rate / clients per client), then replayed against the
+//     wall clock: submission does not wait for completion, so queueing
+//     delay shows up in the latency tail instead of throttling the
+//     offered load. Latency is measured from the SCHEDULED arrival time
+//     (coordinated-omission-free).
+//
+// Request contents and totals are deterministic; every latency, the
+// shed/completed split under ShedPolicy::kShed, and the coalescing plan
+// are wall-clock-dependent (kTiming in any export).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/dense_matrix.hpp"
+#include "common/types.hpp"
+#include "serve/front_end.hpp"
+
+namespace knor::serve {
+
+struct LoadOptions {
+  int clients = 4;
+  /// Total requests across all clients (partitioned round-robin).
+  std::uint64_t requests = 256;
+  index_t rows_per_request = 8;
+  /// Every topm_every-th request is a top-m query (0 = assignment only).
+  int topm_every = 0;
+  int m = 4;
+  std::uint64_t seed = 42;
+  /// Closed loop only: bypass admission entirely with assign_now() —
+  /// the serialized one-request-per-call baseline.
+  bool direct = false;
+  /// Closed loop only (queued path): requests each client keeps in flight
+  /// before waiting on its oldest response. 1 = classic closed loop
+  /// (submit, wait, repeat); P > 1 is a bounded-pipelining closed system
+  /// with multiprogramming level clients * P — the client drains ready
+  /// responses in submission order, so per-response wakeups amortize and
+  /// the dispatcher sees up to clients * P coalescable requests. Ignored
+  /// by the direct path (assign_now is synchronous by construction).
+  int pipeline = 1;
+  /// Open loop only: mean offered arrival rate, requests/s across ALL
+  /// clients.
+  double arrival_rate = 1000.0;
+};
+
+struct LoadStats {
+  std::uint64_t requests = 0;   ///< offered (deterministic)
+  std::uint64_t rows = 0;       ///< rows offered (deterministic)
+  std::uint64_t completed = 0;  ///< responses with results
+  std::uint64_t shed = 0;       ///< shed/rejected responses
+  double wall_s = 0;
+  /// Per-completed-request latency, seconds, sorted ascending. Closed
+  /// loop: submit-to-response; open loop: scheduled-arrival-to-response.
+  std::vector<double> latencies_s;
+
+  /// Nearest-rank quantile of latencies_s (q in [0,1]); 0 when empty.
+  double latency_quantile(double q) const;
+  double completed_rows_per_sec() const;
+  double achieved_rps() const {
+    return wall_s > 0 ? static_cast<double>(completed) / wall_s : 0;
+  }
+};
+
+/// Drive `fe` with `opts.clients` closed-loop client threads submitting
+/// rows drawn from `pool`. Blocks until every request resolved.
+LoadStats run_closed_loop(QueryFrontEnd& fe, const DenseMatrix& pool,
+                          const LoadOptions& opts);
+
+/// Replay a seeded Poisson arrival schedule against `fe`. Blocks until
+/// every submitted request resolved (or was shed).
+LoadStats run_open_loop(QueryFrontEnd& fe, const DenseMatrix& pool,
+                        const LoadOptions& opts);
+
+}  // namespace knor::serve

@@ -247,11 +247,18 @@ AssignStats AssignServer::assign_file(const std::string& path,
         std::unique_lock<std::mutex> lock(mu);
         const WallTimer wait;
         cv_full.wait(lock, [&] { return produced > consumed || reader_done; });
+        if (produced == consumed) {
+          // Nothing left to consume: this wait was for the reader's done
+          // (or error) announcement, not for data — charge it to the
+          // drain bucket, not the I/O-bound compute_wait signal.
+          stats.drain_s += wait.elapsed();
+          break;
+        }
         stats.compute_wait_s += wait.elapsed();
-        if (produced == consumed) break;  // reader finished (or failed)
       }
       BatchSlot& slot = slots[consumed % S];
       const index_t rows = slot.view.rows();
+      const WallTimer work;
       {
         obs::Span span_assign("assign");
         const std::uint64_t t0 = obs::Tracer::now_us();
@@ -260,6 +267,7 @@ AssignStats AssignServer::assign_file(const std::string& path,
       }
       stats.rows += rows;
       if (sink) sink(slot.first_row, assignments.data(), rows);
+      stats.compute_s += work.elapsed();
       {
         std::lock_guard<std::mutex> lock(mu);
         ++consumed;
@@ -293,6 +301,10 @@ AssignStats AssignServer::assign_file(const std::string& path,
       .add(stats.bytes_read);
   reg.counter("stream.assign.compute_wait_us", Det::kTiming)
       .add(static_cast<std::uint64_t>(stats.compute_wait_s * 1e6));
+  reg.counter("stream.assign.compute_us", Det::kTiming)
+      .add(static_cast<std::uint64_t>(stats.compute_s * 1e6));
+  reg.counter("stream.assign.drain_us", Det::kTiming)
+      .add(static_cast<std::uint64_t>(stats.drain_s * 1e6));
   reg.counter("stream.assign.io_stall_us", Det::kTiming)
       .add(static_cast<std::uint64_t>(stats.io_stall_s * 1e6));
   return stats;

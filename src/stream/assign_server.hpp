@@ -51,12 +51,26 @@ struct AssignOptions {
 
 /// Serving statistics for one assign_file() call. `rows`, `batches` and
 /// `bytes_read` are deterministic; the wait/wall fields are timings.
+///
+/// The consumer-side buckets partition the serve: every consumer wait is
+/// charged to exactly one of `compute_wait_s` (stalled mid-stream for the
+/// next batch — the I/O-bound signal) or `drain_s` (the final wait after
+/// the last batch, for the reader's done announcement — NOT an I/O stall,
+/// it was once misattributed to compute_wait), and `compute_s` covers the
+/// assign + sink work between waits. The intervals are disjoint slices of
+/// one thread's wall time, so compute_wait_s + compute_s + drain_s <=
+/// wall_s always (the remainder is loop bookkeeping); tests/stream_test
+/// pins the reconciliation. `io_stall_s` is on the READER thread and
+/// overlaps the consumer buckets — it is a backpressure signal, not a
+/// slice of wall_s.
 struct AssignStats {
   std::uint64_t rows = 0;
   std::uint64_t batches = 0;
   std::uint64_t bytes_read = 0;
   double wall_s = 0;          ///< whole serve, open to last sink call
   double compute_wait_s = 0;  ///< assigner stalled waiting for data (I/O-bound)
+  double compute_s = 0;       ///< assign + sink work on the consumer
+  double drain_s = 0;         ///< final wait for the reader's done signal
   double io_stall_s = 0;      ///< reader blocked on a free buffer (backpressure)
 
   double rows_per_sec() const { return wall_s > 0 ? rows / wall_s : 0.0; }

@@ -1,15 +1,16 @@
 # CLI smoke test (run via ctest): generate a tiny dataset, inspect it,
 # cluster it with every mode (im / sem / dist), stream it through
-# knor_stream (ingest / snapshot / resume / assign), and check exit codes —
+# knor_stream (ingest / snapshot / resume / assign), serve it through
+# knor_serve (closed / open load generators), and check exit codes —
 # including the rejection paths of every strictly-parsed flag and env var.
 # Invoked as:
-#   cmake -DKNOR_CLI=<path> -DKNOR_STREAM=<path> -DKNOR_BENCH=<path>
-#         -DWORK_DIR=<dir> -P cli_smoke.cmake
-if(NOT DEFINED KNOR_CLI OR NOT DEFINED KNOR_STREAM OR NOT DEFINED KNOR_BENCH
-   OR NOT DEFINED WORK_DIR)
+#   cmake -DKNOR_CLI=<path> -DKNOR_STREAM=<path> -DKNOR_SERVE=<path>
+#         -DKNOR_BENCH=<path> -DWORK_DIR=<dir> -P cli_smoke.cmake
+if(NOT DEFINED KNOR_CLI OR NOT DEFINED KNOR_STREAM OR NOT DEFINED KNOR_SERVE
+   OR NOT DEFINED KNOR_BENCH OR NOT DEFINED WORK_DIR)
   message(FATAL_ERROR
-          "cli_smoke: KNOR_CLI, KNOR_STREAM, KNOR_BENCH and WORK_DIR must "
-          "be defined")
+          "cli_smoke: KNOR_CLI, KNOR_STREAM, KNOR_SERVE, KNOR_BENCH and "
+          "WORK_DIR must be defined")
 endif()
 
 file(REMOVE_RECURSE ${WORK_DIR})
@@ -75,6 +76,19 @@ run_step(stream_assign_page ${KNOR_STREAM} assign --snapshot ${SNAP}
          --queries ${DATA} --batch-rows 256 --threads 2 --source page
          --page-kb 4)
 
+# Serving front end (knor_serve): both load-generator verbs at tiny scale,
+# against the stream snapshot and against synthetic centroids.
+run_step(serve_closed ${KNOR_SERVE} closed --snapshot ${SNAP}
+         --clients 4 --requests 32 --rows 4 --threads 2
+         --batch-window 64 --queue-depth 16)
+run_step(serve_closed_direct ${KNOR_SERVE} closed --snapshot ${SNAP}
+         --clients 2 --requests 16 --rows 4 --threads 2 --direct)
+run_step(serve_closed_topm ${KNOR_SERVE} closed --k 8 --clients 2
+         --requests 16 --rows 4 --topm-every 3 --m 2 --threads 2)
+run_step(serve_open ${KNOR_SERVE} open --snapshot ${SNAP} --clients 2
+         --requests 32 --rows 4 --arrival-rate 2000 --threads 2
+         --shed-policy shed --queue-depth 8)
+
 # A bad invocation must fail loudly, not silently succeed. Pass valid data
 # so the only rejectable thing is the flag under test.
 function(reject_step name)
@@ -136,6 +150,60 @@ reject_step(stream_bad_simd ${KNOR_STREAM} ingest --data ${DATA} --k 4
 reject_step(stream_snapshot_every_without_path ${KNOR_STREAM} ingest
             --data ${DATA} --k 4 --snapshot-every 2)
 
+# knor_serve shares tools/cli_args.hpp, so every numeric flag rejects junk,
+# negatives, zero (where the minimum is 1) and overflow with exit 2 — a
+# silently-zero --clients once meant "no load at all, exit 0".
+reject_step(serve_bad_clients ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --clients many)
+reject_step(serve_negative_clients ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --clients -4)
+reject_step(serve_zero_clients ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --clients 0)
+reject_step(serve_overflow_clients ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --clients 9223372036854775808)
+reject_step(serve_bad_arrival_rate ${KNOR_SERVE} open --snapshot ${SNAP}
+            --arrival-rate fast)
+reject_step(serve_negative_arrival_rate ${KNOR_SERVE} open --snapshot ${SNAP}
+            --arrival-rate -100)
+reject_step(serve_zero_arrival_rate ${KNOR_SERVE} open --snapshot ${SNAP}
+            --arrival-rate 0)
+reject_step(serve_overflow_arrival_rate ${KNOR_SERVE} open --snapshot ${SNAP}
+            --arrival-rate 1e999999)
+reject_step(serve_bad_batch_window ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --batch-window huge)
+reject_step(serve_negative_batch_window ${KNOR_SERVE} closed
+            --snapshot ${SNAP} --batch-window -1)
+reject_step(serve_zero_batch_window ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --batch-window 0)
+reject_step(serve_overflow_batch_window ${KNOR_SERVE} closed
+            --snapshot ${SNAP} --batch-window 9223372036854775808)
+reject_step(serve_bad_shed_policy ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --shed-policy drop)
+reject_step(serve_bad_model_sources ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --centroids ${DATA})
+reject_step(serve_direct_open ${KNOR_SERVE} open --snapshot ${SNAP} --direct)
+reject_step(serve_bad_pipeline ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --pipeline deep)
+reject_step(serve_zero_pipeline ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --pipeline 0)
+reject_step(serve_negative_pipeline ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --pipeline -2)
+reject_step(serve_pipeline_open ${KNOR_SERVE} open --snapshot ${SNAP}
+            --pipeline 4)
+reject_step(serve_pipeline_direct ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --direct --pipeline 4)
+
+# A flag nobody consulted is a typo, not a no-op: --rows-per-request
+# (real flag: --rows) once silently did nothing while the run "succeeded"
+# with the default. Every tool rejects unknown flags after its verb has
+# read everything it understands.
+reject_step(serve_unknown_flag ${KNOR_SERVE} closed --snapshot ${SNAP}
+            --rows-per-request 4)
+reject_step(stream_unknown_flag ${KNOR_STREAM} assign --queries ${DATA}
+            --snapshot ${SNAP} --row-cache 4)
+reject_step(cli_unknown_flag ${KNOR_CLI} cluster --gen natural --n 2000
+            --d 4 --k 3 --iterations 5)
+
 # Observability exports (DESIGN.md §10): --metrics / --trace must produce
 # valid JSON, and the "deterministic" half of a metrics document must be
 # bit-identical across two runs at the same thread count. knor_bench
@@ -184,6 +252,11 @@ run_step(stream_assign_metrics ${KNOR_STREAM} assign --snapshot ${SNAP}
          --queries ${DATA} --batch-rows 256 --threads 2
          --metrics ${WORK_DIR}/assign_metrics.json)
 strip_to(${WORK_DIR}/assign_metrics.stripped ${WORK_DIR}/assign_metrics.json)
+run_step(serve_metrics ${KNOR_SERVE} closed --snapshot ${SNAP} --clients 2
+         --requests 16 --rows 4 --threads 2
+         --metrics ${WORK_DIR}/serve_metrics.json
+         --trace ${WORK_DIR}/serve_trace.json)
+strip_to(${WORK_DIR}/serve_metrics.stripped ${WORK_DIR}/serve_metrics.json)
 # An unwritable export path must fail the command, never print success
 # over a missing file.
 reject_step(bad_metrics_path ${KNOR_CLI} cluster --data ${DATA} --mode im

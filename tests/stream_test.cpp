@@ -27,6 +27,7 @@
 #include "core/kernels/simd.hpp"
 #include "data/generator.hpp"
 #include "data/matrix_io.hpp"
+#include "obs/registry.hpp"
 #include "sem/checkpoint.hpp"
 #include "stream/assign_server.hpp"
 #include "stream/stream_engine.hpp"
@@ -304,6 +305,60 @@ TEST_F(StreamTest, AssignFileMatchesInMemoryForBothSources) {
       EXPECT_EQ(got, expect);
     }
   }
+}
+
+// The consumer-side wall partition: every consumer wait lands in exactly
+// one of compute_wait (mid-stream, I/O-bound) or drain (the final wait for
+// the reader's done signal — once misattributed to compute_wait), and
+// compute covers the assign+sink work, so the three buckets are disjoint
+// slices of wall time and reconcile against it. The drain split also
+// reaches the obs export as its own timing counter.
+TEST_F(StreamTest, AssignFileStatsBucketsReconcileWithWallTime) {
+  const data::GeneratorSpec spec = make_spec(4000, 6, 4);
+  const std::string path = dir_ / "recon.kmat";
+  data::write_generated(path, spec);
+  const DenseMatrix data = data::generate(spec);
+  Options opts = base_opts(4, 2);
+  const DenseMatrix centroids = init_centroids(data.const_view(), opts);
+
+  AssignServer server(centroids, opts);
+  AssignOptions aopts;
+  aopts.batch_rows = 256;  // many batches: both wait paths get exercised
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  const AssignStats st = server.assign_file(path, aopts);
+
+  EXPECT_GE(st.compute_wait_s, 0.0);
+  EXPECT_GE(st.compute_s, 0.0);
+  EXPECT_GE(st.drain_s, 0.0);
+  EXPECT_GT(st.compute_s, 0.0);  // 16 batches of real kernel work
+  // Disjoint intervals of one monotonic clock: the buckets can never
+  // exceed the wall that contains them (tiny epsilon for timer rounding).
+  EXPECT_LE(st.compute_wait_s + st.compute_s + st.drain_s, st.wall_s + 1e-6);
+  // The unattributed remainder is loop bookkeeping (lock handoffs,
+  // notify, sink dispatch) — generously bounded, not proportional to work.
+  EXPECT_LT(st.wall_s - (st.compute_wait_s + st.compute_s + st.drain_s),
+            0.5);
+
+  // The split is exported: drain and compute appear as their own kTiming
+  // counters next to the deterministic row/batch totals. Presence and
+  // classification are checked on the full registry snapshot — obs::diff
+  // drops zero-delta metrics, and a fast run can legitimately drain in
+  // under a microsecond.
+  const obs::Snapshot full = obs::Registry::global().snapshot();
+  for (const char* name :
+       {"stream.assign.drain_us", "stream.assign.compute_us",
+        "stream.assign.compute_wait_us"}) {
+    const obs::Metric* m = full.find(name);
+    ASSERT_NE(m, nullptr) << name;
+    EXPECT_EQ(m->det, obs::Det::kTiming) << name;
+  }
+  // Per-run deltas still diff against the pre-run snapshot — the registry
+  // is process-wide and earlier tests in this binary also serve files.
+  const obs::Snapshot snap =
+      obs::diff(before, obs::Registry::global().snapshot());
+  EXPECT_GE(snap.value_or("stream.assign.compute_us", -1), 1);
+  EXPECT_EQ(snap.value_or("stream.assign.rows", 0),
+            static_cast<std::int64_t>(st.rows));
 }
 
 TEST_F(StreamTest, AssignFileRejectsMismatchedShapes) {

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <utility>
 
@@ -38,14 +39,19 @@ class Args {
     }
   }
 
-  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  bool has(const std::string& key) const {
+    read_.insert(key);
+    return values_.count(key) > 0;
+  }
 
   std::string str(const std::string& key, const std::string& dflt = "") const {
+    read_.insert(key);
     const auto it = values_.find(key);
     return it == values_.end() ? dflt : it->second;
   }
 
   long long num(const std::string& key, long long dflt) const {
+    read_.insert(key);
     const auto it = values_.find(key);
     if (it == values_.end()) return dflt;
     errno = 0;
@@ -72,7 +78,18 @@ class Args {
   /// nonzero exit).
   void fail(const std::string& msg) const { fail_(msg); }
 
+  /// Reject flags the tool never consulted. Call AFTER every flag of the
+  /// selected verb/code path has been read (has()/str()/num()/real() all
+  /// count): a flag nobody asked about is a typo — `--rows-per-request`
+  /// silently doing nothing while the run "succeeds" with the default is
+  /// the same bug class as atoi-style value leniency.
+  void reject_unknown() const {
+    for (const auto& kv : values_)
+      if (read_.count(kv.first) == 0) fail_("unknown flag --" + kv.first);
+  }
+
   double real(const std::string& key, double dflt) const {
+    read_.insert(key);
     const auto it = values_.find(key);
     if (it == values_.end()) return dflt;
     errno = 0;
@@ -85,6 +102,7 @@ class Args {
 
  private:
   std::map<std::string, std::string> values_;
+  mutable std::set<std::string> read_;
   FailFn fail_;
 };
 

@@ -100,6 +100,7 @@ int cmd_generate(const Args& args) {
   const data::GeneratorSpec spec = spec_from(args, args.str("dist", "natural"));
   std::printf("generating %s -> %s (%.1f MB)\n", spec.describe().c_str(),
               out.c_str(), spec.bytes() / 1e6);
+  args.reject_unknown();  // every generate flag has been consulted
   data::write_generated(out, spec);
   std::printf("done\n");
   return 0;
@@ -161,6 +162,7 @@ int cmd_cluster(const Args& args) {
   }
 
   if (mode == "im") {
+    args.reject_unknown();  // every im-mode flag has been consulted
     print_result(kmeans(matrix.const_view(), opts));
     return finish(0);
   }
@@ -178,6 +180,7 @@ int cmd_cluster(const Args& args) {
     sopts.checkpoint_interval =
         static_cast<int>(args.num("checkpoint-interval", 0));
     sopts.resume = args.has("resume");
+    args.reject_unknown();  // every sem-mode flag has been consulted
     if (opts.init == Init::kKmeansPP || opts.init == Init::kRandom)
       opts.init = Init::kForgy;  // SEM supports forgy/provided
     sem::SemStats stats;
@@ -194,6 +197,7 @@ int cmd_cluster(const Args& args) {
         static_cast<int>(args.num("threads-per-rank", 1));
     dopts.net.latency_us = args.real("net-latency-us", 0);
     dopts.net.gigabytes_per_sec = args.real("net-gbps", 0);
+    args.reject_unknown();  // every dist-mode flag has been consulted
     if (opts.init == Init::kRandom) opts.init = Init::kForgy;
     print_result(dist::kmeans(matrix.const_view(), opts, dopts));
     return finish(0);

@@ -1,0 +1,228 @@
+// knor_serve — concurrent query serving front end + load generators
+// (DESIGN.md §11).
+//
+//   knor_serve closed --snapshot model.ckpt --clients 16 --requests 4096
+//   knor_serve open   --centroids c.kmat --arrival-rate 2000 --requests 4096
+//
+// Both verbs freeze a centroid set (from a stream snapshot or a .kmat
+// file, or synthesized with --k when neither is given), build a
+// serve::QueryFrontEnd, and drive it with the matching load generator:
+// `closed` measures throughput with clients that wait for each response;
+// `open` replays a seeded Poisson arrival schedule and reports the
+// coordinated-omission-free latency tail. All numeric flags are strictly
+// parsed: garbage, negatives and overflow exit 2 instead of becoming 0.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cli_args.hpp"
+#include "knor/knor.hpp"
+
+namespace {
+
+using namespace knor;
+
+[[noreturn]] void usage(const char* error = nullptr) {
+  if (error != nullptr) std::fprintf(stderr, "error: %s\n\n", error);
+  std::fprintf(stderr, R"(knor_serve — concurrent query serving + load generation
+
+subcommands:
+  closed [model] [load] [--direct] [--pipeline P]
+      Closed-loop clients: each holds at most P requests in flight and
+      submits the next when a slot frees (P=1: submit, wait, repeat).
+      Headline: rows/s throughput.
+      --direct           bypass admission/batching with one synchronous
+                         compute call per request (the unbatched baseline)
+      --pipeline P       in-flight requests per client (>= 1, default 1;
+                         queued path only)
+
+  open [model] [load] --arrival-rate R
+      Open-loop Poisson arrivals: a seeded schedule in virtual time is
+      replayed against the wall clock; submission never waits, so queueing
+      shows up in the latency tail (measured from the SCHEDULED arrival).
+      --arrival-rate R   offered requests/s across all clients (> 0,
+                         default 1000)
+
+model (exactly one source):
+  --snapshot CKPT        serve a stream/SEM snapshot's centroids
+  --centroids FILE.kmat  serve a centroid matrix
+  --k K                  synthesize K centroids over a generated pool
+                         (self-contained smoke/bench mode; d = 32)
+
+load:
+  --clients N        client threads (>= 1, default 4)
+  --requests N       total requests across all clients (default 256)
+  --rows N           rows per request (>= 1, default 8)
+  --topm-every N     every Nth request asks top-m instead (0 = never)
+  --m M              entries per top-m request (default 4)
+  --seed S           workload seed (request contents + arrival schedule)
+
+front end:
+  --batch-window N   coalesce queued requests until a mega-batch holds
+                     >= N rows (>= 1; 1 = batching off, default 4096)
+  --queue-depth N    admission-queue bound in requests (default 256)
+  --shed-policy P    block (wait for a slot) or shed (fail fast)
+  --threads T, --sched, --numa-bind, --numa-nodes, --task-size, --simd
+                     scheduler/kernel shape, as knor_cli
+
+observability:
+  --metrics FILE     metric-registry JSON (serve.request_us p50/p99 etc.)
+  --trace FILE       Chrome trace-event JSON of the serve_batch spans
+
+The response content contract: results depend only on each request's rows,
+the frozen centroids and the ISA — never on what a batch coalesced — so
+assignments are bitwise identical across clients/threads/window settings
+(DESIGN.md §11).
+)");
+  std::exit(error != nullptr ? 2 : 0);
+}
+
+using Args = tools::Args;
+
+Args parse_args(int argc, char** argv, int first) {
+  return Args(argc, argv, first,
+              [](const std::string& msg) { usage(msg.c_str()); });
+}
+
+struct Model {
+  DenseMatrix centroids;
+  DenseMatrix pool;
+};
+
+/// Resolve the centroid source, and a query pool with matching d: rows are
+/// drawn from a generated friendster-proxy pool (seeded off the workload
+/// seed) whatever the centroid source, so the tool is self-contained.
+Model load_model(const Args& args, const Options& opts,
+                 const serve::LoadOptions& lopts) {
+  const std::string ckpt_path = args.str("snapshot");
+  const std::string cent_path = args.str("centroids");
+  const int sources = (ckpt_path.empty() ? 0 : 1) +
+                      (cent_path.empty() ? 0 : 1) + (args.has("k") ? 1 : 0);
+  if (sources != 1)
+    usage("exactly one of --snapshot CKPT / --centroids FILE.kmat / --k K");
+
+  Model m;
+  data::GeneratorSpec spec;
+  spec.dist = data::Distribution::kNaturalClusters;
+  spec.d = 32;
+  spec.true_clusters = 64;
+  spec.seed = lopts.seed + 7;
+  if (!ckpt_path.empty()) {
+    m.centroids = sem::load_checkpoint(ckpt_path).centroids;
+  } else if (!cent_path.empty()) {
+    m.centroids = data::read_matrix(cent_path);
+  } else {
+    spec.n = 4096;
+    Options init_opts = opts;
+    init_opts.k = static_cast<int>(args.num_min("k", 64, 1));
+    DenseMatrix seed_pool = data::generate(spec);
+    m.centroids = init_centroids(seed_pool.const_view(), init_opts);
+  }
+  spec.d = m.centroids.cols();
+  spec.n = std::max<index_t>(1024, lopts.rows_per_request * 64);
+  m.pool = data::generate(spec);
+  return m;
+}
+
+void print_stats(const char* verb, const serve::QueryFrontEnd& fe,
+                 const serve::LoadStats& st) {
+  const serve::FrontEndStats fs = fe.stats();
+  std::printf(
+      "%s: %" PRIu64 " requests (%" PRIu64 " rows) in %.3f s: "
+      "%.3g rows/s, %.3g req/s achieved\n",
+      verb, st.requests, st.rows, st.wall_s, st.completed_rows_per_sec(),
+      st.achieved_rps());
+  std::printf(
+      "completed %" PRIu64 ", shed %" PRIu64 ", blocked %" PRIu64
+      ", batches %" PRIu64 " (max queue depth %zu)\n",
+      st.completed, st.shed, fs.blocked, fs.batches, fs.max_queue_depth);
+  std::printf("latency p50 %.3f ms, p95 %.3f ms, p99 %.3f ms, max %.3f ms\n",
+              st.latency_quantile(0.50) * 1e3, st.latency_quantile(0.95) * 1e3,
+              st.latency_quantile(0.99) * 1e3,
+              st.latencies_s.empty() ? 0.0 : st.latencies_s.back() * 1e3);
+}
+
+int cmd_load(const Args& args, bool open_loop) {
+  const obs::ExportConfig exports =
+      obs::export_config(args.str("metrics"), args.str("trace"));
+  Options opts = tools::engine_options_from(args);
+
+  serve::LoadOptions lopts;
+  lopts.clients = static_cast<int>(args.num_min("clients", 4, 1));
+  lopts.requests = static_cast<std::uint64_t>(args.num_min("requests", 256, 1));
+  lopts.rows_per_request = static_cast<index_t>(args.num_min("rows", 8, 1));
+  lopts.topm_every = static_cast<int>(args.num_min("topm-every", 0, 0));
+  lopts.m = static_cast<int>(args.num_min("m", 4, 1));
+  lopts.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  lopts.direct = args.has("direct");
+  lopts.pipeline = static_cast<int>(args.num_min("pipeline", 1, 1));
+  lopts.arrival_rate = args.real("arrival-rate", 1000.0);
+  if (open_loop && !(lopts.arrival_rate > 0))
+    usage("--arrival-rate must be > 0");
+  if (lopts.direct && open_loop) usage("--direct is closed-loop only");
+  if (open_loop && lopts.pipeline != 1) usage("--pipeline is closed-loop only");
+  if (lopts.direct && lopts.pipeline != 1)
+    usage("--direct is synchronous; --pipeline needs the queued path");
+
+  serve::FrontEndOptions fopts;
+  fopts.batch_window =
+      static_cast<index_t>(args.num_min("batch-window", 4096, 1));
+  fopts.queue_depth =
+      static_cast<std::size_t>(args.num_min("queue-depth", 256, 1));
+  const std::string policy = args.str("shed-policy", "block");
+  if (policy == "block")
+    fopts.shed_policy = serve::ShedPolicy::kBlock;
+  else if (policy == "shed")
+    fopts.shed_policy = serve::ShedPolicy::kShed;
+  else
+    usage(("--shed-policy must be block or shed, got " + policy).c_str());
+
+  const Model model = load_model(args, opts, lopts);
+  opts.k = static_cast<int>(model.centroids.rows());
+  if (lopts.topm_every > 0 && lopts.m > opts.k)
+    usage("--m must be <= k");
+  args.reject_unknown();  // every flag of this verb has been consulted
+
+  serve::QueryFrontEnd fe(model.centroids, opts, fopts);
+  std::printf("serving k=%d d=%" PRIu64 " (window=%" PRIu64
+              " rows, queue=%zu, policy=%s, simd=%s)\n",
+              fe.k(), static_cast<std::uint64_t>(fe.d()),
+              static_cast<std::uint64_t>(fopts.batch_window),
+              fopts.queue_depth, serve::to_string(fopts.shed_policy),
+              kernels::to_string(fe.ops().isa));
+  const serve::LoadStats st =
+      open_loop ? serve::run_open_loop(fe, model.pool, lopts)
+                : serve::run_closed_loop(fe, model.pool, lopts);
+  fe.close();
+  print_stats(open_loop ? "open" : "closed", fe, st);
+
+  // Registry-side view of the same run: the batch-latency split the
+  // metrics export carries (NaN-free via quantile_or when obs is off).
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  std::printf("serve.request_us p50 %.0f p99 %.0f; queue_wait_us p99 %.0f; "
+              "compute_us p99 %.0f\n",
+              snap.quantile_or("serve.request_us", 0.50, 0.0),
+              snap.quantile_or("serve.request_us", 0.99, 0.0),
+              snap.quantile_or("serve.queue_wait_us", 0.99, 0.0),
+              snap.quantile_or("serve.compute_us", 0.99, 0.0));
+  obs::write_exports(exports);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage("missing subcommand");
+  const std::string cmd = argv[1];
+  try {
+    knor::log_init_from_env();
+    if (cmd == "help" || cmd == "--help" || cmd == "-h") usage();
+    if (cmd == "closed") return cmd_load(parse_args(argc, argv, 2), false);
+    if (cmd == "open") return cmd_load(parse_args(argc, argv, 2), true);
+    usage(("unknown subcommand " + cmd).c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

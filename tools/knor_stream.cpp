@@ -99,6 +99,7 @@ int cmd_ingest(const Args& args) {
     std::printf("resumed from %s at batch %" PRIu64 "\n",
                 sopts.snapshot_path.c_str(), engine.stats().batches);
   }
+  args.reject_unknown();  // every ingest flag has been consulted
 
   const index_t rows = engine.ingest_file(data);
   const stream::StreamStats& st = engine.stats();
@@ -161,6 +162,7 @@ int cmd_assign(const Args& args) {
     out.reset(std::fopen(out_path.c_str(), "wb"));
     if (out == nullptr) usage(("cannot write " + out_path).c_str());
   }
+  args.reject_unknown();  // every assign flag has been consulted
 
   stream::AssignServer server(centroids, opts);
   const stream::AssignStats st = server.assign_file(
@@ -179,10 +181,11 @@ int cmd_assign(const Args& args) {
 
   std::printf(
       "assigned %" PRIu64 " rows in %" PRIu64 " batches: "
-      "%.3g rows/s (%.1f MB read, compute waited %.1f ms, "
-      "reader backpressured %.1f ms)\n",
+      "%.3g rows/s (%.1f MB read, compute %.1f ms, waited %.1f ms, "
+      "drained %.1f ms, reader backpressured %.1f ms)\n",
       st.rows, st.batches, st.rows_per_sec(), st.bytes_read / 1e6,
-      st.compute_wait_s * 1e3, st.io_stall_s * 1e3);
+      st.compute_s * 1e3, st.compute_wait_s * 1e3, st.drain_s * 1e3,
+      st.io_stall_s * 1e3);
   std::printf("histogram:");
   for (const std::int64_t c : server.served_histogram())
     std::printf(" %lld", static_cast<long long>(c));
