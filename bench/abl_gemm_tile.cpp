@@ -1,0 +1,72 @@
+// Ablation — blocked-GEMM cache-tile shape (the --gemm-tile knob).
+//
+// Sweeps the (row block x centroid sweep) cache tile of the tiled GEMM
+// engine at a fixed large k and reports per-iteration time. Because the
+// §12 determinism contract makes the tile a pure performance knob, every
+// cell of this sweep produces bitwise-identical clusterings — the sweep is
+// how a deployment autotunes the shape for its cache hierarchy, and the
+// harness verifies the invariance as it goes (a wrong result turns the row
+// into a hard failure, so the ablation doubles as a determinism check).
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+#include "core/engines.hpp"
+#include "harness/datasets.hpp"
+
+namespace {
+
+using namespace knor;
+using namespace knor::bench;
+
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster8_proxy(ctx, 80000);
+  const DenseMatrix m = data::generate(spec);
+  ctx.dataset(spec);
+  ctx.config("threads", 8);
+  ctx.config("k", 256);
+
+  const Result* ref = nullptr;
+  Result first;
+  for (const char* tile : {"auto", "16x64", "64x64", "64x256", "256x256",
+                           "1024x64"}) {
+    Options opts;
+    opts.k = 256;
+    opts.threads = 8;
+    opts.numa_nodes = 4;
+    opts.max_iters = 5;
+    opts.seed = 42;
+    opts.gemm_tile = parse_gemm_tile_or_throw(tile, "tile");
+
+    TimingAgg iter_ms;
+    Result res =
+        ctx.run([&] { return gemm_kmeans(m.const_view(), opts); }, &iter_ms);
+    if (ref == nullptr) {
+      first = std::move(res);
+      ref = &first;
+    } else if (res.assignments != ref->assignments ||
+               std::memcmp(res.centroids.data(), ref->centroids.data(),
+                           ref->centroids.size() * sizeof(value_t)) != 0) {
+      throw std::runtime_error(
+          std::string("abl_gemm_tile: tile ") + tile +
+          " changed the clustering — §12 determinism contract violated");
+    }
+    ctx.row()
+        .label("tile", std::string(tile))
+        .stat("iters", static_cast<double>(ref->iters))
+        .timing("gemm_ms_per_iter", iter_ms.scaled(1e3));
+  }
+  ctx.chart("gemm_ms_per_iter");
+}
+
+const Registration reg({
+    "abl_gemm_tile",
+    "Ablation: blocked-GEMM cache-tile shape",
+    "DESIGN.md §12 tile autotuning",
+    "A broad flat optimum around the auto shape (64 rows x 256 centroids): "
+    "row blocks too small waste the packed panels' reuse, centroid sweeps "
+    "too wide spill L2, and results stay bitwise identical everywhere "
+    "(the sweep hard-fails otherwise).",
+    336, run});
+
+}  // namespace

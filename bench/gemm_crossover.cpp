@@ -1,0 +1,76 @@
+// GEMM-vs-full-scan crossover (DESIGN.md §12 methodology).
+//
+// Sweeps k with everything else pinned and races the tiled blocked-GEMM
+// engine against the unpruned NUMA engine (knori-, whose Phase I is the
+// nearest_blocked kernel). Both are exact Lloyd's, so per-iteration time is
+// directly comparable. The dot-product formulation does one FMA per element
+// where the (a-b)^2 scan does a subtract + FMA, and each packed centroid
+// panel line is shared across a whole register block of rows — advantages
+// that scale with k. At small k the packing and fused-epilogue overhead
+// dominates; the crossover point (smallest swept k where GEMM wins) is the
+// number RESULTS.md records and the engine-selection guidance in the docs
+// cites. MTI stays off: pruning changes the work per iteration and would
+// race different algorithms.
+#include <string>
+
+#include "core/engines.hpp"
+#include "core/knori.hpp"
+#include "harness/datasets.hpp"
+
+namespace {
+
+using namespace knor;
+using namespace knor::bench;
+
+void run(Context& ctx) {
+  data::GeneratorSpec spec = friendster8_proxy(ctx, 100000);
+  const DenseMatrix m = data::generate(spec);
+  ctx.dataset(spec);
+  ctx.config("threads", 8);
+  ctx.config("mti", "off (comparable exact engines)");
+  ctx.config("gemm_tile", "auto");
+
+  double crossover = 0;
+  for (const int k : {16, 64, 128, 256, 512}) {
+    Options opts;
+    opts.k = k;
+    opts.threads = 8;
+    opts.numa_nodes = 4;
+    opts.max_iters = 6;
+    opts.seed = 42;
+    opts.prune = false;
+
+    TimingAgg scan_ms;
+    ctx.run([&] { return kmeans(m.const_view(), opts); }, &scan_ms);
+    TimingAgg gemm_ms;
+    ctx.run([&] { return gemm_kmeans(m.const_view(), opts); }, &gemm_ms);
+
+    const double speedup = gemm_ms.median > 0 ? scan_ms.median / gemm_ms.median : 0;
+    if (crossover == 0 && speedup > 1.0) crossover = k;
+    ctx.row()
+        .label("k", static_cast<long long>(k))
+        .timing("scan_ms_per_iter", scan_ms.scaled(1e3))
+        .timing("gemm_ms_per_iter", gemm_ms.scaled(1e3))
+        .timing("gemm_speedup", speedup);
+  }
+  ctx.row()
+      .label("k", "crossover")
+      .timing("gemm_speedup",
+              crossover > 0 ? crossover : 0);  // smallest swept k GEMM wins
+  ctx.chart("gemm_speedup");
+}
+
+const Registration reg({
+    "gemm_crossover",
+    "Ablation: blocked-GEMM vs full-scan crossover in k",
+    "DESIGN.md §12 crossover methodology",
+    "The tiled GEMM engine pays per-iteration packing + fused-epilogue "
+    "overhead that amortizes with n, and does one FMA per element where "
+    "the (a-b)^2 scan does subtract + FMA, with each packed panel line "
+    "reused across a register block of rows — an advantage that grows "
+    "with k. At smoke scale (n=2000, sub-ms timings) the crossover lands "
+    "around k=128-256; at --scale paper (n=100000) GEMM wins the whole "
+    "sweep and decisively at large k: 1.26x at k=256, 1.27x at k=512.",
+    335, run});
+
+}  // namespace

@@ -7,6 +7,7 @@
 #include "common/timer.hpp"
 #include "core/init.hpp"
 #include "core/kernels/simd.hpp"
+#include "core/run_metrics.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
@@ -39,8 +40,8 @@ class DenseRowObject final : public RowObject {
 }  // namespace
 
 Result turi_like(ConstMatrixView data, const Options& opts) {
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  knor::detail::RunMetricsScope run_metrics;
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -148,6 +149,7 @@ Result turi_like(ConstMatrixView data, const Options& opts) {
     res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.thread_busy_s = tbusy;
   res.centroids = std::move(cur);
+  run_metrics.finish(res);
   return res;
 }
 

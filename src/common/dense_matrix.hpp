@@ -117,4 +117,107 @@ class DenseMatrix {
   index_t cols_ = 0;
 };
 
+/// 2D-partitioned panel layout over a row-major matrix (DESIGN.md §12).
+///
+/// The source is cut into a grid of row-blocks × col-blocks; each (I, J)
+/// panel is stored contiguously, COLUMN-major inside the panel: for every
+/// column of the block, `row_stride()` consecutive values (one per row of
+/// the block, zero-padded past the matrix edge and up to the stride).
+/// Every panel base — and, because the stride is padded to a whole number
+/// of cache lines, every column line inside a panel — is 64-byte aligned,
+/// so vector kernels stream column lines with full-width aligned loads.
+///
+/// This is the layout the blocked-GEMM engine packs centroids into: a
+/// row-block is one register-tile of centroids (a "panel" of the k
+/// dimension) and the column lines are the depth dimension, streamed in
+/// ascending order so per-centroid accumulation stays strictly sequential
+/// over d regardless of the col_block cut (the §12 determinism contract).
+class TiledMatrix {
+ public:
+  /// Elements per 64-byte cache line; row strides pad up to this.
+  static constexpr index_t kLineElems = kCacheLine / sizeof(value_t);
+
+  static index_t padded_row_stride(index_t row_block) {
+    return (row_block + kLineElems - 1) / kLineElems * kLineElems;
+  }
+
+  TiledMatrix() = default;
+
+  /// (Re)pack `src` into row_block × col_block panels; reuses storage when
+  /// the geometry is unchanged (padding stays zero across repacks).
+  void pack(ConstMatrixView src, index_t row_block, index_t col_block) {
+    if (src.empty() || row_block == 0 || col_block == 0)
+      throw std::invalid_argument("TiledMatrix::pack: empty source or block");
+    const index_t rows = src.rows(), cols = src.cols();
+    const index_t stride = padded_row_stride(row_block);
+    const index_t rp = (rows + row_block - 1) / row_block;
+    const index_t cp = (cols + col_block - 1) / col_block;
+    const std::size_t panel_elems =
+        static_cast<std::size_t>(stride) * col_block;
+    if (rows != rows_ || cols != cols_ || row_block != row_block_ ||
+        col_block != col_block_) {
+      // AlignedBuffer zero-fills: padding lanes start (and stay) +0.0.
+      buf_ = AlignedBuffer<value_t>(panel_elems * rp * cp, kCacheLine);
+      rows_ = rows;
+      cols_ = cols;
+      row_block_ = row_block;
+      col_block_ = col_block;
+      stride_ = stride;
+      row_panels_ = rp;
+      col_panels_ = cp;
+    }
+    for (index_t I = 0; I < rp; ++I) {
+      const index_t r0 = I * row_block;
+      const index_t rm = rows - r0 < row_block ? rows - r0 : row_block;
+      for (index_t J = 0; J < cp; ++J) {
+        const index_t c0 = J * col_block;
+        const index_t cm = cols - c0 < col_block ? cols - c0 : col_block;
+        value_t* p = buf_.data() + (I * cp + J) * panel_elems;
+        for (index_t c = 0; c < cm; ++c)
+          for (index_t r = 0; r < rm; ++r)
+            p[c * stride + r] = src.at(r0 + r, c0 + c);
+      }
+    }
+  }
+
+  /// Base of panel (I, J): 64-byte aligned; element (r, c) of the block is
+  /// at panel(I, J)[c * row_stride() + r].
+  const value_t* panel(index_t I, index_t J) const {
+    assert(I < row_panels_ && J < col_panels_);
+    return buf_.data() +
+           (I * col_panels_ + J) *
+               (static_cast<std::size_t>(stride_) * col_block_);
+  }
+
+  /// Live columns in col-panel J (the last block may be a tail).
+  index_t panel_cols(index_t J) const {
+    assert(J < col_panels_);
+    const index_t c0 = J * col_block_;
+    return cols_ - c0 < col_block_ ? cols_ - c0 : col_block_;
+  }
+  /// Live rows in row-panel I.
+  index_t panel_rows(index_t I) const {
+    assert(I < row_panels_);
+    const index_t r0 = I * row_block_;
+    return rows_ - r0 < row_block_ ? rows_ - r0 : row_block_;
+  }
+
+  index_t rows() const noexcept { return rows_; }
+  index_t cols() const noexcept { return cols_; }
+  index_t row_block() const noexcept { return row_block_; }
+  index_t col_block() const noexcept { return col_block_; }
+  index_t row_stride() const noexcept { return stride_; }
+  index_t row_panels() const noexcept { return row_panels_; }
+  index_t col_panels() const noexcept { return col_panels_; }
+  bool empty() const noexcept { return rows_ == 0; }
+  std::size_t bytes() const noexcept { return buf_.size() * sizeof(value_t); }
+
+ private:
+  AlignedBuffer<value_t> buf_;
+  index_t rows_ = 0, cols_ = 0;
+  index_t row_block_ = 0, col_block_ = 0;
+  index_t stride_ = 0;
+  index_t row_panels_ = 0, col_panels_ = 0;
+};
+
 }  // namespace knor

@@ -19,6 +19,7 @@
 #include "core/engines.hpp"
 #include "core/init.hpp"
 #include "core/kernels/simd.hpp"
+#include "core/run_metrics.hpp"
 #include "core/local_centroids.hpp"
 #include "numa/partitioner.hpp"
 #include "numa/topology.hpp"
@@ -27,8 +28,8 @@
 namespace knor {
 
 Result elkan_ti(ConstMatrixView data, const Options& opts) {
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  knor::detail::RunMetricsScope run_metrics;
   // Elkan's bound algebra is in TRUE distances; the kernels return squared.
   const auto edist = [&K](const value_t* a, const value_t* b, index_t dim) {
     return std::sqrt(K.dist_sq(a, b, dim));
@@ -221,6 +222,7 @@ Result elkan_ti(ConstMatrixView data, const Options& opts) {
   for (index_t r = 0; r < n; ++r)
     res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
+  run_metrics.finish(res);
   return res;
 }
 

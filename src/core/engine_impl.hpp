@@ -34,6 +34,7 @@
 #include "core/kmeans_types.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
+#include "core/run_metrics.hpp"
 #include "numa/cost_model.hpp"
 #include "numa/partitioner.hpp"
 #include "obs/registry.hpp"
@@ -99,11 +100,13 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
                           GlobalReducer* reducer = nullptr) {
   const int T = sched.threads();
   const int k = opts.k;
-  // One ISA for the whole run: every distance below (pruned per-centroid,
+  // One ISA for the whole run, resolved from opts rather than the
+  // process-global dispatch (concurrent runs with different --simd must not
+  // retarget each other): every distance below (pruned per-centroid,
   // blocked full scan, energy pass) goes through the same kernel table, so
   // the blocked/per-centroid bitwise-equality contract of kernels/simd.hpp
   // keeps pruned and unpruned paths in exact agreement.
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
   const index_t task_size =
       sched::Scheduler::resolve_task_size(n, opts.task_size);
   const auto chunks = static_cast<std::size_t>(
@@ -392,28 +395,12 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   res.counters.tasks_remote_node = steals.remote_node;
 
   // Publish the run's counters into the global registry — bulk adds at run
-  // end, so the hot loops above keep their plain per-thread structs. The
-  // algorithmic counters are deterministic (pure functions of data + opts,
-  // like the clustering); the attribution counters follow the steal
-  // schedule (Counters doc above / DESIGN.md §6).
-  using obs::Det;
-  reg.counter("core.dist_computations", Det::kDeterministic)
-      .add(res.counters.dist_computations);
-  reg.counter("core.clause1_skips", Det::kDeterministic)
-      .add(res.counters.clause1_skips);
-  reg.counter("core.clause2_skips", Det::kDeterministic)
-      .add(res.counters.clause2_skips);
-  reg.counter("core.clause3_skips", Det::kDeterministic)
-      .add(res.counters.clause3_skips);
-  reg.counter("core.iterations", Det::kDeterministic)
-      .add(static_cast<std::uint64_t>(res.iters));
-  reg.counter("core.local_accesses", Det::kTiming)
-      .add(res.counters.local_accesses);
-  reg.counter("core.remote_accesses", Det::kTiming)
-      .add(res.counters.remote_accesses);
-  reg.counter("sched.tasks_own", Det::kTiming).add(steals.own);
-  reg.counter("sched.tasks_same_node", Det::kTiming).add(steals.same_node);
-  reg.counter("sched.tasks_remote_node", Det::kTiming).add(steals.remote_node);
+  // end through the shared mapping (core/run_metrics.hpp), so the hot loops
+  // above keep their plain per-thread structs and --metrics agrees with
+  // Result::counters by construction. The registry slice attaches only for
+  // single-run processes; knord ranks publish without attaching (their
+  // sibling ranks share the registry) and dist::kmeans diffs cluster-wide.
+  publish_run_counters(res);
   if (reducer == nullptr) res.metrics = obs::diff(obs_before, reg.snapshot());
 
   res.centroids = std::move(cur);

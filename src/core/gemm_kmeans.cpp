@@ -1,51 +1,48 @@
-// GEMM-formulated Lloyd's — the MATLAB/BLAS stand-in of Table 3.
+// Blocked-GEMM Lloyd's — the MATLAB/BLAS comparator of Table 3, now a true
+// tiled engine (DESIGN.md §12).
 //
 // Phase I is expressed algebraically: d^2(x, c) = ||x||^2 - 2 x.c + ||c||^2,
-// so the n x k distance-squared matrix is a rank-d product X C^T plus rank-1
-// corrections. We implement the product with a cache-blocked dgemm kernel
-// (no external BLAS). This reproduces the characteristic behaviour the
-// paper measures: GEMM does all nk dot products every iteration (no
-// pruning) and materializes an n x k block, so it loses to the iterative
-// kernel at Table-3 scale while staying within the same order of magnitude.
-#include <cstring>
+// so the assignment is an argmin over the rank-d product X C^T plus rank-1
+// corrections. Instead of materializing the n x k product (the old
+// implementation's memory cost), centroids are packed once per iteration
+// into a 2D-partitioned TiledMatrix — row-blocks of kGemmPanelWidth
+// centroids x col-blocks of the depth, every panel 64-byte aligned — and
+// the per-ISA register-tiled gemm_argmin kernel streams cache-sized tiles
+// of data rows against centroid panels with the fused
+// ||x||^2 + ||c||^2 - 2 x.c argmin epilogue: only mr x nr accumulator
+// tiles ever exist, and each panel sweep is amortized over a whole row
+// block (where the row-at-a-time K.dot formulation reloaded all k
+// centroids per point).
+//
+// Determinism: the cache tile (--gemm-tile) is a pure performance knob.
+// Each (row, centroid) dot accumulates strictly sequentially over the
+// depth inside the kernel, panels are swept in ascending centroid order,
+// and the per-chunk accumulators stay keyed to the scheduler's 1D row-
+// chunk grid (a pure function of n and task_size) with the fixed-tree
+// fold — so centroids and assignments are bitwise invariant across tile
+// shapes, thread counts and scheduling policies (the §7/§8 contract,
+// extended by §12; pinned in conformance_test and exactness_test).
 #include <limits>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "core/chunk_accum.hpp"
 #include "core/engines.hpp"
 #include "core/init.hpp"
 #include "core/kernels/simd.hpp"
-#include "core/chunk_accum.hpp"
 #include "core/local_centroids.hpp"
+#include "core/run_metrics.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
 
 namespace knor {
-namespace {
-
-// C = A (rows x d, row-major) * B^T (k x d, row-major) -> rows x k, blocked.
-// One call per scheduler task; rows index into the full matrices. The
-// inner dot goes through the dispatched SIMD kernel.
-void gemm_nt_rows(const kernels::Ops& K, const value_t* a, const value_t* b,
-                  value_t* c, index_t row_begin, index_t row_end, index_t d,
-                  int k) {
-  constexpr index_t kBlockRows = 64;
-  for (index_t i0 = row_begin; i0 < row_end; i0 += kBlockRows) {
-    const index_t i1 = std::min(row_end, i0 + kBlockRows);
-    for (index_t i = i0; i < i1; ++i) {
-      const value_t* ai = a + static_cast<std::size_t>(i) * d;
-      value_t* ci = c + static_cast<std::size_t>(i) * k;
-      for (int j = 0; j < k; ++j)
-        ci[j] = K.dot(ai, b + static_cast<std::size_t>(j) * d, d);
-    }
-  }
-}
-
-}  // namespace
 
 Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  // Hoisted once per run: no engine mutates the process-global dispatch
+  // any more, so two concurrent runs with different --simd cannot retarget
+  // each other's kernels.
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  detail::RunMetricsScope metrics;
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -55,79 +52,102 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
   DenseMatrix cur = init_centroids(data, opts);
   DenseMatrix next(static_cast<index_t>(k), d);
 
-  // BLAS-library stand-ins parallelize with a static row split; model that
-  // with the scheduler's kStatic policy (no stealing). The accumulation is
-  // still keyed to the chunk grid and folded with the fixed tree, so like
-  // every engine the result is bitwise independent of the thread count
-  // (DESIGN.md §7) — only the execution schedule is BLAS-shaped.
   const auto topo = opts.numa_nodes > 0
                         ? numa::Topology::simulated(opts.numa_nodes)
                         : numa::Topology::detect();
   const int T = opts.threads > 0 ? opts.threads : topo.num_cpus();
   sched::Scheduler sched(T, topo, /*bind=*/opts.numa_aware && opts.numa_bind,
-                         sched::SchedPolicy::kStatic);
+                         opts.sched);
   const index_t task_size =
       sched::Scheduler::resolve_task_size(n, opts.task_size);
   const auto chunks =
       static_cast<std::size_t>(sched::Scheduler::num_chunks(n, task_size));
   ChunkAccum<LocalCentroids> locals(chunks, k, d);
   std::vector<std::uint64_t> tchanged(static_cast<std::size_t>(T), 0);
+  // Per-worker CPU seconds for the §1.6 makespan proxy — same convention
+  // as engine_impl (super-phase only, fold excluded), so oversubscribed
+  // containers compare engines on work, not on how many workers fit.
+  std::vector<double> tbusy(static_cast<std::size_t>(T), 0.0);
 
-  // Row norms are iteration-invariant; they do not even affect the argmin,
-  // but GEMM implementations compute them anyway — keep the work faithful.
-  std::vector<value_t> xnorm(static_cast<std::size_t>(n));
-  for (index_t r = 0; r < n; ++r)
-    xnorm[static_cast<std::size_t>(r)] = K.dot(data.row(r), data.row(r), d);
+  // Cache-level blocking: `tile.rows` data rows share each sweep over
+  // `tile.cols / kGemmPanelWidth` centroid panels. The 2D tile grid is
+  // (scheduler row chunk x centroid panel range); accumulation stays keyed
+  // to the 1D row-chunk slots, so the centroid cut never affects results.
+  const GemmTile tile = resolve_gemm_tile(opts.gemm_tile, n, k);
+  const index_t width = kernels::kGemmPanelWidth;
+  const index_t panels = (static_cast<index_t>(k) + width - 1) / width;
+  const index_t panel_step = tile.cols / width;
+
+  // Per-worker running argmin state for one row block (score = fused
+  // ||c||^2 - 2 x.c; the ||x||^2 term is row-constant and drops out).
+  std::vector<std::vector<value_t>> tscore(
+      static_cast<std::size_t>(T),
+      std::vector<value_t>(static_cast<std::size_t>(tile.rows)));
+  std::vector<std::vector<cluster_t>> tbest(
+      static_cast<std::size_t>(T),
+      std::vector<cluster_t>(static_cast<std::size_t>(tile.rows)));
 
   std::vector<value_t> cnorm(static_cast<std::size_t>(k));
-  // The n x k product block — the GEMM formulation's memory cost.
-  std::vector<value_t> prod(static_cast<std::size_t>(n) * k);
+  TiledMatrix ctiles;
 
   const auto tol_changes =
       static_cast<std::uint64_t>(opts.tolerance * static_cast<double>(n));
 
   for (int it = 0; it < opts.max_iters; ++it) {
     WallTimer timer;
+    const double driver_start = thread_cpu_seconds();
+    // Packing discipline: centroids move every iteration until
+    // convergence, so the panels (and the fused epilogue's ||c||^2 terms)
+    // are rebuilt here, once per iteration, on the driver thread — O(k*d),
+    // noise next to the O(n*k*d) product. A frozen-centroid caller (e.g.
+    // assignment-only serving) would pack exactly once per run.
+    ctiles.pack(cur.const_view(), width, d);
     for (int c = 0; c < k; ++c) {
       const value_t* row = cur.row(static_cast<index_t>(c));
       cnorm[static_cast<std::size_t>(c)] = K.dot(row, row, d);
     }
-    // Chunked dgemm: each task owns a disjoint row block of `prod`.
-    sched.parallel_for(n, task_size, nullptr,
-                       [&](int, const sched::Task& task) {
-                         gemm_nt_rows(K, data.data(), cur.data(),
-                                      prod.data(), task.begin, task.end, d,
-                                      k);
-                       });
-    res.counters.dist_computations +=
-        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+    res.driver_serial_s += thread_cpu_seconds() - driver_start;
 
     sched.begin_chunks(n, task_size, nullptr);
     sched.run([&](int tid) {
+      const double cpu_start = thread_cpu_seconds();
       tchanged[static_cast<std::size_t>(tid)] = 0;
+      value_t* score = tscore[static_cast<std::size_t>(tid)].data();
+      cluster_t* best = tbest[static_cast<std::size_t>(tid)].data();
       sched::Task task;
       while (sched.next_chunk(tid, task)) {
         auto& acc = locals.touch(task.chunk);
-        for (index_t r = task.begin; r < task.end; ++r) {
-          const value_t* pr = prod.data() + static_cast<std::size_t>(r) * k;
-          cluster_t best = 0;
-          value_t best_d = cnorm[0] - 2 * pr[0];
-          for (int c = 1; c < k; ++c) {
-            const value_t dc = cnorm[static_cast<std::size_t>(c)] - 2 * pr[c];
-            if (dc < best_d) {
-              best_d = dc;
-              best = static_cast<cluster_t>(c);
-            }
+        for (index_t r0 = task.begin; r0 < task.end; r0 += tile.rows) {
+          const index_t m =
+              task.end - r0 < tile.rows ? task.end - r0 : tile.rows;
+          for (index_t i = 0; i < m; ++i) {
+            score[i] = std::numeric_limits<value_t>::infinity();
+            best[i] = 0;
           }
-          if (best != res.assignments[r])
-            ++tchanged[static_cast<std::size_t>(tid)];
-          res.assignments[r] = best;
-          acc.add(best, data.row(r));
+          // Streamed k-panel argmin: ascending panel ranges keep the
+          // ties->lowest-index rule; the running (best, score) state is
+          // all that persists between sweeps.
+          for (index_t p0 = 0; p0 < panels; p0 += panel_step)
+            K.gemm_argmin(data.row(r0), m, d, ctiles, p0,
+                          panels - p0 < panel_step ? panels : p0 + panel_step,
+                          cnorm.data(), best, score);
+          for (index_t i = 0; i < m; ++i) {
+            const index_t r = r0 + i;
+            if (best[i] != res.assignments[r])
+              ++tchanged[static_cast<std::size_t>(tid)];
+            res.assignments[r] = best[i];
+            acc.add(best[i], data.row(r));
+          }
         }
       }
+      tbusy[static_cast<std::size_t>(tid)] +=
+          thread_cpu_seconds() - cpu_start;
       sched.barrier().arrive_and_wait();
       locals.fold(tid, T, sched.barrier());
     });
+    res.counters.dist_computations +=
+        static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(k);
+
     std::uint64_t changed = 0;
     for (const auto tc : tchanged) changed += tc;
     res.cluster_sizes = locals.merged().finalize_into(next, cur);
@@ -143,7 +163,9 @@ Result gemm_kmeans(ConstMatrixView data, const Options& opts) {
 
   for (index_t r = 0; r < n; ++r)
     res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
+  res.thread_busy_s.assign(tbusy.begin(), tbusy.end());
   res.centroids = std::move(cur);
+  metrics.finish(res);
   return res;
 }
 

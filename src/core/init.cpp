@@ -64,7 +64,10 @@ DenseMatrix init_random_partition(ConstMatrixView data, const Options& opts) {
 }
 
 DenseMatrix init_kmeanspp(ConstMatrixView data, const Options& opts) {
-  const kernels::Ops& K = kernels::ops();
+  // Resolved per run, never via the process-global dispatch: the D^2
+  // distances must use the same ISA as the engine that follows, even with
+  // concurrent runs requesting different --simd in one process.
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
   const index_t n = data.rows();
   const index_t d = data.cols();
   DenseMatrix centroids(static_cast<index_t>(opts.k), d);

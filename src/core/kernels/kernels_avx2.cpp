@@ -53,6 +53,8 @@ struct Avx2Traits {
     const vec hi = _mm256_permute2f128_pd(t0, t1, 0x31);  // (a23 b23 c23 d23)
     _mm256_storeu_pd(out, _mm256_add_pd(lo, hi));
   }
+  static vec broadcast(value_t x) { return _mm256_set1_pd(x); }
+  static void storeu(value_t* p, vec v) { _mm256_storeu_pd(p, v); }
 };
 
 }  // namespace

@@ -62,6 +62,8 @@ struct Avx512Traits {
     const __m256d hi = _mm256_permute2f128_pd(t0, t1, 0x31);
     _mm256_storeu_pd(out, _mm256_add_pd(lo, hi));
   }
+  static vec broadcast(value_t x) { return _mm512_set1_pd(x); }
+  static void storeu(value_t* p, vec v) { _mm512_storeu_pd(p, v); }
 };
 
 }  // namespace

@@ -43,6 +43,49 @@ cluster_t scalar_nearest_blocked(const value_t* point,
   return best;
 }
 
+// Fused-scalar GEMM-argmin reference (DESIGN.md §12): per (row, centroid)
+// the dot product accumulates strictly sequentially over the depth —
+// ascending col-panels, ascending columns — which is the exact reduction
+// order the vector variants reproduce lane-by-lane. On integer-valued data
+// every sum is exact, so all ISAs agree with this reference bitwise
+// (tests/conformance_test.cpp's GEMM clause).
+void scalar_gemm_argmin(const value_t* a, index_t mrows, index_t lda,
+                        const TiledMatrix& b, index_t p0, index_t p1,
+                        const value_t* cnorm, cluster_t* best,
+                        value_t* score) {
+  const index_t rs = b.row_stride();
+  const index_t k = b.rows();
+  const index_t cp = b.col_panels();
+  const index_t cb = b.col_block();
+  const std::size_t panel_elems = static_cast<std::size_t>(rs) * cb;
+  for (index_t i = 0; i < mrows; ++i) {
+    const value_t* row = a + i * lda;
+    for (index_t P = p0; P < p1; ++P) {
+      const index_t jbase = P * kGemmPanelWidth;
+      const index_t jcnt =
+          k - jbase < kGemmPanelWidth ? k - jbase : kGemmPanelWidth;
+      value_t dots[kGemmPanelWidth] = {};
+      const value_t* base = b.panel(P, 0);
+      for (index_t J = 0; J < cp; ++J) {
+        const value_t* pp = base + J * panel_elems;
+        const index_t cm = b.panel_cols(J);
+        for (index_t c = 0; c < cm; ++c) {
+          const value_t av = row[J * cb + c];
+          const value_t* line = pp + c * rs;
+          for (index_t t = 0; t < jcnt; ++t) dots[t] += av * line[t];
+        }
+      }
+      for (index_t t = 0; t < jcnt; ++t) {
+        const value_t s = cnorm[jbase + t] - 2 * dots[t];
+        if (s < score[i]) {
+          score[i] = s;
+          best[i] = static_cast<cluster_t>(jbase + t);
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Ops scalar_ops() {
@@ -52,6 +95,7 @@ Ops scalar_ops() {
   ops.dot = &scalar_dot;
   ops.nearest = &scalar_nearest;
   ops.nearest_blocked = &scalar_nearest_blocked;
+  ops.gemm_argmin = &scalar_gemm_argmin;
   return ops;
 }
 

@@ -38,6 +38,8 @@ struct Sse2Traits {
   static void reduce_tile(const vec s[4], value_t out[4]) {
     for (int t = 0; t < 4; ++t) out[t] = hsum(s[t]);
   }
+  static vec broadcast(value_t x) { return _mm_set1_pd(x); }
+  static void storeu(value_t* p, vec v) { _mm_storeu_pd(p, v); }
 };
 
 }  // namespace

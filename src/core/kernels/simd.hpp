@@ -25,6 +25,11 @@
 //    stand-in inner product now uses the shared dot kernel instead of its
 //    private sequential loop, and minibatch's energy accumulates exact
 //    squared distances instead of sqrt-then-square.)
+//  * The fused GEMM-argmin kernel accumulates every (row, centroid) dot
+//    product strictly sequentially over the depth dimension (one panel
+//    lane per centroid), so its result is additionally bitwise invariant
+//    across cache-tile shapes and panel-range splits for a given ISA
+//    (DESIGN.md §12).
 //  * Different ISAs may differ in the last ulp on fractional data (FMA,
 //    different association); on integer-valued data every sum is exact so
 //    all ISAs agree bitwise (tests/conformance_test.cpp relies on this).
@@ -96,6 +101,16 @@ class CentroidPack {
   index_t stride_ = 0;
 };
 
+/// Centroids per GEMM panel: one 64-byte cache line of doubles. The
+/// blocked-GEMM engine packs centroids into a TiledMatrix with
+/// row_block == kGemmPanelWidth, so each depth step of a panel is a single
+/// aligned column line every ISA consumes in its own lane width (8 scalar
+/// adds / 4 SSE2 pairs / 2 AVX2 quads / 1 AVX-512 vector). The panel width
+/// is ISA-independent on purpose: one pack per iteration serves every
+/// kernel table, and lane j of a column line always belongs to centroid
+/// panel_base + j.
+inline constexpr index_t kGemmPanelWidth = kCacheLine / sizeof(value_t);
+
 /// One ISA's kernel table. All distances are SQUARED Euclidean — the
 /// single sqrt the MTI bookkeeping needs lives at its call site.
 struct Ops {
@@ -113,6 +128,26 @@ struct Ops {
   /// independent dist_sq calls (see the header comment).
   cluster_t (*nearest_blocked)(const value_t* point, const CentroidPack& pack,
                                value_t* out_sq) = nullptr;
+  /// Fused blocked-GEMM argmin epilogue (DESIGN.md §12): streams `mrows`
+  /// row-major data rows (leading dimension lda) against centroid panels
+  /// [p0, p1) of `b` — a TiledMatrix packed from the k x d centroid matrix
+  /// with row_block == kGemmPanelWidth — updating per-row running state
+  ///   score[i] = min_j  ||c_j||^2 - 2 <x_i, c_j>     (cnorm[j] = ||c_j||^2)
+  /// and best[i] = the argmin. ||x_i||^2 is constant per row, so it drops
+  /// out of the fused ||x||^2 + ||c||^2 - 2 x.c argmin; the n x k product
+  /// never materializes — only mr x nr register tiles live at once.
+  ///
+  /// Callers initialize best[i] = 0, score[i] = +inf once per row and may
+  /// split [0, row_panels) into any ascending sequence of [p0, p1) sweeps:
+  /// each (i, j) dot accumulates strictly sequentially over the depth (one
+  /// panel lane per centroid, ascending col-panels), and the epilogue
+  /// compares lanes in ascending j with strict '<', so the result is
+  /// bitwise invariant across mrows grouping, panel-range cuts and the
+  /// pack's col_block — the tile-shape determinism contract.
+  void (*gemm_argmin)(const value_t* a, index_t mrows, index_t lda,
+                      const TiledMatrix& b, index_t p0, index_t p1,
+                      const value_t* cnorm, cluster_t* best,
+                      value_t* score) = nullptr;
 };
 
 /// True when `isa` is both compiled into this binary and supported by the

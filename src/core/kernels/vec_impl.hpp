@@ -41,8 +41,20 @@
 //     // out[t] must be bitwise == hsum(s[t]); a Traits may batch the
 //     // four reductions with shuffles as long as the per-accumulator
 //     // ASSOCIATION matches its hsum exactly
+//   static vec broadcast(value_t);             // splat one scalar
+//   static void storeu(value_t*, vec);         // unaligned full store
+//
+//  * gemm_argmin_t (DESIGN.md §12) needs no horizontal reduction at all:
+//    each lane of a panel column line IS one centroid, so a lane's
+//    accumulator holds that centroid's full dot product — accumulated
+//    strictly sequentially over the depth by construction, for every lane
+//    width. That single property makes the fused GEMM result bitwise
+//    invariant across register-block (mr), cache-tile and panel-range
+//    choices per ISA, which is what lets --gemm-tile be a pure
+//    performance knob.
 #pragma once
 
+#include <cassert>
 #include <limits>
 
 #include "common/types.hpp"
@@ -170,6 +182,78 @@ cluster_t nearest_blocked_t(const value_t* point, const CentroidPack& pack,
   return best;
 }
 
+/// Data rows per register block of the fused GEMM kernel: 4 rows x
+/// (kGemmPanelWidth / kW) accumulators + one broadcast + the shared column
+/// line stays inside the 16-register AVX file; SSE2 spills but SSE2 is the
+/// compatibility tier, not the performance tier. The value is a pure
+/// scheduling choice — per-row state is independent, so results do not
+/// depend on it (see gemm_argmin_t).
+inline constexpr index_t kGemmMr = 4;
+
+template <class V>
+void gemm_argmin_t(const value_t* a, index_t mrows, index_t lda,
+                   const TiledMatrix& b, index_t p0, index_t p1,
+                   const value_t* cnorm, cluster_t* best, value_t* score) {
+  // One column line = kGemmPanelWidth lanes = kNV vectors of this ISA.
+  constexpr index_t kNV = kGemmPanelWidth / V::kW;
+  static_assert(kGemmPanelWidth % V::kW == 0,
+                "panel width must be a whole number of vectors");
+  const index_t rs = b.row_stride();
+  assert(b.row_block() == kGemmPanelWidth && rs == kGemmPanelWidth);
+  const index_t k = b.rows();
+  const index_t cp = b.col_panels();
+  const index_t cb = b.col_block();
+
+  for (index_t i0 = 0; i0 < mrows; i0 += kGemmMr) {
+    const index_t im = mrows - i0 < kGemmMr ? mrows - i0 : kGemmMr;
+    for (index_t P = p0; P < p1; ++P) {
+      typename V::vec acc[kGemmMr][kNV];
+      for (index_t i = 0; i < im; ++i)
+        for (index_t v = 0; v < kNV; ++v) acc[i][v] = V::zero();
+      // Ascending col-panels, ascending columns inside each: lane j of
+      // acc[i] accumulates <row i0+i, centroid P*width+j> strictly
+      // sequentially over the depth, whatever the pack's col_block is.
+      const value_t* base = b.panel(P, 0);
+      const std::size_t panel_elems = static_cast<std::size_t>(rs) * cb;
+      for (index_t J = 0; J < cp; ++J) {
+        const value_t* pp = base + J * panel_elems;
+        const index_t cm = b.panel_cols(J);
+        const value_t* arow = a + J * cb;
+        for (index_t c = 0; c < cm; ++c) {
+          const value_t* line = pp + c * rs;
+          for (index_t i = 0; i < im; ++i) {
+            const typename V::vec av =
+                V::broadcast(arow[(i0 + i) * lda + c]);
+            for (index_t v = 0; v < kNV; ++v)
+              acc[i][v] = V::mul_fma(av, V::load(line + v * V::kW),
+                                     acc[i][v]);
+          }
+        }
+      }
+      // Fused epilogue: score = ||c||^2 - 2 x.c per live lane, compared in
+      // ascending j (strict '<' keeps ties -> lowest index). Padding lanes
+      // (j >= k) are simply never visited.
+      const index_t jbase = P * kGemmPanelWidth;
+      const index_t jcnt =
+          k - jbase < kGemmPanelWidth ? k - jbase : kGemmPanelWidth;
+      for (index_t i = 0; i < im; ++i) {
+        value_t dots[kGemmPanelWidth];
+        for (index_t v = 0; v < kNV; ++v)
+          V::storeu(dots + v * V::kW, acc[i][v]);
+        value_t& bs = score[i0 + i];
+        cluster_t& bb = best[i0 + i];
+        for (index_t t = 0; t < jcnt; ++t) {
+          const value_t s = cnorm[jbase + t] - 2 * dots[t];
+          if (s < bs) {
+            bs = s;
+            bb = static_cast<cluster_t>(jbase + t);
+          }
+        }
+      }
+    }
+  }
+}
+
 template <class V>
 Ops make_ops(Isa isa) {
   Ops ops;
@@ -178,6 +262,7 @@ Ops make_ops(Isa isa) {
   ops.dot = &dot_t<V>;
   ops.nearest = &nearest_t<V>;
   ops.nearest_blocked = &nearest_blocked_t<V>;
+  ops.gemm_argmin = &gemm_argmin_t<V>;
   return ops;
 }
 

@@ -26,6 +26,30 @@ enum class Init {
 
 const char* to_string(Init init);
 
+/// Cache-level tile of the blocked-GEMM engine (CLI --gemm-tile "RxC"):
+/// each sweep streams `rows` data rows against `cols` centroids' panels.
+/// 0 = auto (resolve_gemm_tile picks an L2-resident shape). A pure
+/// performance knob: the fused kernel's reduction order is tile-shape
+/// independent, so results are bitwise identical for every tile (DESIGN.md
+/// §12).
+struct GemmTile {
+  index_t rows = 0;
+  index_t cols = 0;
+};
+
+/// Parses "auto" (both 0) or "RxC" with strictly positive integers.
+/// Returns false on anything else (out untouched).
+bool parse_gemm_tile(const std::string& name, GemmTile* out);
+
+/// Throwing form shared by CLI flags (std::invalid_argument naming `what`),
+/// mirroring kernels::parse_isa_or_throw: a malformed tile must exit
+/// nonzero, never silently cluster under a different shape.
+GemmTile parse_gemm_tile_or_throw(const std::string& name, const char* what);
+
+/// Fills in auto (zero) fields: 64 rows x 256 centroids, clamped to the
+/// problem and rounded up to whole kernels::kGemmPanelWidth panels.
+GemmTile resolve_gemm_tile(GemmTile tile, index_t n, int k);
+
 struct Options {
   int k = 8;
   int max_iters = 100;
@@ -60,6 +84,9 @@ struct Options {
   /// bitwise-deterministic per selected ISA; kScalar reproduces the legacy
   /// scalar kernels bit-for-bit (core/kernels/simd.hpp).
   kernels::Isa simd = kernels::Isa::kAuto;
+  /// Cache tile of the blocked-GEMM engine (gemm_kmeans only; other
+  /// engines ignore it). Default auto.
+  GemmTile gemm_tile;
   /// Used when init == kProvided; k x d.
   DenseMatrix initial_centroids;
 };

@@ -23,9 +23,6 @@ namespace detail {
 Result run_node(ConstMatrixView data, const Options& opts,
                 DenseMatrix initial, GlobalReducer* reducer) {
   if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
-  // Process-wide kernel ISA override; every rank of a knord run stores the
-  // same replicated value, so the atomic store is race-free in effect.
-  kernels::set_isa(opts.simd);
   const auto topo = opts.numa_nodes > 0
                         ? numa::Topology::simulated(opts.numa_nodes)
                         : numa::Topology::detect();
@@ -59,7 +56,6 @@ Result run_node(ConstMatrixView data, const Options& opts,
 
 Result kmeans(ConstMatrixView data, const Options& opts) {
   if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
-  kernels::set_isa(opts.simd);  // before init_centroids' D^2 distances
   DenseMatrix initial;
   {
     obs::Span span_init("init");

@@ -7,13 +7,14 @@
 #include "core/engines.hpp"
 #include "core/init.hpp"
 #include "core/kernels/simd.hpp"
+#include "core/run_metrics.hpp"
 #include "core/local_centroids.hpp"
 
 namespace knor {
 
 Result lloyd_serial(ConstMatrixView data, const Options& opts) {
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  knor::detail::RunMetricsScope run_metrics;
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -53,6 +54,7 @@ Result lloyd_serial(ConstMatrixView data, const Options& opts) {
   for (index_t r = 0; r < n; ++r)
     res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
+  run_metrics.finish(res);
   return res;
 }
 

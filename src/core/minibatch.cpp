@@ -15,6 +15,7 @@
 #include "common/timer.hpp"
 #include "core/engines.hpp"
 #include "core/kernels/simd.hpp"
+#include "core/run_metrics.hpp"
 #include "core/init.hpp"
 #include "numa/topology.hpp"
 #include "sched/scheduler.hpp"
@@ -23,8 +24,8 @@ namespace knor {
 
 Result minibatch(ConstMatrixView data, const Options& opts,
                  const MinibatchOptions& mb) {
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  knor::detail::RunMetricsScope run_metrics;
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -111,6 +112,7 @@ Result minibatch(ConstMatrixView data, const Options& opts,
   for (const auto td : tdists) res.counters.dist_computations += td;
   res.converged = false;  // mini-batch has no membership-stability criterion
   res.centroids = std::move(cur);
+  run_metrics.finish(res);
   return res;
 }
 

@@ -1,0 +1,66 @@
+// Shared per-run observability publication — the counter-parity contract:
+// every engine's --metrics output must agree with its Result::counters.
+//
+// PR 6 moved the parallel engine onto the obs registry but left the other
+// engines (gemm, minibatch, serial, locked, elkan, variants, baselines)
+// publishing only the legacy Result::counters, so their runs were invisible
+// to core.dist_computations and res.metrics stayed empty. This header is
+// the one place the mapping from Counters fields to registry names and
+// determinism classes lives; every engine entry point funnels through it so
+// the two surfaces cannot drift again (tests/obs_test.cpp pins the parity
+// for each engine).
+#pragma once
+
+#include "core/kmeans_types.hpp"
+#include "obs/registry.hpp"
+
+namespace knor::detail {
+
+/// Bulk-publish a finished run's counters into the global registry, under
+/// the same names and determinism classes for every engine. The
+/// algorithmic counters are deterministic — pure functions of (data, opts)
+/// like the clustering itself; the attribution counters (NUMA locality,
+/// steal schedule) are timing-class (DESIGN.md §6/§10).
+inline void publish_run_counters(const Result& res) {
+  using obs::Det;
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("core.dist_computations", Det::kDeterministic)
+      .add(res.counters.dist_computations);
+  reg.counter("core.clause1_skips", Det::kDeterministic)
+      .add(res.counters.clause1_skips);
+  reg.counter("core.clause2_skips", Det::kDeterministic)
+      .add(res.counters.clause2_skips);
+  reg.counter("core.clause3_skips", Det::kDeterministic)
+      .add(res.counters.clause3_skips);
+  reg.counter("core.iterations", Det::kDeterministic)
+      .add(static_cast<std::uint64_t>(res.iters));
+  reg.counter("core.local_accesses", Det::kTiming)
+      .add(res.counters.local_accesses);
+  reg.counter("core.remote_accesses", Det::kTiming)
+      .add(res.counters.remote_accesses);
+  reg.counter("sched.tasks_own", Det::kTiming).add(res.counters.tasks_own);
+  reg.counter("sched.tasks_same_node", Det::kTiming)
+      .add(res.counters.tasks_same_node);
+  reg.counter("sched.tasks_remote_node", Det::kTiming)
+      .add(res.counters.tasks_remote_node);
+}
+
+/// Snapshot-diff scope for single-process engines: construct at entry,
+/// call finish(res) once the Counters are final — it publishes them and
+/// attaches the run's registry slice to res.metrics. Engines whose runs
+/// share the process registry with concurrent siblings (knord ranks) must
+/// publish without attaching; they call publish_run_counters directly.
+class RunMetricsScope {
+ public:
+  RunMetricsScope() : before_(obs::Registry::global().snapshot()) {}
+
+  void finish(Result& res) {
+    publish_run_counters(res);
+    res.metrics = obs::diff(before_, obs::Registry::global().snapshot());
+  }
+
+ private:
+  obs::Snapshot before_;
+};
+
+}  // namespace knor::detail

@@ -8,6 +8,7 @@
 #include "core/chunk_accum.hpp"
 #include "core/init.hpp"
 #include "core/kernels/simd.hpp"
+#include "core/run_metrics.hpp"
 #include "core/local_centroids.hpp"
 #include "core/variants.hpp"
 #include "numa/partitioner.hpp"
@@ -22,7 +23,7 @@ namespace {
 /// sampling over the *unlabeled* points against the seeded centres.
 DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
                         const std::vector<cluster_t>& labels) {
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -132,8 +133,8 @@ DenseMatrix seeded_init(ConstMatrixView data, const Options& opts,
 Result seeded_kmeans(ConstMatrixView data, const Options& opts,
                      const std::vector<cluster_t>& labels) {
   if (data.empty()) throw std::invalid_argument("seeded_kmeans: empty dataset");
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  knor::detail::RunMetricsScope run_metrics;
   if (labels.size() != data.rows())
     throw std::invalid_argument("seeded_kmeans: labels size != n");
   const index_t n = data.rows();
@@ -213,6 +214,7 @@ Result seeded_kmeans(ConstMatrixView data, const Options& opts,
   for (index_t r = 0; r < n; ++r)
     res.energy += K.dist_sq(data.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
+  run_metrics.finish(res);
   return res;
 }
 

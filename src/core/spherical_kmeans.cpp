@@ -6,6 +6,7 @@
 #include "core/chunk_accum.hpp"
 #include "core/init.hpp"
 #include "core/kernels/simd.hpp"
+#include "core/run_metrics.hpp"
 #include "core/local_centroids.hpp"
 #include "core/variants.hpp"
 #include "numa/partitioner.hpp"
@@ -52,8 +53,8 @@ void normalize_centroid(value_t* c, const value_t* prev, index_t d) {
 Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
   if (data.empty())
     throw std::invalid_argument("spherical_kmeans: empty dataset");
-  kernels::set_isa(opts.simd);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
+  knor::detail::RunMetricsScope run_metrics;
   const index_t n = data.rows();
   const index_t d = data.cols();
   const int k = opts.k;
@@ -142,6 +143,7 @@ Result spherical_kmeans(ConstMatrixView data, const Options& opts) {
   for (index_t r = 0; r < n; ++r)
     res.energy += 1.0 - K.dot(unit.row(r), cur.row(res.assignments[r]), d);
   res.centroids = std::move(cur);
+  run_metrics.finish(res);
   return res;
 }
 

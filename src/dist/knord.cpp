@@ -149,7 +149,6 @@ DenseMatrix generator_initial(const data::GeneratorSpec& spec,
 Result kmeans(ConstMatrixView data, const Options& opts,
               const DistOptions& dopts) {
   validate(data.rows(), data.cols(), opts, dopts);
-  kernels::set_isa(opts.simd);  // driver-side init uses the kernels too
   const DenseMatrix initial = init_centroids(data, opts);
   return run_cluster(
       data.rows(), opts, dopts, initial,
@@ -162,7 +161,6 @@ Result kmeans(ConstMatrixView data, const Options& opts,
 Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
               const DistOptions& dopts) {
   validate(spec.n, spec.d, opts, dopts);
-  kernels::set_isa(opts.simd);
   const DenseMatrix initial = generator_initial(spec, opts);
   return run_cluster(
       spec.n, opts, dopts, initial,
@@ -177,7 +175,6 @@ Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
 Result mpi_kmeans(ConstMatrixView data, const Options& opts,
                   const DistOptions& dopts) {
   validate(data.rows(), data.cols(), opts, dopts);
-  kernels::set_isa(opts.simd);
   const DenseMatrix initial = init_centroids(data, opts);
   return run_cluster(
       data.rows(), opts, dopts, initial,

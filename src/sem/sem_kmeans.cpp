@@ -12,6 +12,7 @@
 #include "core/kernels/simd.hpp"
 #include "core/local_centroids.hpp"
 #include "core/mti.hpp"
+#include "core/run_metrics.hpp"
 #include "numa/partitioner.hpp"
 #include "core/chunk_accum.hpp"
 #include "obs/registry.hpp"
@@ -92,7 +93,6 @@ DenseMatrix sem_init_centroids(PageFile& file, IoEngine& engine,
 
 Result kmeans(const std::string& path, const Options& opts,
               const SemOptions& sem_opts, SemStats* stats) {
-  kernels::set_isa(opts.simd);
   // Per-run registry slice (DESIGN.md §10), diffed around the whole run.
   obs::Registry& reg = obs::Registry::global();
   const obs::Snapshot obs_before = reg.snapshot();
@@ -100,7 +100,7 @@ Result kmeans(const std::string& path, const Options& opts,
   // call is one sample. Timing-class, like every latency.
   obs::Histogram& io_wait_us =
       reg.histogram("sem.io_wait_us", obs::Det::kTiming);
-  const kernels::Ops& K = kernels::ops();
+  const kernels::Ops& K = kernels::ops_for(opts.simd);
   // MTI bookkeeping below is in TRUE distances (kernels return squared).
   const auto edist = [&K](const value_t* a, const value_t* b, index_t dim) {
     return std::sqrt(K.dist_sq(a, b, dim));
@@ -474,10 +474,11 @@ Result kmeans(const std::string& path, const Options& opts,
   reg.counter("sem.page_cache_hits", Det::kTiming).add(page_cache.hits());
   reg.counter("sem.page_cache_misses", Det::kTiming)
       .add(page_cache.misses());
-  reg.counter("sched.tasks_own", Det::kTiming).add(steals.own);
-  reg.counter("sched.tasks_same_node", Det::kTiming).add(steals.same_node);
-  reg.counter("sched.tasks_remote_node", Det::kTiming)
-      .add(steals.remote_node);
+  // Core counter parity (core/run_metrics.hpp): the SEM engine's distance
+  // and pruning work must show up under the same core.* names as the
+  // in-memory engines, so --metrics agrees with Result::counters here too.
+  // This also covers the sched.tasks_* names from res.counters.
+  knor::detail::publish_run_counters(res);
   res.metrics = obs::diff(obs_before, reg.snapshot());
 
   res.centroids = std::move(cur);

@@ -99,6 +99,17 @@ function(reject_step name)
   message(STATUS "cli_smoke ${name}: rejected as expected")
 endfunction()
 
+# Stricter form for usage()-routed rejections: the documented exit code is
+# exactly 2 (not a crash, not a generic 1).
+function(reject_step2 name)
+  execute_process(COMMAND ${ARGN} RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR
+            "cli_smoke: ${name} expected exit 2, got '${rc}'")
+  endif()
+  message(STATUS "cli_smoke ${name}: rejected with exit 2 as expected")
+endfunction()
+
 reject_step(bad_mode ${KNOR_CLI} cluster --data ${DATA} --mode bogus --k 2)
 reject_step(bad_numa_bind ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
             --numa-bind sideways)
@@ -117,6 +128,25 @@ reject_step(bad_simd_env ${CMAKE_COMMAND} -E env KNOR_SIMD=quantum
             ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2 --iters 2)
 run_step(good_simd_env ${CMAKE_COMMAND} -E env KNOR_SIMD=scalar
          ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2 --iters 2)
+# Blocked-GEMM engine plumbing: --algo selects it, --gemm-tile shapes the
+# cache tile, and malformed tiles exit 2 through the strict parser rather
+# than silently clustering under a different shape.
+run_step(cluster_im_gemm ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 2 --algo gemm)
+run_step(cluster_im_gemm_tile ${KNOR_CLI} cluster --data ${DATA} --mode im
+         --k 4 --iters 10 --threads 2 --algo gemm --gemm-tile 32x16)
+reject_step2(bad_algo ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
+             --algo blas)
+reject_step2(bad_gemm_tile ${KNOR_CLI} cluster --data ${DATA} --mode im
+             --k 2 --algo gemm --gemm-tile 0x4)
+reject_step2(bad_gemm_tile_nox ${KNOR_CLI} cluster --data ${DATA} --mode im
+             --k 2 --algo gemm --gemm-tile 8)
+reject_step2(bad_gemm_tile_tail ${KNOR_CLI} cluster --data ${DATA} --mode im
+             --k 2 --algo gemm --gemm-tile 8x)
+reject_step2(bad_gemm_tile_alpha ${KNOR_CLI} cluster --data ${DATA} --mode im
+             --k 2 --algo gemm --gemm-tile axb)
+reject_step2(bad_gemm_tile_neg ${KNOR_CLI} cluster --data ${DATA} --mode im
+             --k 2 --algo gemm --gemm-tile 8x-4)
 
 # knor_bench numeric flags are strictly parsed: `--repeats abc` used to
 # atoi to 0 and "succeed" with no samples.

@@ -197,6 +197,75 @@ TEST(MemoryTracker, RssProbesReturnPlausibleValues) {
   EXPECT_GE(peak, rss / 2);  // peak is near-or-above current
 }
 
+TEST(TiledMatrix2D, PanelLayoutRoundTrips) {
+  // Fill a 13x10 matrix with distinct values, pack into 8x4 panels, and
+  // read every element back through the documented addressing:
+  // panel(I, J)[c * row_stride() + r] == src(I*rb + r, J*cb + c).
+  const index_t rows = 13, cols = 10, rb = 8, cb = 4;
+  DenseMatrix m(rows, cols);
+  for (index_t r = 0; r < rows; ++r)
+    for (index_t c = 0; c < cols; ++c)
+      m.at(r, c) = static_cast<value_t>(r * 100 + c);
+  TiledMatrix t;
+  t.pack(m.const_view(), rb, cb);
+  EXPECT_EQ(t.rows(), rows);
+  EXPECT_EQ(t.cols(), cols);
+  EXPECT_EQ(t.row_panels(), 2u);
+  EXPECT_EQ(t.col_panels(), 3u);
+  EXPECT_EQ(t.row_stride(), TiledMatrix::padded_row_stride(rb));
+  for (index_t I = 0; I < t.row_panels(); ++I)
+    for (index_t J = 0; J < t.col_panels(); ++J) {
+      const value_t* p = t.panel(I, J);
+      // Panel bases are cache-line aligned for the kernels' aligned loads.
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % kCacheLine, 0u);
+      for (index_t c = 0; c < t.panel_cols(J); ++c)
+        for (index_t r = 0; r < t.panel_rows(I); ++r)
+          EXPECT_EQ(p[c * t.row_stride() + r], m.at(I * rb + r, J * cb + c))
+              << "panel " << I << "," << J << " r=" << r << " c=" << c;
+    }
+}
+
+TEST(TiledMatrix2D, TailPanelsAreZeroPadded) {
+  // 5 rows into 8-row blocks: lanes 5..7 of every column line must be +0.0
+  // (the GEMM kernel's dead lanes multiply into these).
+  DenseMatrix m(5, 3);
+  for (index_t r = 0; r < 5; ++r)
+    for (index_t c = 0; c < 3; ++c) m.at(r, c) = 7.0;
+  TiledMatrix t;
+  t.pack(m.const_view(), 8, 3);
+  const value_t* p = t.panel(0, 0);
+  for (index_t c = 0; c < 3; ++c)
+    for (index_t r = 5; r < t.row_stride(); ++r)
+      EXPECT_EQ(p[c * t.row_stride() + r], 0.0) << "lane " << r;
+}
+
+TEST(TiledMatrix2D, RepackReusesStorageAndKeepsPaddingZero) {
+  DenseMatrix m(5, 3);
+  for (index_t r = 0; r < 5; ++r)
+    for (index_t c = 0; c < 3; ++c) m.at(r, c) = 1.0;
+  TiledMatrix t;
+  t.pack(m.const_view(), 8, 3);
+  const value_t* before = t.panel(0, 0);
+  for (index_t r = 0; r < 5; ++r)
+    for (index_t c = 0; c < 3; ++c) m.at(r, c) = 2.0;
+  t.pack(m.const_view(), 8, 3);  // same geometry: no reallocation
+  EXPECT_EQ(t.panel(0, 0), before);
+  for (index_t c = 0; c < 3; ++c) {
+    for (index_t r = 0; r < 5; ++r)
+      EXPECT_EQ(t.panel(0, 0)[c * t.row_stride() + r], 2.0);
+    for (index_t r = 5; r < t.row_stride(); ++r)
+      EXPECT_EQ(t.panel(0, 0)[c * t.row_stride() + r], 0.0);
+  }
+}
+
+TEST(TiledMatrix2D, RejectsEmptySourceAndZeroBlocks) {
+  DenseMatrix m(4, 4);
+  TiledMatrix t;
+  EXPECT_THROW(t.pack(ConstMatrixView{}, 8, 4), std::invalid_argument);
+  EXPECT_THROW(t.pack(m.const_view(), 0, 4), std::invalid_argument);
+  EXPECT_THROW(t.pack(m.const_view(), 8, 0), std::invalid_argument);
+}
+
 TEST(Logger, LevelFiltering) {
   const LogLevel saved = log_level();
   set_log_level(LogLevel::kError);

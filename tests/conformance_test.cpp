@@ -192,5 +192,34 @@ TEST_F(ConformanceTest, KnordMatchesAcrossRankCounts) {
                    "mpi baseline ranks=3");
 }
 
+TEST_F(ConformanceTest, GemmTiledMatchesReferenceAcrossIsasAndTiles) {
+  // The blocked-GEMM engine computes the argmin through the algebraic
+  // identity d^2 = ||x||^2 - 2 x.c + ||c||^2 — on integer data the dots,
+  // norms and centroid sums are all exact, so the tiled engine must land
+  // on the SAME bitwise centroids as the serial reference for every ISA
+  // and every cache-tile shape (DESIGN.md §12: the tile is a pure
+  // performance knob, the ISA a bitwise-self-deterministic one).
+  for (const kernels::Isa isa : kernels::available_isas()) {
+    for (const char* tile :
+         {"auto", "1x8", "3x16", "64x8", "8x256", "7x24"}) {
+      Options opts = base_options(*init_);
+      opts.threads = 3;
+      opts.simd = isa;
+      opts.gemm_tile = parse_gemm_tile_or_throw(tile, "tile");
+      expect_identical(gemm_kmeans(data_->const_view(), opts),
+                       std::string("gemm isa=") + kernels::to_string(isa) +
+                           " tile=" + tile);
+    }
+  }
+  // And across thread counts / policies at a fixed tile.
+  for (const int threads : {1, 2, 8}) {
+    Options opts = base_options(*init_);
+    opts.threads = threads;
+    opts.sched = sched::SchedPolicy::kFifo;
+    expect_identical(gemm_kmeans(data_->const_view(), opts),
+                     "gemm T=" + std::to_string(threads));
+  }
+}
+
 }  // namespace
 }  // namespace knor

@@ -114,6 +114,39 @@ TEST_P(ExactnessSweep, GemmMatchesSerial) {
                          /*assign_slack=*/0.001);
 }
 
+TEST_P(ExactnessSweep, GemmTileShapeAndThreadGridBitwiseInvariant) {
+  // --gemm-tile is a pure performance knob and threads never change the
+  // reduction shape: every (tile, T) cell must reproduce the first cell's
+  // centroids, assignments and energy BITWISE (real-valued data — no
+  // integer-exactness crutch; this is per-ISA self-determinism).
+  Result first;
+  bool have_first = false;
+  for (const char* tile : {"auto", "1x8", "3x16", "128x512"}) {
+    for (const int threads : {1, 4}) {
+      Options opts = opts_;
+      opts.threads = threads;
+      opts.gemm_tile = parse_gemm_tile_or_throw(tile, "tile");
+      Result res = gemm_kmeans(data_.const_view(), opts);
+      if (!have_first) {
+        first = std::move(res);
+        have_first = true;
+        continue;
+      }
+      const std::string what =
+          std::string("gemm tile=") + tile + " T=" + std::to_string(threads);
+      ASSERT_EQ(res.iters, first.iters) << what;
+      EXPECT_EQ(res.assignments, first.assignments) << what;
+      EXPECT_EQ(res.cluster_sizes, first.cluster_sizes) << what;
+      EXPECT_EQ(std::memcmp(res.centroids.data(), first.centroids.data(),
+                            first.centroids.size() * sizeof(value_t)),
+                0)
+          << what << ": centroids differ bitwise";
+      EXPECT_EQ(std::memcmp(&res.energy, &first.energy, sizeof(double)), 0)
+          << what;
+    }
+  }
+}
+
 TEST_P(ExactnessSweep, SchedulerPoliciesAgree) {
   for (const auto policy :
        {sched::SchedPolicy::kFifo, sched::SchedPolicy::kStatic}) {

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <random>
 #include <stdexcept>
 #include <string>
@@ -270,6 +271,56 @@ TEST(ObsStripDiff, DeterministicPartitionStableAcrossRunsAndThreads) {
     EXPECT_EQ(a.metrics.value_or("core.iterations", -1),
               b.metrics.value_or("core.iterations", -2))
         << "T=" << threads;
+  }
+}
+
+TEST(ObsCounterParity, MetricsAgreeWithResultCountersForEveryEngine) {
+  // The counter-parity contract (core/run_metrics.hpp): whatever an engine
+  // reports in Result::counters must appear, identically, in its --metrics
+  // registry slice. PR 6 wired only the parallel engine; this pins the
+  // mapping for every entry point so the two surfaces cannot drift.
+  data::GeneratorSpec spec;
+  spec.n = 1500;
+  spec.d = 6;
+  spec.true_clusters = 4;
+  const DenseMatrix m = data::generate(spec);
+
+  Options opts;
+  opts.k = 4;
+  opts.threads = 2;
+  opts.max_iters = 10;
+  opts.seed = 23;
+
+  struct Case {
+    const char* name;
+    std::function<Result()> run;
+  };
+  const std::vector<Case> cases = {
+      {"knori", [&] { return kmeans(m.const_view(), opts); }},
+      {"gemm", [&] { return gemm_kmeans(m.const_view(), opts); }},
+      {"serial", [&] { return lloyd_serial(m.const_view(), opts); }},
+      {"locked", [&] { return lloyd_locked(m.const_view(), opts); }},
+      {"elkan", [&] { return elkan_ti(m.const_view(), opts); }},
+      {"minibatch",
+       [&] { return minibatch(m.const_view(), opts, MinibatchOptions{}); }},
+  };
+  for (const auto& c : cases) {
+    const Result res = c.run();
+    ASSERT_FALSE(res.metrics.empty()) << c.name;
+    // Zero-delta counters drop out of the diff; absent means 0.
+    EXPECT_EQ(res.metrics.value_or("core.dist_computations", 0),
+              static_cast<std::int64_t>(res.counters.dist_computations))
+        << c.name;
+    EXPECT_EQ(res.metrics.value_or("core.clause1_skips", 0),
+              static_cast<std::int64_t>(res.counters.clause1_skips))
+        << c.name;
+    EXPECT_EQ(res.metrics.value_or("core.iterations", -1),
+              static_cast<std::int64_t>(res.iters))
+        << c.name;
+    EXPECT_EQ(res.metrics.value_or("sched.tasks_own", 0),
+              static_cast<std::int64_t>(res.counters.tasks_own))
+        << c.name;
+    EXPECT_GT(res.counters.dist_computations, 0u) << c.name;
   }
 }
 

@@ -17,6 +17,8 @@
 #include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <thread>
 #include <vector>
 
 #include "common/prng.hpp"
@@ -295,6 +297,179 @@ TEST(SimdEngine, AllIsasAgreeOnIntegerData) {
     }
   }
   kernels::set_isa(Isa::kAuto);  // restore for other tests in this binary
+}
+
+// ----------------------------------------------------- fused GEMM kernel
+
+/// Integer-valued rows: every product and partial sum below is an exactly
+/// representable double, so the fused kernel's result is EXACTLY equal to
+/// the naive reference for every ISA (no reduction-order slack to hide in).
+std::vector<value_t> random_int_vec(Prng& rng, index_t d) {
+  std::vector<value_t> v(static_cast<std::size_t>(d));
+  for (auto& x : v) x = std::round(20.0 * rng.next_double() - 10.0);
+  return v;
+}
+
+TEST(GemmArgmin, MatchesNaiveReferenceExactlyOnIntegerData) {
+  Prng rng(0x9e33, 4);
+  for (const Isa isa : kernels::available_isas()) {
+    const Ops& ops = kernels::ops_for(isa);
+    ASSERT_NE(ops.gemm_argmin, nullptr) << kernels::to_string(isa);
+    for (const index_t d : {index_t(3), index_t(8), index_t(17)}) {
+      for (const int k : {1, 7, 8, 9, 23}) {
+        const index_t n = 13;  // exercises the partial register block
+        const auto rows = random_int_vec(rng, n * d);
+        const auto cents = random_int_vec(rng, static_cast<index_t>(k) * d);
+        DenseMatrix cmat(static_cast<index_t>(k), d);
+        std::memcpy(cmat.data(), cents.data(),
+                    cents.size() * sizeof(value_t));
+        std::vector<value_t> cnorm(static_cast<std::size_t>(k));
+        for (int c = 0; c < k; ++c) {
+          long double s = 0;
+          for (index_t j = 0; j < d; ++j) {
+            const long double x = cents[static_cast<std::size_t>(c) * d + j];
+            s += x * x;
+          }
+          cnorm[static_cast<std::size_t>(c)] = static_cast<value_t>(s);
+        }
+        TiledMatrix tiles;
+        tiles.pack(cmat.const_view(), kernels::kGemmPanelWidth, d);
+        std::vector<cluster_t> best(static_cast<std::size_t>(n), 0);
+        std::vector<value_t> score(
+            static_cast<std::size_t>(n),
+            std::numeric_limits<value_t>::infinity());
+        ops.gemm_argmin(rows.data(), n, d, tiles, 0, tiles.row_panels(),
+                        cnorm.data(), best.data(), score.data());
+        for (index_t i = 0; i < n; ++i) {
+          cluster_t want = 0;
+          value_t want_s = std::numeric_limits<value_t>::infinity();
+          for (int c = 0; c < k; ++c) {
+            value_t dot = 0;
+            for (index_t j = 0; j < d; ++j)
+              dot += rows[static_cast<std::size_t>(i) * d + j] *
+                     cents[static_cast<std::size_t>(c) * d + j];
+            const value_t s = cnorm[static_cast<std::size_t>(c)] - 2 * dot;
+            if (s < want_s) {
+              want_s = s;
+              want = static_cast<cluster_t>(c);
+            }
+          }
+          EXPECT_EQ(best[static_cast<std::size_t>(i)], want)
+              << kernels::to_string(isa) << " d=" << d << " k=" << k
+              << " row " << i;
+          EXPECT_EQ(score[static_cast<std::size_t>(i)], want_s)
+              << kernels::to_string(isa) << " d=" << d << " k=" << k
+              << " row " << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(GemmArgmin, BitwiseInvariantAcrossPackAndPanelSplits) {
+  // The §12 contract on REAL (non-integer) data: per ISA, the (best, score)
+  // outputs are bitwise identical whatever the pack's col_block and however
+  // the panel range [0, P) is split across calls — tile shape is a pure
+  // performance knob.
+  Prng rng(0x711e, 5);
+  const index_t n = 11, d = 19;
+  const int k = 29;
+  for (const Isa isa : kernels::available_isas()) {
+    const Ops& ops = kernels::ops_for(isa);
+    const auto rows = random_vec(rng, n * d);
+    const auto cents = random_vec(rng, static_cast<index_t>(k) * d);
+    DenseMatrix cmat(static_cast<index_t>(k), d);
+    std::memcpy(cmat.data(), cents.data(), cents.size() * sizeof(value_t));
+    std::vector<value_t> cnorm(static_cast<std::size_t>(k));
+    for (int c = 0; c < k; ++c)
+      cnorm[static_cast<std::size_t>(c)] =
+          ops.dot(cmat.row(static_cast<index_t>(c)),
+                  cmat.row(static_cast<index_t>(c)), d);
+
+    std::vector<cluster_t> ref_best;
+    std::vector<value_t> ref_score;
+    for (const index_t col_block : {index_t(1), index_t(5), index_t(19)}) {
+      for (const index_t step : {index_t(1), index_t(2), index_t(64)}) {
+        TiledMatrix tiles;
+        tiles.pack(cmat.const_view(), kernels::kGemmPanelWidth, col_block);
+        const index_t P = tiles.row_panels();
+        std::vector<cluster_t> best(static_cast<std::size_t>(n), 0);
+        std::vector<value_t> score(
+            static_cast<std::size_t>(n),
+            std::numeric_limits<value_t>::infinity());
+        for (index_t p0 = 0; p0 < P; p0 += step)
+          ops.gemm_argmin(rows.data(), n, d, tiles, p0,
+                          P - p0 < step ? P : p0 + step, cnorm.data(),
+                          best.data(), score.data());
+        if (ref_best.empty()) {
+          ref_best = best;
+          ref_score = score;
+        } else {
+          EXPECT_EQ(best, ref_best)
+              << kernels::to_string(isa) << " cb=" << col_block
+              << " step=" << step;
+          EXPECT_EQ(std::memcmp(score.data(), ref_score.data(),
+                                score.size() * sizeof(value_t)),
+                    0)
+              << kernels::to_string(isa) << " cb=" << col_block
+              << " step=" << step;
+        }
+      }
+    }
+  }
+}
+
+// ------------------------------------------- per-run ISA state isolation
+
+TEST(IsaIsolation, ConcurrentEnginesWithDifferentIsasDoNotInterfere) {
+  // Satellite pin for the global-ISA-state bugfix: no engine entry point
+  // mutates the process-global dispatch any more, so two runs requesting
+  // DIFFERENT ISAs can execute concurrently and each must reproduce its
+  // own sequential result bitwise. Before the fix, each run's set_isa()
+  // retargeted the other's kernels mid-flight.
+  const auto isas = kernels::available_isas();
+  if (isas.size() < 2) GTEST_SKIP() << "only one ISA available";
+  const Isa lo = isas.front(), hi = isas.back();
+
+  data::GeneratorSpec spec;
+  spec.n = 2000;
+  spec.d = 9;
+  spec.true_clusters = 5;
+  spec.seed = 20170627;
+  const DenseMatrix m = data::generate(spec);
+
+  Options base;
+  base.k = 5;
+  base.max_iters = 25;
+  base.threads = 2;
+  base.numa_nodes = 2;
+  Options lo_opts = base, hi_opts = base;
+  lo_opts.simd = lo;
+  hi_opts.simd = hi;
+
+  const Result lo_ref = kmeans(m.const_view(), lo_opts);
+  const Result hi_ref = kmeans(m.const_view(), hi_opts);
+
+  for (int round = 0; round < 3; ++round) {
+    Result lo_res, hi_res;
+    std::thread a([&] { lo_res = kmeans(m.const_view(), lo_opts); });
+    std::thread b([&] { hi_res = kmeans(m.const_view(), hi_opts); });
+    a.join();
+    b.join();
+    for (const auto* pair :
+         {&lo_res, &hi_res}) {
+      const Result& ref = pair == &lo_res ? lo_ref : hi_ref;
+      const Result& res = *pair;
+      ASSERT_EQ(res.iters, ref.iters) << round;
+      EXPECT_EQ(res.assignments, ref.assignments) << round;
+      EXPECT_EQ(std::memcmp(res.centroids.data(), ref.centroids.data(),
+                            ref.centroids.size() * sizeof(value_t)),
+                0)
+          << "round " << round << " centroids differ bitwise";
+      EXPECT_EQ(std::memcmp(&res.energy, &ref.energy, sizeof(double)), 0)
+          << round;
+    }
+  }
 }
 
 }  // namespace

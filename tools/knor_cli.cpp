@@ -9,6 +9,7 @@
 // Exercises the full public API; run `knor_cli help` for every flag.
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -40,7 +41,14 @@ subcommands:
           [--numa-bind on|off] [--sched numa|fifo|static] [--task-size N]
           [--simd auto|scalar|sse2|avx2|avx512] [--tolerance F]
           [--metrics FILE] [--trace FILE]
+          im:   [--algo lloyd|gemm] [--gemm-tile auto|RxC]
       --threads T      worker threads (0 = one per hardware CPU)
+      --algo           im-mode engine: lloyd = NUMA-optimized pruned
+                       Lloyd's (default), gemm = blocked-GEMM formulation
+                       (fastest at large k; see DESIGN.md §12)
+      --gemm-tile      cache tile of the GEMM engine as ROWSxCOLS, e.g.
+                       64x256 (auto = L2-sized default; pure performance
+                       knob — results are bitwise identical across tiles)
       --metrics FILE   write the run's metric registry as JSON (env
                        KNOR_METRICS; deterministic/timing split,
                        DESIGN.md §10)
@@ -162,8 +170,20 @@ int cmd_cluster(const Args& args) {
   }
 
   if (mode == "im") {
+    const std::string algo = args.str("algo", "lloyd");
+    try {
+      opts.gemm_tile = parse_gemm_tile_or_throw(
+          args.str("gemm-tile", "auto"), "--gemm-tile");
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
     args.reject_unknown();  // every im-mode flag has been consulted
-    print_result(kmeans(matrix.const_view(), opts));
+    if (algo == "gemm")
+      print_result(gemm_kmeans(matrix.const_view(), opts));
+    else if (algo == "lloyd")
+      print_result(kmeans(matrix.const_view(), opts));
+    else
+      usage(("unknown --algo " + algo).c_str());
     return finish(0);
   }
   if (mode == "sem") {
