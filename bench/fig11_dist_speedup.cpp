@@ -11,6 +11,7 @@
 // the full dataset every iteration).
 #include "baselines/frameworks.hpp"
 #include "core/knori.hpp"
+#include "dist/fault.hpp"
 #include "dist/knord.hpp"
 #include "harness/datasets.hpp"
 
@@ -57,6 +58,32 @@ void run_dataset(Context& ctx, const char* name,
         .stat("comm_bytes_per_iter", payload_bytes)
         .timing("iter_ms", wall.scaled(1e3));
   }
+  // Straggler configuration (DESIGN.md §13): one node pays 4x the modeled
+  // interconnect cost, and every collective waits for the slowest rank.
+  // knord's O(kd) allreduce keeps the absolute penalty small — the same
+  // communication-volume argument that keeps its speedup near-linear.
+  for (const int ranks : {4, 8}) {
+    dist::DistOptions dopts;
+    dopts.ranks = ranks;
+    dopts.threads_per_rank = 1;
+    dopts.net.latency_us = 50;
+    dopts.net.gigabytes_per_sec = 1.25;
+    dist::FtOptions fopts;
+    fopts.plan = dist::FaultPlan::parse("slow:r0*4");
+    fopts.checkpoint_every = 0;
+
+    TimingAgg wall;
+    ctx.run(
+        [&] { return dist::ft_kmeans(m.const_view(), opts, dopts, fopts); },
+        nullptr, &wall);
+    ctx.row()
+        .label("dataset", name)
+        .label("system", "knord +straggler")
+        .label("ranks", ranks)
+        .stat("comm_bytes_per_iter", payload_bytes)
+        .timing("iter_ms", wall.scaled(1e3));
+  }
+
   // MLlib stand-in: shuffle moves the full dataset every iteration, so its
   // per-iteration communication is O(nd), not O(kd).
   Options nop = opts;
@@ -75,6 +102,7 @@ void run_dataset(Context& ctx, const char* name,
 
 void run(Context& ctx) {
   ctx.config("net", "latency 50us, 1.25 GB/s (10GbE-like)");
+  ctx.config("straggler_plan", "slow:r0*4");
   run_dataset(ctx, "Friendster-32", friendster32_proxy(ctx, 60000), 10);
   run_dataset(ctx, "RM1B-proxy", rm_proxy(ctx, 150000), 10);
   ctx.chart("comm_bytes_per_iter");

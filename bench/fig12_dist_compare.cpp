@@ -3,6 +3,7 @@
 // k = 100 and k = 10 respectively, matching the paper's parameters).
 #include "baselines/frameworks.hpp"
 #include "core/knori.hpp"
+#include "dist/fault.hpp"
 #include "dist/knord.hpp"
 #include "harness/datasets.hpp"
 
@@ -59,6 +60,39 @@ void run_dataset(Context& ctx, const char* name,
     }
   }
 
+  // Crash-recovery configuration (DESIGN.md §13): node 1 crashes after
+  // iteration 2, the three survivors reload the in-memory checkpoint,
+  // re-shard and replay — the clustering is bitwise identical to the clean
+  // run (pinned in tests/fault_test.cpp); this row prices the recovery.
+  {
+    dist::DistOptions dopts;
+    dopts.ranks = 4;
+    dopts.threads_per_rank = 2;
+    dopts.net.latency_us = 50;
+    dopts.net.gigabytes_per_sec = 1.25;
+    Options opts;
+    opts.k = k;
+    opts.max_iters = 5;
+    opts.seed = 42;
+    opts.numa_nodes = 2;
+    dist::FtOptions fopts;
+    fopts.plan = dist::FaultPlan::parse("crash@2:r1");
+
+    const RemotePenaltyGuard penalty(100);
+    TimingAgg wall;
+    const Result res = ctx.run(
+        [&] { return dist::ft_kmeans(m.const_view(), opts, dopts, fopts); },
+        nullptr, &wall);
+    ctx.row()
+        .label("dataset", name)
+        .label("k", k)
+        .label("system", "knord +crash@2:r1")
+        .label("ranks", "4->3")
+        .stat("recoveries",
+              static_cast<double>(res.metrics.value_or("dist.recoveries", 0)))
+        .timing("iter_ms", wall.scaled(1e3));
+  }
+
   Options mllib_opts;
   mllib_opts.k = k;
   mllib_opts.max_iters = 3;
@@ -78,6 +112,7 @@ void run_dataset(Context& ctx, const char* name,
 void run(Context& ctx) {
   ctx.config("net", "latency 50us, 1.25 GB/s (10GbE-like)");
   ctx.config("remote_penalty_ns", 100);
+  ctx.config("crash_plan", "crash@2:r1");
   run_dataset(ctx, "Friendster-8", friendster8_proxy(ctx, 60000), 100);
   run_dataset(ctx, "RM856M-proxy", rm_proxy(ctx, 150000), 10);
   ctx.chart("iter_ms");

@@ -1,0 +1,106 @@
+// Fault-tolerance recovery cost (DESIGN.md §13) — what checkpointing and
+// crash recovery cost on top of plain knord, on the clustered Friendster
+// proxy. Four configurations against the same workload:
+//
+//   * baseline        — plain dist::kmeans, no FT machinery at all
+//   * ckpt only       — ft_kmeans with an empty plan, checkpoint every
+//                       boundary (the steady-state overhead of the
+//                       gather + leader snapshot)
+//   * crash early/mid — a rank crashes after iteration 1 / 3; survivors
+//                       reload the latest checkpoint, re-shard and replay
+//   * sparse ckpt     — checkpoint every 3 boundaries with a mid-run crash,
+//                       so recovery replays the checkpoint gap
+//   * flaky allreduce — an iteration's allreduce times out twice and is
+//                       retried with exponential backoff
+//
+// Every configuration's clustering is bitwise identical to the baseline
+// (pinned in tests/fault_test.cpp); the rows here price the mechanisms.
+// Recovery/fault/checkpoint counts are deterministic stats; wall time and
+// the measured recovery latency are timings.
+#include "dist/fault.hpp"
+#include "dist/knord.hpp"
+#include "harness/datasets.hpp"
+
+namespace {
+
+using namespace knor;
+using namespace knor::bench;
+
+struct FtConfig {
+  const char* label;
+  const char* plan;       // FaultPlan grammar; "" = no injected faults
+  int checkpoint_every;   // 0 = only forced pre-reshard checkpoints
+};
+
+void run(Context& ctx) {
+  const data::GeneratorSpec spec = friendster8_proxy(ctx, 60000);
+  const DenseMatrix m = data::generate(spec);
+  ctx.dataset(spec, "Friendster-8");
+  ctx.config("net", "latency 50us, 1.25 GB/s (10GbE-like)");
+
+  Options opts;
+  opts.k = 10;
+  opts.max_iters = 8;
+  opts.seed = 42;
+  opts.numa_nodes = 2;
+
+  dist::DistOptions dopts;
+  dopts.ranks = 4;
+  dopts.threads_per_rank = 1;
+  dopts.net.latency_us = 50;
+  dopts.net.gigabytes_per_sec = 1.25;
+
+  TimingAgg wall;
+  const Result base =
+      ctx.run([&] { return dist::kmeans(m.const_view(), opts, dopts); },
+              nullptr, &wall);
+  ctx.row()
+      .label("config", "baseline (no FT)")
+      .stat("iters", static_cast<double>(base.iters))
+      .stat("recoveries", 0)
+      .stat("checkpoints", 0)
+      .timing("iter_ms", wall.scaled(1e3));
+
+  const FtConfig configs[] = {
+      {"ckpt every iter", "", 1},
+      {"crash early (ckpt=1)", "crash@1:r1", 1},
+      {"crash mid (ckpt=1)", "crash@3:r1", 1},
+      {"crash mid, sparse ckpt=3", "crash@3:r1", 3},
+      {"flaky allreduce x2", "flaky@2*2", 1},
+  };
+  for (const FtConfig& cfg : configs) {
+    dist::FtOptions fopts;
+    if (cfg.plan[0] != '\0') fopts.plan = dist::FaultPlan::parse(cfg.plan);
+    fopts.checkpoint_every = cfg.checkpoint_every;
+    fopts.backoff_us = 10.0;
+
+    const Result res = ctx.run(
+        [&] { return dist::ft_kmeans(m.const_view(), opts, dopts, fopts); },
+        nullptr, &wall);
+    ctx.row()
+        .label("config", cfg.label)
+        .stat("iters", static_cast<double>(res.iters))
+        .stat("recoveries",
+              static_cast<double>(res.metrics.value_or("dist.recoveries", 0)))
+        .stat("checkpoints",
+              static_cast<double>(res.metrics.value_or("dist.checkpoints", 0)))
+        .timing("iter_ms", wall.scaled(1e3))
+        .timing("recovery_ms",
+                res.metrics.quantile_or("dist.recovery_us", 0.5, 0.0) / 1e3);
+  }
+  ctx.chart("iter_ms");
+}
+
+const Registration reg({
+    "ft_recovery",
+    "Fault tolerance: checkpoint and recovery cost",
+    "DESIGN.md §13 (FlashGraph-style lightweight checkpointing, §5.4)",
+    "Checkpointing every boundary costs a few percent on top of plain knord "
+    "(one allgather of assignments/bounds plus a leader-side snapshot); a "
+    "crash costs roughly the replayed iterations — later crashes with dense "
+    "checkpoints replay less, sparse checkpoints replay the gap; transient "
+    "retries cost only the backoff. Clustering is bitwise identical to the "
+    "baseline in every configuration.",
+    135, run});
+
+}  // namespace

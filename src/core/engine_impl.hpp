@@ -92,12 +92,22 @@ void for_task_rows(const Data& data, const numa::Partitioner& parts,
 /// ranks in one collective before finalization, and the final energy is
 /// allreduced too — every rank then finalizes identical global centroids
 /// from its own shard's contribution. Single-node callers pass nullptr.
+///
+/// `resume` (nullable) restarts the loop at a checkpointed iteration
+/// boundary: `initial` must then be the checkpointed centroids, and the
+/// restored assignments/pre-loosened bounds/global sums make the first
+/// resumed iteration bitwise identical to the same iteration of the
+/// uninterrupted run (see ResumeState). `observer` (nullable) is called at
+/// every non-final iteration boundary and may stop the run or throw
+/// (DESIGN.md §13).
 template <typename Data>
 Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
                           const Options& opts, DenseMatrix initial,
                           sched::Scheduler& sched,
                           const numa::Partitioner& parts,
-                          GlobalReducer* reducer = nullptr) {
+                          GlobalReducer* reducer = nullptr,
+                          const ResumeState* resume = nullptr,
+                          IterObserver* observer = nullptr) {
   const int T = sched.threads();
   const int k = opts.k;
   // One ISA for the whole run, resolved from opts rather than the
@@ -121,8 +131,26 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   obs::Snapshot obs_before;
   if (reducer == nullptr) obs_before = reg.snapshot();
 
+  const bool resumed = resume != nullptr && resume->iteration > 0;
+  if (resumed) {
+    if (resume->assignments.size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument(
+          "run_parallel_lloyd: resume assignments size mismatch");
+    if (opts.prune &&
+        resume->upper_bounds.size() != static_cast<std::size_t>(n))
+      throw std::invalid_argument(
+          "run_parallel_lloyd: resume lacks MTI bounds but pruning is on");
+    if (opts.prune &&
+        (resume->sums.rows() != static_cast<index_t>(k) ||
+         resume->sums.cols() != d ||
+         resume->counts.size() != static_cast<std::size_t>(k)))
+      throw std::invalid_argument(
+          "run_parallel_lloyd: resume lacks global sums but pruning is on");
+  }
+
   Result res;
   res.assignments.assign(static_cast<std::size_t>(n), kInvalidCluster);
+  if (resumed) res.assignments = resume->assignments;
 
   DenseMatrix cur = std::move(initial);
   DenseMatrix next(static_cast<index_t>(k), d);
@@ -131,7 +159,13 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   MtiState mti;
   if (opts.prune) {
     mti = MtiState(n, k);
+    // prev == empty: drift 0. Resumed bounds were pre-loosened against the
+    // checkpointed centroids (now `cur`), so drift 0 keeps them valid —
+    // the same contract as the SEM resume path.
     mti.prepare(DenseMatrix{}, cur, K);
+    if (resumed)
+      for (index_t i = 0; i < n; ++i)
+        mti.set_ub(i, resume->upper_bounds[static_cast<std::size_t>(i)]);
   }
 
   // Padded, 64-byte-aligned centroid tile for the blocked full-scan
@@ -155,6 +189,12 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   if (prune) {
     sums = DenseMatrix(static_cast<index_t>(k), d);
     counts.assign(static_cast<std::size_t>(k), 0);
+    if (resumed) {
+      // The persistent accumulators are global (post-allreduce) state, so
+      // restoring them replicated keeps every participant's copy identical.
+      sums = resume->sums;
+      counts = resume->counts;
+    }
   }
 
   std::vector<PerThread> per_thread(static_cast<std::size_t>(T));
@@ -291,7 +331,10 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
   std::vector<double> wire;
   if (reducer != nullptr) wire.resize(kd + static_cast<std::size_t>(k) + 1);
 
-  for (int it = 0; it < opts.max_iters; ++it) {
+  const int start_iter =
+      resumed ? static_cast<int>(resume->iteration) : 0;
+  if (resumed) res.iters = static_cast<std::size_t>(resume->iteration);
+  for (int it = start_iter; it < opts.max_iters; ++it) {
     WallTimer timer;
     pack.pack(cur);
     sched.begin_chunks(n, task_size, &parts);
@@ -358,6 +401,21 @@ Result run_parallel_lloyd(const Data& data, index_t n, index_t d,
     if (changed <= tol_changes) {
       res.converged = true;
       break;
+    }
+    if (observer != nullptr) {
+      // Boundary hook (checkpointing / fault injection / elastic stop).
+      // Placed after the convergence break: a finished run has nothing to
+      // checkpoint, and with a reducer present every rank computed the same
+      // global `changed`, so all ranks reach this hook in lockstep.
+      IterationView view;
+      view.iteration = static_cast<std::uint64_t>(res.iters);
+      view.changed = changed;
+      view.centroids = &cur;
+      view.assignments = &res.assignments;
+      view.mti = prune ? &mti : nullptr;
+      view.sums = prune ? &sums : nullptr;
+      view.counts = prune ? &counts : nullptr;
+      if (!observer->on_iteration(view)) break;
     }
   }
 

@@ -145,6 +145,8 @@ struct Result {
   std::string summary() const;
 };
 
+class MtiState;
+
 namespace detail {
 
 /// Cross-node reduction hook for the parallel engine. Single-node runs pass
@@ -160,6 +162,49 @@ struct GlobalReducer {
   virtual ~GlobalReducer() = default;
   /// In-place elementwise sum of vals[0..n) across all participants.
   virtual void allreduce(double* vals, std::size_t n) = 0;
+};
+
+/// Mid-run engine state for resuming the parallel engine at an iteration
+/// boundary (checkpoint recovery, DESIGN.md §13). Sized to the node's own
+/// shard (n rows), except sums/counts which are the replicated GLOBAL
+/// accumulators — identical on every participant after the boundary's
+/// allreduce, exactly as the engine maintains them. `upper_bounds` must be
+/// pre-loosened against the resumed centroids (ub + drift at save time) so
+/// the engine can restart with drift 0 and stay bitwise exact — the same
+/// contract as the SEM checkpoint path (src/sem/sem_kmeans.cpp).
+struct ResumeState {
+  std::uint64_t iteration = 0;         ///< iterations already completed
+  std::vector<cluster_t> assignments;  ///< size n (this node's shard)
+  std::vector<value_t> upper_bounds;   ///< size n when pruning, else empty
+  DenseMatrix sums;                    ///< k x d global sums (pruning only)
+  std::vector<std::int64_t> counts;    ///< k global counts (pruning only)
+};
+
+/// Read-only view of the engine state at an iteration boundary, handed to
+/// IterObserver::on_iteration. Pointers reference the engine's live state
+/// and are valid only for the duration of the call.
+struct IterationView {
+  std::uint64_t iteration = 0;  ///< iterations completed so far (1-based)
+  std::uint64_t changed = 0;    ///< global membership changes this iteration
+  const DenseMatrix* centroids = nullptr;  ///< post-update centroids (k x d)
+  /// This node's shard assignments (size n).
+  const std::vector<cluster_t>* assignments = nullptr;
+  const MtiState* mti = nullptr;  ///< pruning state; nullptr when MTI is off
+  const DenseMatrix* sums = nullptr;  ///< global sums (pruning only)
+  const std::vector<std::int64_t>* counts = nullptr;  ///< global counts
+};
+
+/// Iteration-boundary hook for the parallel engine: called after every
+/// completed iteration EXCEPT the one that ends the run (convergence or
+/// max_iters) — a run that just finished has nothing left to checkpoint or
+/// stop. When a GlobalReducer is present the view's `changed` is the global
+/// count and all ranks observe the identical boundary, so an observer that
+/// decides from (plan, view) alone decides identically on every rank.
+/// Return false to stop the run cleanly at this boundary; throwing
+/// propagates through Cluster::run's abort machinery (fault injection).
+struct IterObserver {
+  virtual ~IterObserver() = default;
+  virtual bool on_iteration(const IterationView& view) = 0;
 };
 
 }  // namespace detail

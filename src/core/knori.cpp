@@ -21,7 +21,8 @@ struct NumaData {
 namespace detail {
 
 Result run_node(ConstMatrixView data, const Options& opts,
-                DenseMatrix initial, GlobalReducer* reducer) {
+                DenseMatrix initial, GlobalReducer* reducer,
+                const ResumeState* resume, IterObserver* observer) {
   if (data.empty()) throw std::invalid_argument("kmeans: empty dataset");
   const auto topo = opts.numa_nodes > 0
                         ? numa::Topology::simulated(opts.numa_nodes)
@@ -38,7 +39,8 @@ Result run_node(ConstMatrixView data, const Options& opts,
     sched::Scheduler sched(T, topo, /*bind=*/false, opts.sched);
     detail::FlatData flat{data};
     return detail::run_parallel_lloyd(flat, n, d, opts, std::move(initial),
-                                      sched, parts, reducer);
+                                      sched, parts, reducer, resume,
+                                      observer);
   }
 
   sched::Scheduler sched(T, topo, /*bind=*/opts.numa_bind, opts.sched);
@@ -49,7 +51,7 @@ Result run_node(ConstMatrixView data, const Options& opts,
                  (opts.prune ? " mti=on" : " mti=off"));
   NumaData nd{&ds};
   return detail::run_parallel_lloyd(nd, n, d, opts, std::move(initial), sched,
-                                    parts, reducer);
+                                    parts, reducer, resume, observer);
 }
 
 }  // namespace detail

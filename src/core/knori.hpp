@@ -32,9 +32,14 @@ namespace detail {
 /// caller-supplied `initial` centroids. knori::kmeans calls this with
 /// reducer = nullptr; knord calls it on every rank with its row shard and
 /// a Communicator-backed reducer, which is all it takes to turn the
-/// single-node engine into the distributed one (paper §6).
+/// single-node engine into the distributed one (paper §6). `resume`
+/// restarts at a checkpointed boundary (initial = checkpointed centroids)
+/// and `observer` hooks every non-final boundary — the fault-tolerance
+/// layer (dist::ft_kmeans, DESIGN.md §13) drives both.
 Result run_node(ConstMatrixView data, const Options& opts,
-                DenseMatrix initial, GlobalReducer* reducer);
+                DenseMatrix initial, GlobalReducer* reducer,
+                const ResumeState* resume = nullptr,
+                IterObserver* observer = nullptr);
 
 }  // namespace detail
 

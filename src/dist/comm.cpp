@@ -1,6 +1,7 @@
 #include "dist/comm.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 namespace knor::dist {
@@ -20,9 +21,23 @@ void CommState::sync() {
     cv.notify_all();
     return;
   }
-  cv.wait(lk, [&] {
+  const auto woken = [&] {
     return generation != gen || aborted > 0 || departed > 0;
-  });
+  };
+  if (timeout.count() > 0) {
+    if (!cv.wait_for(lk, timeout, woken)) {
+      // Bounded failure detection: a peer that never arrived is treated as
+      // failed. Un-arrive so the accounting stays consistent while this
+      // rank's exception unwinds (mark_aborted will wake the others).
+      --arrived;
+      throw std::runtime_error(
+          "dist::Communicator: collective timed out after " +
+          std::to_string(timeout.count()) +
+          "ms (peer rank unresponsive)");
+    }
+  } else {
+    cv.wait(lk, woken);
+  }
   if (generation != gen) return;  // barrier completed normally
   if (aborted > 0) throw AbortError{};
   throw std::runtime_error(
@@ -44,13 +59,41 @@ void CommState::mark_departed() {
 
 }  // namespace detail
 
-Cluster::Cluster(int n_ranks) : nranks_(n_ranks) {
+Cluster::Cluster(int n_ranks)
+    : nranks_(n_ranks), slow_(static_cast<std::size_t>(n_ranks), 1.0) {
   if (n_ranks < 1)
     throw std::invalid_argument("Cluster: need at least one rank");
 }
 
+void Cluster::set_net(const NetModel& model) {
+  has_net_ = true;
+  net_ = model;
+}
+
+void Cluster::set_straggler(int rank, double multiplier) {
+  if (rank < 0 || rank >= nranks_)
+    throw std::invalid_argument("Cluster::set_straggler: rank out of range");
+  if (multiplier <= 0.0)
+    throw std::invalid_argument(
+        "Cluster::set_straggler: multiplier must be > 0");
+  slow_[static_cast<std::size_t>(rank)] = multiplier;
+}
+
+void Cluster::set_collective_timeout_ms(long ms) {
+  if (ms < 0)
+    throw std::invalid_argument(
+        "Cluster::set_collective_timeout_ms: negative timeout");
+  timeout_ms_ = ms;
+}
+
 void Cluster::run(const std::function<void(Communicator&)>& fn) {
   detail::CommState state(nranks_);
+  // This cluster's model, or the process default frozen at run start —
+  // immutable while the rank threads are alive, so concurrent clusters
+  // with different models cannot retarget each other.
+  state.net = has_net_ ? net_ : NetSim::current();
+  state.slow = slow_;
+  state.timeout = std::chrono::milliseconds(timeout_ms_);
   std::mutex error_mu;
   std::exception_ptr first_error;
 

@@ -15,12 +15,19 @@
 // Failure contract: an exception escaping any rank aborts the cluster —
 // ranks blocked in (or later entering) a collective are woken with an
 // internal abort signal instead of deadlocking, and Cluster::run rethrows
-// the first rank's original exception.
+// the first rank's original exception. An optional bounded collective
+// timeout (Cluster::set_collective_timeout_ms) turns a peer that never
+// arrives into a detected failure instead of a hang — the failure-
+// detection model of the fault-tolerance layer (DESIGN.md §13).
 //
-// Every collective charges the process-global NetSim interconnect model
-// (free when disabled), so benches can model a real cluster's network.
+// Every collective charges the CLUSTER's interconnect model (per-Cluster
+// state, so concurrent clusters with different models never retarget each
+// other; a cluster without its own model snapshots the NetSim process
+// default at run() start), scaled by the calling rank's straggler
+// multiplier (Cluster::set_straggler — fault-plan slowdown injection).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -43,7 +50,9 @@ struct AbortError {};
 /// State shared by all ranks of one Cluster::run.
 struct CommState {
   explicit CommState(int n)
-      : nranks(n), contrib(static_cast<std::size_t>(n), nullptr) {}
+      : nranks(n),
+        contrib(static_cast<std::size_t>(n), nullptr),
+        slow(static_cast<std::size_t>(n), 1.0) {}
 
   const int nranks;
   std::mutex mu;
@@ -54,9 +63,17 @@ struct CommState {
   int departed = 0;           ///< ranks that returned from fn normally
   std::vector<const void*> contrib;  ///< per-rank staging pointers
 
-  /// Generation-counted barrier. Throws AbortError if a peer aborted, or
+  // Per-cluster interconnect (set once before the rank threads start,
+  // read-only while they run).
+  NetModel net;              ///< this cluster's cost model
+  std::vector<double> slow;  ///< per-rank straggler multipliers (1 = nominal)
+  std::chrono::milliseconds timeout{0};  ///< sync bound; 0 = wait forever
+
+  /// Generation-counted barrier. Throws AbortError if a peer aborted,
   /// std::runtime_error if a peer already exited (mismatched collective
-  /// counts — a program bug that would otherwise deadlock).
+  /// counts — a program bug that would otherwise deadlock), or
+  /// std::runtime_error if `timeout` expires before every peer arrives
+  /// (bounded failure detection).
   void sync();
   /// Mark this rank failed / finished and wake any waiting peers.
   void mark_aborted();
@@ -75,7 +92,7 @@ class Communicator {
   /// Block until every rank has arrived.
   void barrier() {
     state_->sync();
-    NetSim::charge(0, size());
+    charge(0);
   }
 
   /// Elementwise sum of `data[0..n)` across all ranks, result replicated
@@ -99,7 +116,7 @@ class Communicator {
     // All ranks finish reading before anyone overwrites their input.
     st->sync();
     std::memcpy(data, acc.data(), n * sizeof(T));
-    NetSim::charge(n * sizeof(T), st->nranks);
+    charge(n * sizeof(T));
   }
 
   /// Concatenate every rank's span into `out` (size `total`) on every
@@ -127,7 +144,7 @@ class Communicator {
     }
     // All ranks finish reading before anyone's `mine`/`send` goes away.
     st->sync();
-    NetSim::charge(total * sizeof(T), st->nranks);
+    charge(total * sizeof(T));
   }
 
   /// Replicate root's `bytes` at `data` into every rank's buffer.
@@ -139,7 +156,7 @@ class Communicator {
       std::memcpy(data,
                   st->contrib[static_cast<std::size_t>(root)], bytes);
     st->sync();
-    NetSim::charge(bytes, st->nranks);
+    charge(bytes);
   }
 
  private:
@@ -147,17 +164,41 @@ class Communicator {
   Communicator(int rank, detail::CommState* state)
       : rank_(rank), state_(state) {}
 
+  /// Account the traffic, then sleep this cluster's modeled cost scaled by
+  /// this rank's straggler multiplier.
+  void charge(std::size_t bytes) {
+    NetSim::account(bytes);
+    NetSim::charge_model(state_->net, bytes, state_->nranks,
+                         state_->slow[static_cast<std::size_t>(rank_)]);
+  }
+
   int rank_;
   detail::CommState* state_;
 };
 
 /// A set of in-process ranks. Reusable: each run() spawns fresh rank
-/// threads with fresh collective state.
+/// threads with fresh collective state (the net model, straggler
+/// multipliers and timeout configured below are re-applied to each run).
 class Cluster {
  public:
   explicit Cluster(int n_ranks);
 
   int size() const { return nranks_; }
+
+  /// Give this cluster its own interconnect model. Without this call,
+  /// run() snapshots the NetSim process-wide default instead.
+  void set_net(const NetModel& model);
+
+  /// Scale `rank`'s collective cost by `multiplier` (> 0; 1 = nominal).
+  /// Fault-plan straggler injection: the slow rank's sleep delays every
+  /// peer at the next sync point, dragging the whole cluster. Only
+  /// effective when an interconnect model is active.
+  void set_straggler(int rank, double multiplier);
+
+  /// Bound every collective wait: a peer that fails to arrive within `ms`
+  /// turns the collective into a detected failure (std::runtime_error)
+  /// instead of a hang. 0 (default) waits forever.
+  void set_collective_timeout_ms(long ms);
 
   /// Execute fn(comm) on every rank concurrently; block until all ranks
   /// finish. Rethrows the first exception any rank threw; peers blocked in
@@ -166,6 +207,10 @@ class Cluster {
 
  private:
   int nranks_;
+  bool has_net_ = false;
+  NetModel net_;
+  std::vector<double> slow_;
+  long timeout_ms_ = 0;
 };
 
 }  // namespace knor::dist

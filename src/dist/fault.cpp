@@ -1,0 +1,240 @@
+#include "dist/fault.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+namespace knor::dist {
+namespace {
+
+[[noreturn]] void bad_plan(const std::string& token, const char* why) {
+  throw std::invalid_argument("fault plan: bad event \"" + token + "\" (" +
+                              why + ")");
+}
+
+/// Strict unsigned parse of the WHOLE string (no trailing junk, no signs).
+bool parse_u64(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || end == s.c_str()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+/// Strict positive-double parse of the whole string.
+bool parse_pos_double(const std::string& s, double* out) {
+  if (s.empty() || s[0] == '-') return false;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == s.c_str() || !(v > 0.0))
+    return false;
+  *out = v;
+  return true;
+}
+
+/// "rN" -> N.
+bool parse_node(const std::string& s, int* out) {
+  if (s.size() < 2 || s[0] != 'r') return false;
+  std::uint64_t v = 0;
+  if (!parse_u64(s.substr(1), &v) || v > 1u << 20) return false;
+  *out = static_cast<int>(v);
+  return true;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// splitmix64: the standard seeded mixing step — a pure function of state.
+std::uint64_t splitmix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+RankFailure::RankFailure(int node_id, std::uint64_t iter)
+    : std::runtime_error("dist: injected crash of node " +
+                         std::to_string(node_id) + " at iteration " +
+                         std::to_string(iter)),
+      node(node_id),
+      iteration(iter) {}
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  // ';' and ',' are interchangeable separators (',' needs no shell quoting).
+  std::string normalized = spec;
+  for (char& c : normalized)
+    if (c == ',') c = ';';
+  std::stringstream ss(normalized);
+  std::string token;
+  while (std::getline(ss, token, ';')) {
+    token = trim(token);
+    if (token.empty()) continue;
+    if (token.rfind("seed=", 0) == 0) {
+      if (!parse_u64(token.substr(5), &plan.seed))
+        bad_plan(token, "seed=S needs an unsigned integer");
+      continue;
+    }
+    if (token.rfind("crash@", 0) == 0 || token.rfind("leave@", 0) == 0 ||
+        token.rfind("join@", 0) == 0) {
+      const bool crash = token[0] == 'c';
+      const bool join = token[0] == 'j';
+      const std::size_t at = token.find('@');
+      const std::size_t colon = token.find(':', at);
+      if (colon == std::string::npos)
+        bad_plan(token, "expected EVENT@I:rN");
+      std::uint64_t iter = 0;
+      int node = -1;
+      if (!parse_u64(token.substr(at + 1, colon - at - 1), &iter) ||
+          iter == 0)
+        bad_plan(token, "iteration must be an integer >= 1");
+      if (!parse_node(token.substr(colon + 1), &node))
+        bad_plan(token, "expected node id rN");
+      if (crash)
+        plan.crashes.push_back({iter, node});
+      else
+        plan.members.push_back({iter, node, join});
+      continue;
+    }
+    if (token.rfind("slow:", 0) == 0) {
+      const std::size_t star = token.find('*');
+      if (star == std::string::npos) bad_plan(token, "expected slow:rN*M");
+      int node = -1;
+      double mult = 0.0;
+      if (!parse_node(token.substr(5, star - 5), &node))
+        bad_plan(token, "expected node id rN");
+      if (!parse_pos_double(token.substr(star + 1), &mult))
+        bad_plan(token, "multiplier must be > 0");
+      plan.stragglers.push_back({node, mult});
+      continue;
+    }
+    if (token.rfind("flaky@", 0) == 0) {
+      const std::size_t star = token.find('*');
+      if (star == std::string::npos) bad_plan(token, "expected flaky@I*C");
+      std::uint64_t iter = 0, count = 0;
+      if (!parse_u64(token.substr(6, star - 6), &iter) || iter == 0)
+        bad_plan(token, "iteration must be an integer >= 1");
+      if (!parse_u64(token.substr(star + 1), &count) || count == 0 ||
+          count > 1000)
+        bad_plan(token, "failure count must be in [1, 1000]");
+      plan.transients.push_back({iter, static_cast<int>(count)});
+      continue;
+    }
+    bad_plan(token, "unknown event kind");
+  }
+  plan.validate();
+  return plan;
+}
+
+FaultPlan FaultPlan::random_crashes(std::uint64_t seed, int world,
+                                    int crashes,
+                                    std::uint64_t max_iteration) {
+  if (world < 1)
+    throw std::invalid_argument("fault plan: world must be >= 1");
+  if (max_iteration == 0)
+    throw std::invalid_argument("fault plan: max_iteration must be >= 1");
+  FaultPlan plan;
+  plan.seed = seed;
+  std::uint64_t state = seed;
+  const int n = std::min(crashes, world - 1);
+  std::vector<int> nodes;
+  while (static_cast<int>(nodes.size()) < n) {
+    const int node =
+        static_cast<int>(splitmix64(&state) % static_cast<unsigned>(world));
+    if (std::find(nodes.begin(), nodes.end(), node) == nodes.end())
+      nodes.push_back(node);
+  }
+  for (const int node : nodes)
+    plan.crashes.push_back({splitmix64(&state) % max_iteration + 1, node});
+  return plan;
+}
+
+bool FaultPlan::crash_at(std::uint64_t iteration, int node) const {
+  for (const CrashEvent& c : crashes)
+    if (c.iteration == iteration && c.node == node) return true;
+  return false;
+}
+
+std::vector<int> FaultPlan::crashed_nodes_at(std::uint64_t iteration) const {
+  std::vector<int> nodes;
+  for (const CrashEvent& c : crashes)
+    if (c.iteration == iteration) nodes.push_back(c.node);
+  return nodes;
+}
+
+std::vector<MemberEvent> FaultPlan::member_events_at(
+    std::uint64_t iteration) const {
+  std::vector<MemberEvent> events;
+  for (const MemberEvent& e : members)
+    if (e.iteration == iteration) events.push_back(e);
+  return events;
+}
+
+int FaultPlan::transient_failures_at(std::uint64_t iteration) const {
+  int failures = 0;
+  for (const TransientFault& t : transients)
+    if (t.iteration == iteration) failures += t.failures;
+  return failures;
+}
+
+double FaultPlan::straggler_multiplier(int node) const {
+  double mult = 1.0;
+  for (const StragglerSpec& s : stragglers)
+    if (s.node == node) mult *= s.multiplier;
+  return mult;
+}
+
+void FaultPlan::validate() const {
+  for (const CrashEvent& c : crashes)
+    if (c.iteration == 0 || c.node < 0)
+      throw std::invalid_argument(
+          "fault plan: crash events need iteration >= 1 and node >= 0");
+  for (const MemberEvent& e : members)
+    if (e.iteration == 0 || e.node < 0)
+      throw std::invalid_argument(
+          "fault plan: member events need iteration >= 1 and node >= 0");
+  for (const StragglerSpec& s : stragglers)
+    if (s.node < 0 || !(s.multiplier > 0.0))
+      throw std::invalid_argument(
+          "fault plan: stragglers need node >= 0 and multiplier > 0");
+  for (const TransientFault& t : transients)
+    if (t.iteration == 0 || t.failures < 1)
+      throw std::invalid_argument(
+          "fault plan: transients need iteration >= 1 and failures >= 1");
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream out;
+  const char* sep = "";
+  for (const CrashEvent& c : crashes) {
+    out << sep << "crash@" << c.iteration << ":r" << c.node;
+    sep = ";";
+  }
+  for (const MemberEvent& e : members) {
+    out << sep << (e.join ? "join@" : "leave@") << e.iteration << ":r"
+        << e.node;
+    sep = ";";
+  }
+  for (const StragglerSpec& s : stragglers) {
+    out << sep << "slow:r" << s.node << "*" << s.multiplier;
+    sep = ";";
+  }
+  for (const TransientFault& t : transients) {
+    out << sep << "flaky@" << t.iteration << "*" << t.failures;
+    sep = ";";
+  }
+  if (seed != 0) {
+    out << sep << "seed=" << seed;
+    sep = ";";
+  }
+  return out.str();
+}
+
+}  // namespace knor::dist

@@ -1,0 +1,147 @@
+// Deterministic fault injection for the distributed subsystem
+// (DESIGN.md §13).
+//
+// A FaultPlan is a replayable script of failures keyed to LOGICAL
+// iteration boundaries and stable node ids — never to wall-clock time —
+// so every failure scenario is a pure function of (plan, seed): two runs
+// with the same plan crash at the same boundaries, retry the same
+// collectives, and re-shard onto the same survivors, which is what lets
+// the recovery tests pin bitwise-identical clustering and lets CI
+// strip-diff two faulted runs for determinism.
+//
+// Event kinds:
+//   * crash     — the rank hosting the node throws RankFailure after
+//                 completing the given iteration; survivors abort the
+//                 epoch and ft_kmeans recovers from the latest checkpoint.
+//   * leave/join — graceful elasticity at an iteration boundary: the
+//                 cluster checkpoints, stops, applies the membership
+//                 change and re-shards deterministically.
+//   * slow      — a per-node straggler multiplier on the interconnect
+//                 model (Cluster::set_straggler).
+//   * flaky     — an iteration's allreduce "times out" N consecutive
+//                 times; every rank retries with exponential backoff
+//                 (transient-fault detection), failing the run only past
+//                 FtOptions::max_retries.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace knor::dist {
+
+/// Node `node` crashes after completing iteration `iteration` (>= 1).
+struct CrashEvent {
+  std::uint64_t iteration = 0;
+  int node = -1;
+};
+
+/// Node `node` joins (join = true) or gracefully leaves the cluster at the
+/// boundary after iteration `iteration`. Idempotent against the live set:
+/// a replayed boundary (recovery re-runs iterations) cannot refire it.
+struct MemberEvent {
+  std::uint64_t iteration = 0;
+  int node = -1;
+  bool join = false;
+};
+
+/// Node `node` pays `multiplier` x the modeled interconnect cost.
+struct StragglerSpec {
+  int node = -1;
+  double multiplier = 1.0;
+};
+
+/// Iteration `iteration`'s allreduce fails `failures` consecutive times
+/// before going through (transient collective timeouts).
+struct TransientFault {
+  std::uint64_t iteration = 0;
+  int failures = 1;
+};
+
+/// A deterministic, seeded failure script (see file comment).
+struct FaultPlan {
+  std::vector<CrashEvent> crashes;
+  std::vector<MemberEvent> members;
+  std::vector<StragglerSpec> stragglers;
+  std::vector<TransientFault> transients;
+  /// Recorded with the plan (random_crashes derives its events from it);
+  /// carries no behavior of its own beyond reproducibility bookkeeping.
+  std::uint64_t seed = 0;
+
+  bool empty() const {
+    return crashes.empty() && members.empty() && stragglers.empty() &&
+           transients.empty();
+  }
+
+  /// Parse the CLI grammar: events separated by ';' or ',' (equivalent;
+  /// commas survive shells and CMake lists unquoted)
+  ///   crash@I:rN   node N crashes after iteration I completes
+  ///   leave@I:rN   node N gracefully leaves at boundary I
+  ///   join@I:rN    node N joins at boundary I
+  ///   slow:rN*M    node N's collectives cost M x the model (straggler)
+  ///   flaky@I*C    iteration I's allreduce times out C times (transient)
+  ///   seed=S       record seed S with the plan
+  /// Strict: any malformed token throws std::invalid_argument (iterations
+  /// must be >= 1, nodes >= 0, multipliers > 0, counts >= 1).
+  static FaultPlan parse(const std::string& spec);
+
+  /// Deterministic random crash plan — a pure function of its arguments:
+  /// `crashes` distinct nodes out of [0, world) (capped at world - 1 so at
+  /// least one rank survives) crash at iterations in [1, max_iteration].
+  static FaultPlan random_crashes(std::uint64_t seed, int world,
+                                  int crashes, std::uint64_t max_iteration);
+
+  bool crash_at(std::uint64_t iteration, int node) const;
+  /// Every node the plan crashes at this boundary (recovery removes them
+  /// all at once — deterministic regardless of which rank's exception won
+  /// the abort race).
+  std::vector<int> crashed_nodes_at(std::uint64_t iteration) const;
+  std::vector<MemberEvent> member_events_at(std::uint64_t iteration) const;
+  int transient_failures_at(std::uint64_t iteration) const;
+  double straggler_multiplier(int node) const;
+
+  /// Throws std::invalid_argument on out-of-range fields (the programmatic
+  /// construction path; parse() already enforces the same bounds).
+  void validate() const;
+
+  std::string describe() const;
+};
+
+/// Fault-tolerance knobs for dist::ft_kmeans (DESIGN.md §13).
+struct FtOptions {
+  FaultPlan plan;
+  /// Checkpoint file written by the leader (lowest live node) via
+  /// sem::save_checkpoint's atomic write-fsync-rename, with the dist block
+  /// carrying epoch/world/live-nodes. Empty: no file is written and
+  /// recovery restores from the in-memory latest snapshot instead.
+  std::string checkpoint_path;
+  /// Checkpoint every N iteration boundaries (0 = only the forced
+  /// pre-reshard checkpoints that membership events trigger).
+  int checkpoint_every = 1;
+  /// Load checkpoint_path at start if it exists (CLI --resume): the run
+  /// continues from the saved iteration, re-sharded onto dopts.ranks.
+  bool resume = false;
+  /// Transient-fault retry budget per collective; a collective that fails
+  /// more times than this fails the whole run (network partition, not a
+  /// rank crash — there is no survivor set to recover onto).
+  int max_retries = 4;
+  /// First retry backoff; doubles per attempt (exponential backoff).
+  double backoff_us = 50.0;
+  /// Bounded collective timeout (Cluster::set_collective_timeout_ms);
+  /// 0 = unbounded. In-process crash detection is prompt via the abort
+  /// signal, so this is the safety net for a truly wedged peer.
+  long collective_timeout_ms = 0;
+};
+
+/// Simulated rank crash (fault injection). Thrown at an iteration boundary
+/// by the crashing rank; ft_kmeans catches it, removes every node the plan
+/// crashes at that boundary, and recovers. Escapes to the caller only when
+/// no rank survives.
+struct RankFailure : std::runtime_error {
+  RankFailure(int node_id, std::uint64_t iter);
+  int node;
+  std::uint64_t iteration;
+};
+
+}  // namespace knor::dist

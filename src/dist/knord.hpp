@@ -35,6 +35,7 @@
 
 #include "core/kmeans_types.hpp"
 #include "data/generator.hpp"
+#include "dist/fault.hpp"
 #include "dist/netsim.hpp"
 
 namespace knor::dist {
@@ -48,8 +49,8 @@ struct DistOptions {
   /// thread count). mpi_kmeans ignores this and uses 1.
   int threads_per_rank = 1;
   /// Interconnect cost model charged on every collective; zero (default)
-  /// makes collectives free. Installed for the duration of the run and
-  /// restored afterwards.
+  /// makes collectives free. Threaded per-Cluster: concurrent runs with
+  /// different models never interfere.
   NetModel net;
 };
 
@@ -73,5 +74,32 @@ Result kmeans(const data::GeneratorSpec& spec, const Options& opts,
 /// runs.
 Result mpi_kmeans(ConstMatrixView data, const Options& opts,
                   const DistOptions& dopts);
+
+/// Fault-tolerant elastic knord (DESIGN.md §13): the same algorithm and
+/// collectives as kmeans, driven through an epoch loop that survives the
+/// failures scripted in fopts.plan. Each epoch runs the live node set
+/// (dist/membership.hpp) as one Cluster; the leader — the lowest live node
+/// — periodically checkpoints the replicated global state (centroids,
+/// gathered assignments, pre-loosened MTI bounds, global sums/counts) via
+/// sem::save_checkpoint. On an injected crash the survivors abort the
+/// epoch, the crashed nodes are removed, the latest checkpoint is
+/// reloaded (from fopts.checkpoint_path when set, else the in-memory
+/// snapshot; from scratch when none exists yet), rows are re-sharded
+/// deterministically over the survivors, and the run continues from the
+/// checkpointed iteration. Graceful leave/join events take the same
+/// checkpoint-stop-reshard path at their boundary.
+///
+/// Determinism contract: the final clustering equals an uninterrupted
+/// dist::kmeans run with the same (data, opts) for ANY crash iteration and
+/// ANY survivor count — bitwise on integer-valued data (the re-shard only
+/// regroups exactly-representable partial sums; tests/fault_test.cpp pins
+/// the full sweep), last-ulp otherwise. Transient `flaky` faults retry
+/// with exponential backoff and never change results; a transient that
+/// exhausts fopts.max_retries, or a crash that leaves no survivor, throws.
+/// Deterministic fault metrics (dist.faults_injected / retries /
+/// recoveries / checkpoints / membership_events) and the timing-class
+/// dist.recovery_us histogram land in Result::metrics.
+Result ft_kmeans(ConstMatrixView data, const Options& opts,
+                 const DistOptions& dopts, const FtOptions& fopts);
 
 }  // namespace knor::dist

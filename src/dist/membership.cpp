@@ -1,0 +1,63 @@
+#include "dist/membership.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace knor::dist {
+
+Membership::Membership(int world) : world_(world) {
+  if (world < 1)
+    throw std::invalid_argument("Membership: world must be >= 1");
+  nodes_.resize(static_cast<std::size_t>(world));
+  for (int i = 0; i < world; ++i) nodes_[static_cast<std::size_t>(i)] = i;
+}
+
+int Membership::node_at(int comm_rank) const {
+  if (comm_rank < 0 || comm_rank >= live())
+    throw std::out_of_range("Membership::node_at: rank " +
+                            std::to_string(comm_rank));
+  return nodes_[static_cast<std::size_t>(comm_rank)];
+}
+
+int Membership::rank_of(int node) const {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) return -1;
+  return static_cast<int>(it - nodes_.begin());
+}
+
+bool Membership::is_live(int node) const { return rank_of(node) >= 0; }
+
+int Membership::leader() const {
+  if (nodes_.empty())
+    throw std::logic_error("Membership::leader: no live nodes");
+  return nodes_.front();
+}
+
+void Membership::remove(int node) {
+  const int r = rank_of(node);
+  if (r < 0)
+    throw std::invalid_argument("Membership::remove: node " +
+                                std::to_string(node) + " is not live");
+  nodes_.erase(nodes_.begin() + r);
+}
+
+void Membership::add(int node) {
+  if (node < 0)
+    throw std::invalid_argument("Membership::add: negative node id");
+  if (is_live(node))
+    throw std::invalid_argument("Membership::add: node " +
+                                std::to_string(node) + " is already live");
+  nodes_.insert(
+      std::upper_bound(nodes_.begin(), nodes_.end(), node), node);
+  world_ = std::max(world_, node + 1);
+}
+
+numa::RowRange Membership::shard(index_t n, int comm_rank) const {
+  if (comm_rank < 0 || comm_rank >= live())
+    throw std::out_of_range("Membership::shard: rank " +
+                            std::to_string(comm_rank));
+  return numa::block_range(n, live(), comm_rank);
+}
+
+}  // namespace knor::dist

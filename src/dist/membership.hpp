@@ -1,0 +1,66 @@
+// Elastic cluster membership with deterministic re-sharding
+// (DESIGN.md §13).
+//
+// A Membership is the sorted set of LIVE node ids of an elastic knord
+// cluster. Nodes carry stable ids for their whole life (fault plans target
+// ids, not comm ranks); communicator ranks are positions in the sorted
+// live set, so after any crash/leave/join the mapping
+//   comm rank i  <->  i-th lowest live node id
+// is a pure function of the live set. The leader is comm rank 0 — the
+// lowest live node id — which is the "elect the lowest live rank" rule:
+// no election protocol is needed because every survivor derives the same
+// leader from the same membership.
+//
+// Re-sharding is equally deterministic: comm rank r of a live-L cluster
+// owns numa::block_range(n, L, r), the same contiguous block partition
+// every fixed-size knord run uses — so a recovered 3-rank cluster shards
+// exactly like a 3-rank cluster that never failed, which (on integer
+// conformance data) makes post-recovery clustering bitwise identical to
+// the uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "numa/partitioner.hpp"
+
+namespace knor::dist {
+
+class Membership {
+ public:
+  /// Initial fixed-size cluster: nodes 0..world-1, all live.
+  explicit Membership(int world);
+
+  /// Live node count (== communicator size of the current epoch).
+  int live() const { return static_cast<int>(nodes_.size()); }
+  /// Highest node id ever admitted + 1 (grows when joins extend it).
+  int world() const { return world_; }
+
+  /// The node id hosted by communicator rank `comm_rank` (sorted order).
+  int node_at(int comm_rank) const;
+  /// The communicator rank hosting `node`, or -1 if it is not live.
+  int rank_of(int node) const;
+  bool is_live(int node) const;
+  /// The lowest live node id (comm rank 0).
+  int leader() const;
+
+  /// Remove a live node (crash or graceful leave). Throws if not live.
+  void remove(int node);
+  /// Admit a node (graceful join; extends world() as needed). Throws if
+  /// already live or negative.
+  void add(int node);
+
+  /// The sorted live node ids.
+  const std::vector<std::int32_t>& nodes() const { return nodes_; }
+
+  /// Deterministic re-sharding: the row block owned by `comm_rank` when n
+  /// rows are partitioned over the current live set.
+  numa::RowRange shard(index_t n, int comm_rank) const;
+
+ private:
+  std::vector<std::int32_t> nodes_;  ///< sorted live node ids
+  int world_ = 0;
+};
+
+}  // namespace knor::dist

@@ -11,7 +11,7 @@ namespace knor::dist {
 namespace {
 
 std::mutex g_mu;
-NetModel g_model;  // zero-initialized: disabled
+NetModel g_model;  // zero-initialized: disabled (the process-wide default)
 
 /// Hops of a binomial-tree collective over `ranks` participants.
 int tree_hops(int ranks) {
@@ -34,32 +34,37 @@ NetModel NetSim::current() {
   return g_model;
 }
 
-void NetSim::charge(std::size_t bytes, int ranks) {
+void NetSim::account(std::size_t bytes) {
   // Collective traffic accounting (DESIGN.md §10): every rank's arrival at
   // a collective is one charge, so messages = collectives x ranks and both
   // totals are pure functions of (data, opts, ranks) — deterministic.
-  // Counted even when the cost model is disabled: the traffic exists, only
-  // its simulated latency is free.
-  {
-    using obs::Det;
-    static obs::Counter& messages = obs::Registry::global().counter(
-        "dist.collective_messages", Det::kDeterministic);
-    static obs::Counter& total_bytes = obs::Registry::global().counter(
-        "dist.collective_bytes", Det::kDeterministic);
-    messages.inc();
-    total_bytes.add(static_cast<std::uint64_t>(bytes));
-  }
-  const NetModel m = current();
-  if (!m.enabled() || ranks < 2) return;
+  using obs::Det;
+  static obs::Counter& messages = obs::Registry::global().counter(
+      "dist.collective_messages", Det::kDeterministic);
+  static obs::Counter& total_bytes = obs::Registry::global().counter(
+      "dist.collective_bytes", Det::kDeterministic);
+  messages.inc();
+  total_bytes.add(static_cast<std::uint64_t>(bytes));
+}
+
+void NetSim::charge_model(const NetModel& model, std::size_t bytes,
+                          int ranks, double multiplier) {
+  if (!model.enabled() || ranks < 2 || multiplier <= 0.0) return;
   const int hops = tree_hops(ranks);
-  double us = static_cast<double>(hops) * m.latency_us;
-  if (m.gigabytes_per_sec > 0.0)
+  double us = static_cast<double>(hops) * model.latency_us;
+  if (model.gigabytes_per_sec > 0.0)
     // bytes / (GB/s) in microseconds: bytes / (gbps * 1e9) * 1e6.
     us += static_cast<double>(hops) * static_cast<double>(bytes) /
-          (m.gigabytes_per_sec * 1e3);
+          (model.gigabytes_per_sec * 1e3);
+  us *= multiplier;
   if (us <= 0.0) return;
   std::this_thread::sleep_for(
       std::chrono::microseconds(static_cast<long long>(std::llround(us))));
+}
+
+void NetSim::charge(std::size_t bytes, int ranks) {
+  account(bytes);
+  charge_model(current(), bytes, ranks);
 }
 
 }  // namespace knor::dist

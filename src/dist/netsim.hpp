@@ -8,9 +8,12 @@
 // 10GbE EC2 interconnect). With the model disabled (the default) collectives
 // are free, which is the right baseline for correctness tests.
 //
-// The model is process-global — exactly one cluster runs at a time, matching
-// how knord configures it for the duration of a run and restores the prior
-// model afterwards (exception-safe; see NetModelGuard).
+// The model is threaded per-Cluster: each Cluster carries its own NetModel
+// (Cluster::set_net) and its Communicator charges through it, so concurrent
+// knord runs with different interconnects cannot retarget each other — the
+// same global-mutable-state bug class the kernel dispatch purge removed.
+// The static configure/current API remains as the process-wide DEFAULT: a
+// Cluster with no model of its own snapshots the default at run() start.
 #pragma once
 
 #include <cstddef>
@@ -26,39 +29,38 @@ struct NetModel {
   bool enabled() const { return latency_us > 0.0 || gigabytes_per_sec > 0.0; }
 };
 
-/// Process-global interconnect simulator.
+/// Interconnect simulator: traffic accounting + modeled sleeps.
 class NetSim {
  public:
-  /// Install `model` as the active interconnect.
+  /// Install `model` as the process-wide default interconnect (used by
+  /// Clusters that were not given their own model).
   static void configure(const NetModel& model);
-  /// Remove any model: collectives become free.
+  /// Remove the default model: collectives become free by default.
   static void disable();
-  /// The active model (zero/disabled when none installed).
+  /// The default model (zero/disabled when none installed).
   static NetModel current();
 
-  /// Charge the calling thread the modeled cost of one `ranks`-wide
-  /// tree collective moving `bytes` per hop: ceil(log2(ranks)) hops, each
-  /// paying latency + bytes/bandwidth. No-op when disabled or ranks < 2.
-  /// Every rank of a collective calls this — ranks are concurrent threads,
-  /// so the sleeps overlap like the real collective's hops would.
+  /// Record one collective arrival in the obs registry
+  /// (dist.collective_messages / dist.collective_bytes) without charging
+  /// any simulated time. Deterministic: counted even when every model is
+  /// disabled — the traffic exists, only its simulated latency is free.
+  static void account(std::size_t bytes);
+
+  /// Sleep the modeled cost of one `ranks`-wide tree collective moving
+  /// `bytes` per hop under `model`: ceil(log2(ranks)) hops, each paying
+  /// latency + bytes/bandwidth, all scaled by `multiplier` (straggler
+  /// injection: a rank with multiplier m pays m x the nominal cost, and
+  /// since peers wait for it at the next sync point the whole collective
+  /// slows — exactly how a real straggler drags a cluster). No-op when the
+  /// model is disabled or ranks < 2. Every rank of a collective calls this —
+  /// ranks are concurrent threads, so the sleeps overlap like the real
+  /// collective's hops would.
+  static void charge_model(const NetModel& model, std::size_t bytes,
+                           int ranks, double multiplier = 1.0);
+
+  /// account() + charge_model(current(), ...): the default-model path for
+  /// callers outside a Cluster (Communicator charges its cluster's model).
   static void charge(std::size_t bytes, int ranks);
-};
-
-/// RAII: install a model for the scope, restore the previous one on exit
-/// (including via exception). knord wraps every run in one of these.
-class NetModelGuard {
- public:
-  explicit NetModelGuard(const NetModel& model)
-      : previous_(NetSim::current()) {
-    NetSim::configure(model);
-  }
-  ~NetModelGuard() { NetSim::configure(previous_); }
-
-  NetModelGuard(const NetModelGuard&) = delete;
-  NetModelGuard& operator=(const NetModelGuard&) = delete;
-
- private:
-  NetModel previous_;
 };
 
 }  // namespace knor::dist

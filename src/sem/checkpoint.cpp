@@ -1,5 +1,7 @@
 #include "sem/checkpoint.hpp"
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -9,8 +11,22 @@
 namespace knor::sem {
 namespace {
 
-constexpr char kCkptMagic[8] = {'K', 'N', 'O', 'R', 'C', 'K', 'P', '1'};
+constexpr char kCkptMagicV1[8] = {'K', 'N', 'O', 'R', 'C', 'K', 'P', '1'};
+constexpr char kCkptMagicV2[8] = {'K', 'N', 'O', 'R', 'C', 'K', 'P', '2'};
 constexpr std::size_t kCkptHeader = 64;
+constexpr std::size_t kChecksumOffset = 48;
+
+/// FNV-1a over the header (checksum field zeroed) + payload in file order.
+struct Fnv1a {
+  std::uint64_t hash = 1469598103934665603ull;
+  void update(const void* data, std::size_t bytes) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < bytes; ++i) {
+      hash ^= p[i];
+      hash *= 1099511628211ull;
+    }
+  }
+};
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -24,51 +40,87 @@ void write_all(std::FILE* f, const void* data, std::size_t bytes) {
     throw std::runtime_error("checkpoint: write failed");
 }
 
-void read_all(std::FILE* f, void* data, std::size_t bytes,
-              const char* what) {
+void read_all(std::FILE* f, void* data, std::size_t bytes, const char* what,
+              Fnv1a* fnv = nullptr) {
   if (bytes > 0 && std::fread(data, 1, bytes, f) != bytes)
     throw std::runtime_error(std::string("checkpoint: truncated ") + what);
+  if (fnv != nullptr) fnv->update(data, bytes);
+}
+
+/// Serialized dist block: epoch, world, live count, then the node ids.
+std::vector<unsigned char> dist_block_bytes(const Checkpoint& ckpt) {
+  std::vector<unsigned char> block;
+  if (ckpt.dist_nodes.empty()) return block;
+  const std::uint64_t fields[3] = {
+      ckpt.dist_epoch, static_cast<std::uint64_t>(ckpt.dist_world),
+      static_cast<std::uint64_t>(ckpt.dist_nodes.size())};
+  block.resize(sizeof(fields) +
+               ckpt.dist_nodes.size() * sizeof(std::int32_t));
+  std::memcpy(block.data(), fields, sizeof(fields));
+  std::memcpy(block.data() + sizeof(fields), ckpt.dist_nodes.data(),
+              ckpt.dist_nodes.size() * sizeof(std::int32_t));
+  return block;
+}
+
+/// Visit every payload section in file order — the single source of truth
+/// shared by the checksum pass and the write pass, so they cannot drift.
+template <typename Fn>
+void for_each_payload(const Checkpoint& ckpt,
+                      const std::vector<unsigned char>& dist_block,
+                      Fn&& fn) {
+  fn(ckpt.centroids.data(), ckpt.centroids.size() * sizeof(value_t));
+  fn(ckpt.assignments.data(), ckpt.assignments.size() * sizeof(cluster_t));
+  fn(ckpt.upper_bounds.data(), ckpt.upper_bounds.size() * sizeof(value_t));
+  if (!ckpt.sums.empty()) {
+    fn(ckpt.sums.data(), ckpt.sums.size() * sizeof(value_t));
+    fn(ckpt.counts.data(), ckpt.counts.size() * sizeof(std::int64_t));
+  }
+  if (!ckpt.weights.empty()) {
+    fn(ckpt.weights.data(), ckpt.weights.size() * sizeof(value_t));
+    fn(ckpt.counts.data(), ckpt.counts.size() * sizeof(std::int64_t));
+  }
+  if (!dist_block.empty()) fn(dist_block.data(), dist_block.size());
 }
 
 }  // namespace
 
 void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
+  unsigned char header[kCkptHeader] = {};
+  std::memcpy(header, kCkptMagicV2, sizeof(kCkptMagicV2));
+  const std::uint64_t fields[4] = {
+      ckpt.iteration, ckpt.assignments.size(),
+      static_cast<std::uint64_t>(ckpt.centroids.rows()),
+      static_cast<std::uint64_t>(ckpt.centroids.cols())};
+  std::memcpy(header + 8, fields, sizeof(fields));
+  header[40] = ckpt.upper_bounds.empty() ? 0 : 1;
+  header[41] = ckpt.sums.empty() ? 0 : 1;
+  header[42] = ckpt.weights.empty() ? 0 : 1;
+  header[43] = ckpt.dist_nodes.empty() ? 0 : 1;
+
+  const std::vector<unsigned char> dist_block = dist_block_bytes(ckpt);
+  // Checksum with the checksum field still zero, then patch it in.
+  Fnv1a fnv;
+  fnv.update(header, sizeof(header));
+  for_each_payload(ckpt, dist_block, [&](const void* data, std::size_t bytes) {
+    fnv.update(data, bytes);
+  });
+  std::memcpy(header + kChecksumOffset, &fnv.hash, sizeof(fnv.hash));
+
   const std::string tmp = path + ".tmp";
   {
     FilePtr f(std::fopen(tmp.c_str(), "wb"));
     if (!f) throw std::runtime_error("checkpoint: cannot open " + tmp);
-
-    unsigned char header[kCkptHeader] = {};
-    std::memcpy(header, kCkptMagic, sizeof(kCkptMagic));
-    const std::uint64_t fields[4] = {
-        ckpt.iteration, ckpt.assignments.size(),
-        static_cast<std::uint64_t>(ckpt.centroids.rows()),
-        static_cast<std::uint64_t>(ckpt.centroids.cols())};
-    std::memcpy(header + 8, fields, sizeof(fields));
-    header[40] = ckpt.upper_bounds.empty() ? 0 : 1;
-    header[41] = ckpt.sums.empty() ? 0 : 1;
-    header[42] = ckpt.weights.empty() ? 0 : 1;
     write_all(f.get(), header, sizeof(header));
-    write_all(f.get(), ckpt.centroids.data(),
-              ckpt.centroids.size() * sizeof(value_t));
-    write_all(f.get(), ckpt.assignments.data(),
-              ckpt.assignments.size() * sizeof(cluster_t));
-    write_all(f.get(), ckpt.upper_bounds.data(),
-              ckpt.upper_bounds.size() * sizeof(value_t));
-    if (!ckpt.sums.empty()) {
-      write_all(f.get(), ckpt.sums.data(),
-                ckpt.sums.size() * sizeof(value_t));
-      write_all(f.get(), ckpt.counts.data(),
-                ckpt.counts.size() * sizeof(std::int64_t));
-    }
-    if (!ckpt.weights.empty()) {
-      write_all(f.get(), ckpt.weights.data(),
-                ckpt.weights.size() * sizeof(value_t));
-      write_all(f.get(), ckpt.counts.data(),
-                ckpt.counts.size() * sizeof(std::int64_t));
-    }
+    for_each_payload(ckpt, dist_block,
+                     [&](const void* data, std::size_t bytes) {
+                       write_all(f.get(), data, bytes);
+                     });
     if (std::fflush(f.get()) != 0)
       throw std::runtime_error("checkpoint: flush failed");
+    // The rename below is only atomic-and-durable if the data reaches the
+    // device before the directory entry swings over.
+    if (::fsync(::fileno(f.get())) != 0)
+      throw std::runtime_error("checkpoint: fsync failed");
   }
   std::filesystem::rename(tmp, path);
 }
@@ -78,8 +130,24 @@ Checkpoint load_checkpoint(const std::string& path) {
   if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
   unsigned char header[kCkptHeader];
   read_all(f.get(), header, sizeof(header), "header");
-  if (std::memcmp(header, kCkptMagic, sizeof(kCkptMagic)) != 0)
+  const bool v2 =
+      std::memcmp(header, kCkptMagicV2, sizeof(kCkptMagicV2)) == 0;
+  if (!v2 && std::memcmp(header, kCkptMagicV1, sizeof(kCkptMagicV1)) != 0)
     throw std::runtime_error("checkpoint: bad magic in " + path);
+
+  std::uint64_t stored_checksum = 0;
+  Fnv1a fnv;
+  Fnv1a* hash = nullptr;
+  if (v2) {
+    // Re-hash exactly what save hashed: header with the checksum zeroed,
+    // then every payload byte as it is read back.
+    std::memcpy(&stored_checksum, header + kChecksumOffset,
+                sizeof(stored_checksum));
+    std::memset(header + kChecksumOffset, 0, sizeof(stored_checksum));
+    fnv.update(header, sizeof(header));
+    hash = &fnv;
+  }
+
   std::uint64_t fields[4];
   std::memcpy(fields, header + 8, sizeof(fields));
   const bool has_mti = header[40] != 0;
@@ -93,31 +161,45 @@ Checkpoint load_checkpoint(const std::string& path) {
     throw std::runtime_error("checkpoint: degenerate shape in " + path);
   ckpt.centroids = DenseMatrix(k, d);
   read_all(f.get(), ckpt.centroids.data(),
-           ckpt.centroids.size() * sizeof(value_t), "centroids");
+           ckpt.centroids.size() * sizeof(value_t), "centroids", hash);
   ckpt.assignments.resize(static_cast<std::size_t>(n));
   read_all(f.get(), ckpt.assignments.data(), n * sizeof(cluster_t),
-           "assignments");
+           "assignments", hash);
   if (has_mti) {
     ckpt.upper_bounds.resize(static_cast<std::size_t>(n));
     read_all(f.get(), ckpt.upper_bounds.data(), n * sizeof(value_t),
-             "upper bounds");
+             "upper bounds", hash);
   }
   if (header[41] != 0) {
     ckpt.sums = DenseMatrix(k, d);
     read_all(f.get(), ckpt.sums.data(), ckpt.sums.size() * sizeof(value_t),
-             "sums");
+             "sums", hash);
     ckpt.counts.resize(static_cast<std::size_t>(k));
     read_all(f.get(), ckpt.counts.data(),
-             ckpt.counts.size() * sizeof(std::int64_t), "counts");
+             ckpt.counts.size() * sizeof(std::int64_t), "counts", hash);
   }
   if (header[42] != 0) {
     ckpt.weights.resize(static_cast<std::size_t>(k));
     read_all(f.get(), ckpt.weights.data(),
-             ckpt.weights.size() * sizeof(value_t), "weights");
+             ckpt.weights.size() * sizeof(value_t), "weights", hash);
     ckpt.counts.resize(static_cast<std::size_t>(k));
     read_all(f.get(), ckpt.counts.data(),
-             ckpt.counts.size() * sizeof(std::int64_t), "stream counts");
+             ckpt.counts.size() * sizeof(std::int64_t), "stream counts",
+             hash);
   }
+  if (v2 && header[43] != 0) {
+    std::uint64_t dist_fields[3];
+    read_all(f.get(), dist_fields, sizeof(dist_fields), "dist block", hash);
+    ckpt.dist_epoch = dist_fields[0];
+    ckpt.dist_world = static_cast<std::int32_t>(dist_fields[1]);
+    ckpt.dist_nodes.resize(static_cast<std::size_t>(dist_fields[2]));
+    read_all(f.get(), ckpt.dist_nodes.data(),
+             ckpt.dist_nodes.size() * sizeof(std::int32_t), "dist nodes",
+             hash);
+  }
+  if (v2 && fnv.hash != stored_checksum)
+    throw std::runtime_error("checkpoint: checksum mismatch in " + path +
+                             " (corrupt or torn file)");
   return ckpt;
 }
 
@@ -127,7 +209,8 @@ bool checkpoint_exists(const std::string& path) {
   char magic[8];
   if (std::fread(magic, 1, sizeof(magic), f.get()) != sizeof(magic))
     return false;
-  return std::memcmp(magic, kCkptMagic, sizeof(magic)) == 0;
+  return std::memcmp(magic, kCkptMagicV1, sizeof(magic)) == 0 ||
+         std::memcmp(magic, kCkptMagicV2, sizeof(magic)) == 0;
 }
 
 }  // namespace knor::sem

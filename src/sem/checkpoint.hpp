@@ -8,16 +8,26 @@
 // Row data is on disk already, so recovery is: load checkpoint, reopen the
 // matrix file, continue from iteration+1.
 //
-// Format: 64-byte header {magic "KNORCKP1", u64 iter, u64 n, u64 k, u64 d,
-// u8 has_mti} + centroids (k*d value_t) + assignments (n cluster_t) +
-// optional ubs (n value_t), with a trailing CRC-less length check (a
-// truncated file is rejected).
+// Format v2: 64-byte header {magic "KNORCKP2", u64 iter, u64 n, u64 k,
+// u64 d, flag bytes 40=mti 41=sums 42=weights 43=dist, u64 FNV-1a content
+// checksum at offset 48} + centroids (k*d value_t) + assignments
+// (n cluster_t) + optional ubs (n value_t) + optional blocks below. The
+// checksum covers the header (with the checksum field zeroed) and every
+// payload byte in file order, so a bit-flipped or torn file is rejected at
+// load instead of silently resuming from garbage; save flushes AND fsyncs
+// before the atomic rename, making the rename actually crash-durable.
+// Version-1 files (magic "KNORCKP1", no checksum, no dist block) still
+// load unchanged.
 //
 // The streaming engine (src/stream/) reuses this module for its snapshots:
 // a stream snapshot has n == 0 (no per-point state — the stream is
 // unbounded) and carries a `weights` block (header byte 42: per-cluster
-// decayed weights + row counts) instead of the SEM sums block. Both blocks
-// are optional and independent, so old files load unchanged.
+// decayed weights + row counts) instead of the SEM sums block.
+//
+// The distributed fault-tolerance layer (src/dist/, DESIGN.md §13) adds a
+// `dist` block (header byte 43): u64 epoch, u64 world size, u64 live-node
+// count, then the live node ids (i32 each) at save time. All optional
+// blocks are independent, so every writer/reader combination interoperates.
 #pragma once
 
 #include <cstdint>
@@ -42,18 +52,26 @@ struct Checkpoint {
   /// SEM checkpoints). When non-empty, `counts` holds the total rows ever
   /// assigned per cluster and `iteration` counts ingested batches.
   std::vector<value_t> weights;  ///< k (empty when not saved)
+  /// Distributed-run block (dist::ft_kmeans): recovery epoch, initial world
+  /// size, and the live node ids at save time. Saved iff dist_nodes is
+  /// non-empty; purely informational on load (re-sharding follows the
+  /// recovering cluster's membership, not the saved one).
+  std::uint64_t dist_epoch = 0;
+  std::int32_t dist_world = 0;
+  std::vector<std::int32_t> dist_nodes;
 
   index_t n() const { return assignments.size(); }
   int k() const { return static_cast<int>(centroids.rows()); }
 };
 
-/// Atomically (write-then-rename) persist a checkpoint.
+/// Atomically (write-fsync-rename) persist a checkpoint in format v2.
 void save_checkpoint(const std::string& path, const Checkpoint& ckpt);
 
-/// Load and validate. Throws std::runtime_error on missing/corrupt files.
+/// Load and validate. Throws std::runtime_error on missing files, bad
+/// magic, truncation, or (v2) a content-checksum mismatch.
 Checkpoint load_checkpoint(const std::string& path);
 
-/// True when `path` exists and carries the checkpoint magic.
+/// True when `path` exists and carries a checkpoint magic (v1 or v2).
 bool checkpoint_exists(const std::string& path);
 
 }  // namespace knor::sem

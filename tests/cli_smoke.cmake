@@ -59,6 +59,20 @@ run_step(cluster_dist ${KNOR_CLI} cluster --data ${DATA} --mode dist
 run_step(cluster_dist_sched ${KNOR_CLI} cluster --data ${DATA} --mode dist
          --k 4 --iters 10 --ranks 2 --threads-per-rank 2 --sched static
          --numa-bind off)
+# Fault-tolerant elastic knord (DESIGN.md §13): scripted crash + recovery,
+# transient retries, graceful elasticity, checkpoint + resume.
+set(FT_CKPT ${WORK_DIR}/ft.ckpt)
+run_step(cluster_dist_ft_crash ${KNOR_CLI} cluster --data ${DATA}
+         --mode dist --k 4 --iters 20 --ranks 4 --ckpt ${FT_CKPT}
+         --fault-plan "crash@2:r1,flaky@3*2")
+if(NOT EXISTS ${FT_CKPT})
+  message(FATAL_ERROR "cli_smoke: FT run left no checkpoint file")
+endif()
+run_step(cluster_dist_ft_resume ${KNOR_CLI} cluster --data ${DATA}
+         --mode dist --k 4 --iters 20 --ranks 3 --ckpt ${FT_CKPT} --resume)
+run_step(cluster_dist_ft_elastic ${KNOR_CLI} cluster --data ${DATA}
+         --mode dist --k 4 --iters 20 --ranks 3 --ckpt-every 2
+         --fault-plan "leave@1:r2,join@2:r2,slow:r0*2")
 
 # Streaming subsystem: ingest the dataset in small batches, snapshot, resume
 # from the snapshot, inspect it, and serve assignments from both sources.
@@ -111,6 +125,14 @@ function(reject_step2 name)
 endfunction()
 
 reject_step(bad_mode ${KNOR_CLI} cluster --data ${DATA} --mode bogus --k 2)
+# FT flags: a malformed fault plan exits 2 through usage(); a resume
+# without a checkpoint path (or onto a missing file) must fail loudly.
+reject_step2(bad_fault_plan ${KNOR_CLI} cluster --data ${DATA} --mode dist
+             --k 2 --fault-plan "crash@0:r1")
+reject_step2(bad_fault_plan_kind ${KNOR_CLI} cluster --data ${DATA}
+             --mode dist --k 2 --fault-plan "meteor@3:r1")
+reject_step(ft_resume_without_ckpt ${KNOR_CLI} cluster --data ${DATA}
+            --mode dist --k 2 --resume)
 reject_step(bad_numa_bind ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2
             --numa-bind sideways)
 reject_step(bad_sched ${KNOR_CLI} cluster --data ${DATA} --mode im --k 2

@@ -3,8 +3,11 @@
 // equivalence with the in-memory reference.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <thread>
 
 #include "core/knori.hpp"
 #include "data/generator.hpp"
@@ -128,6 +131,40 @@ TEST(NetSimTest, ChargesLatencyAndBandwidth) {
                       .count();
   NetSim::disable();
   EXPECT_GE(us, 300);
+}
+
+TEST(NetSimTest, ConcurrentClustersWithDifferentModelsStayIsolated) {
+  // The interconnect model is per-Cluster state: a cluster with an
+  // expensive model must not slow down (or data-race with) a concurrent
+  // cluster that has none. Run both at once — under TSan this also pins
+  // that per-cluster models ended the old process-global mutation.
+  NetSim::disable();
+  NetModel slow_model;
+  slow_model.latency_us = 2000;
+  std::atomic<long> fast_us{0};
+  std::thread slow_thread([&] {
+    Cluster slow(2);
+    slow.set_net(slow_model);
+    slow.run([](Communicator& comm) {
+      for (int i = 0; i < 10; ++i) comm.barrier();
+    });
+  });
+  std::thread fast_thread([&] {
+    Cluster fast(2);  // no model: snapshots the (disabled) default
+    const auto t0 = std::chrono::steady_clock::now();
+    fast.run([](Communicator& comm) {
+      for (int i = 0; i < 10; ++i) comm.barrier();
+    });
+    fast_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  });
+  slow_thread.join();
+  fast_thread.join();
+  // The slow cluster's 10 barriers sleep >= 10 * 1 hop * 2000us = 20ms; an
+  // uncharged concurrent cluster must come in well under that.
+  EXPECT_LT(fast_us.load(), 20000);
+  EXPECT_FALSE(NetSim::current().enabled());
 }
 
 // --- knord end-to-end -------------------------------------------------------

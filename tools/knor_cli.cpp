@@ -67,7 +67,22 @@ subcommands:
                 [--no-row-cache] [--cache-interval I]
                 [--checkpoint FILE] [--checkpoint-interval I] [--resume]
           dist: [--ranks R] [--threads-per-rank T] [--net-latency-us U]
-                [--net-gbps G]
+                [--net-gbps G] [--fault-plan PLAN] [--ckpt FILE]
+                [--ckpt-every I] [--max-retries N] [--resume]
+      --fault-plan     deterministic failure script (DESIGN.md §13);
+                       semicolon-separated events: crash@I:rN (node N
+                       crashes after iteration I), leave@I:rN / join@I:rN
+                       (graceful elasticity), slow:rN*M (straggler
+                       multiplier), flaky@I*C (iteration I's collective
+                       times out C times), seed=S. Any FT flag routes the
+                       run through the fault-tolerant elastic driver.
+      --ckpt FILE      leader-written distributed checkpoint (atomic
+                       write-fsync-rename, FNV-1a checksummed); recovery
+                       and --resume reload it
+      --ckpt-every I   checkpoint every I iteration boundaries (default 1;
+                       0 = only forced pre-reshard checkpoints)
+      --max-retries N  transient-collective retry budget (default 4)
+      --resume         continue from --ckpt if it exists
       Run k-means and print the result summary (and SEM I/O statistics).
 )");
   std::exit(error != nullptr ? 2 : 0);
@@ -217,9 +232,38 @@ int cmd_cluster(const Args& args) {
         static_cast<int>(args.num("threads-per-rank", 1));
     dopts.net.latency_us = args.real("net-latency-us", 0);
     dopts.net.gigabytes_per_sec = args.real("net-gbps", 0);
+    dist::FtOptions fopts;
+    const std::string plan_spec = args.str("fault-plan");
+    fopts.checkpoint_path = args.str("ckpt");
+    fopts.checkpoint_every = static_cast<int>(args.num("ckpt-every", 1));
+    fopts.max_retries = static_cast<int>(args.num("max-retries", 4));
+    fopts.resume = args.has("resume");
     args.reject_unknown();  // every dist-mode flag has been consulted
     if (opts.init == Init::kRandom) opts.init = Init::kForgy;
-    print_result(dist::kmeans(matrix.const_view(), opts, dopts));
+    try {
+      if (!plan_spec.empty()) fopts.plan = dist::FaultPlan::parse(plan_spec);
+    } catch (const std::invalid_argument& e) {
+      usage(e.what());
+    }
+    // The fault-tolerant driver only when fault tolerance is asked for:
+    // the plain path stays the zero-overhead single-epoch engine.
+    const bool ft = !fopts.plan.empty() ||
+                    !fopts.checkpoint_path.empty() || fopts.resume;
+    if (!ft) {
+      print_result(dist::kmeans(matrix.const_view(), opts, dopts));
+      return finish(0);
+    }
+    const Result res = dist::ft_kmeans(matrix.const_view(), opts, dopts, fopts);
+    print_result(res);
+    std::printf(
+        "ft: faults %lld retries %lld recoveries %lld checkpoints %lld "
+        "member-events %lld\n",
+        static_cast<long long>(res.metrics.value_or("dist.faults_injected", 0)),
+        static_cast<long long>(res.metrics.value_or("dist.retries", 0)),
+        static_cast<long long>(res.metrics.value_or("dist.recoveries", 0)),
+        static_cast<long long>(res.metrics.value_or("dist.checkpoints", 0)),
+        static_cast<long long>(
+            res.metrics.value_or("dist.membership_events", 0)));
     return finish(0);
   }
   usage(("unknown mode " + mode).c_str());
