@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/strict_parse.hpp"
 #include "common/timer.hpp"
 
 namespace knor::bench {
@@ -40,8 +41,14 @@ RunOptions RunOptions::for_scale(Scale scale) {
     opts.warmup = 1;
   }
   if (const char* env = std::getenv("KNOR_BENCH_SCALE")) {
-    const double v = std::atof(env);
-    if (v > 0) opts.scale_factor *= v;
+    // atof silently read garbage as 0 (= "ignore the env var"); reject it
+    // loudly like every other KNOR_* env knob.
+    double v = 0.0;
+    if (!parse_double(env, &v) || !(v > 0.0))
+      throw std::invalid_argument(
+          std::string("KNOR_BENCH_SCALE must be a positive number, got '") +
+          env + "'");
+    opts.scale_factor *= v;
   }
   return opts;
 }

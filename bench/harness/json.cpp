@@ -2,8 +2,9 @@
 
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
+
+#include "common/strict_parse.hpp"
 
 namespace knor::bench {
 
@@ -20,7 +21,8 @@ std::string format_double(double v) {
   char buf[40];
   for (int prec = 1; prec <= 17; ++prec) {
     std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
+    double back = 0.0;
+    if (parse_double(buf, &back) && back == v) break;
   }
   return buf;
 }
@@ -265,11 +267,32 @@ struct Parser {
         return consume('}');
       }
     }
-    // Number.
-    char* end = nullptr;
-    const double v = std::strtod(text.c_str() + pos, &end);
-    if (end == text.c_str() + pos) return fail("unexpected character");
-    pos = static_cast<std::size_t>(end - text.c_str());
+    // Number: scan the JSON grammar -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?
+    // [0-9]+)? and convert exactly that span. strtod used to sit here and
+    // quietly accepted "inf", "nan" and hex floats — none of which the
+    // serializer can round-trip (NaN/Inf dump as null).
+    const std::size_t start = pos;
+    std::size_t p = pos;
+    const auto digits = [&]() {
+      const std::size_t first = p;
+      while (p < text.size() && text[p] >= '0' && text[p] <= '9') ++p;
+      return p > first;
+    };
+    if (p < text.size() && text[p] == '-') ++p;
+    if (!digits()) return fail("unexpected character");
+    if (p < text.size() && text[p] == '.') {
+      ++p;
+      if (!digits()) return fail("bad number");
+    }
+    if (p < text.size() && (text[p] == 'e' || text[p] == 'E')) {
+      ++p;
+      if (p < text.size() && (text[p] == '+' || text[p] == '-')) ++p;
+      if (!digits()) return fail("bad number");
+    }
+    double v = 0.0;
+    if (!parse_double({text.data() + start, p - start}, &v))
+      return fail("number out of range");
+    pos = p;
     out = Json(v);
     return true;
   }

@@ -6,9 +6,9 @@
 // factor (the pre-harness contract), and `--scale smoke` / `--repeats N` /
 // `--warmup N` are accepted for parity with knor_bench.
 #include <cstdio>
-#include <cstdlib>
 #include <cstring>
 
+#include "common/strict_parse.hpp"
 #include "harness/harness.hpp"
 #include "harness/report.hpp"
 
@@ -34,14 +34,25 @@ int main(int argc, char** argv) {
       else if (std::strcmp(tier, "paper") == 0) scale = Scale::kPaper;
       else return fail();
     } else if (std::strcmp(argv[i], "--repeats") == 0) {
-      repeats = std::atoi(next());
+      std::int64_t v = 0;
+      if (!knor::parse_i64(next(), &v) || v < 1 || v > 1000000) return fail();
+      repeats = static_cast<int>(v);
     } else if (std::strcmp(argv[i], "--warmup") == 0) {
-      warmup = std::atoi(next());
+      std::int64_t v = 0;
+      if (!knor::parse_i64(next(), &v) || v < 0 || v > 1000000) return fail();
+      warmup = static_cast<int>(v);
     } else {
       return fail();
     }
   }
-  RunOptions opts = RunOptions::for_scale(scale);
+  RunOptions opts;
+  try {
+    // for_scale validates KNOR_BENCH_SCALE strictly — garbage exits 2 here.
+    opts = RunOptions::for_scale(scale);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (repeats > 0) opts.repeats = repeats;
   if (warmup >= 0) opts.warmup = warmup;
 

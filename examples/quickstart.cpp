@@ -6,16 +6,24 @@
 // in-memory k-means (knori), and prints the clustering summary plus the
 // pruning statistics that make knor fast.
 #include <cstdio>
-#include <cstdlib>
 
+#include "common/strict_parse.hpp"
 #include "knor/knor.hpp"
 
 int main(int argc, char** argv) {
   using namespace knor;
 
-  const index_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100000;
-  const index_t d = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 16;
-  const int k = argc > 3 ? std::atoi(argv[3]) : 8;
+  const auto arg_or = [&](int i, std::uint64_t dflt) {
+    std::uint64_t v = dflt;
+    if (argc > i && !parse_u64(argv[i], &v)) {
+      std::fprintf(stderr, "usage: %s [n] [d] [k]\n", argv[0]);
+      std::exit(2);
+    }
+    return v;
+  };
+  const index_t n = arg_or(1, 100000);
+  const index_t d = arg_or(2, 16);
+  const int k = static_cast<int>(arg_or(3, 8));
 
   // 1. Get a dataset (here: synthetic clusters; see data/matrix_io.hpp for
   //    loading .kmat files from disk).

@@ -9,12 +9,18 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "common/strict_parse.hpp"
 #include "knor/knor.hpp"
 
 int main(int argc, char** argv) {
   using namespace knor;
 
-  const index_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 300000;
+  std::uint64_t n_arg = 300000;
+  if (argc > 1 && !parse_u64(argv[1], &n_arg)) {
+    std::fprintf(stderr, "usage: %s [n]\n", argv[0]);
+    return 2;
+  }
+  const index_t n = n_arg;
   const std::string path =
       std::filesystem::temp_directory_path() / "knors_example.kmat";
 

@@ -2,6 +2,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string_view>
+
+#include "common/strict_parse.hpp"
 
 namespace knor {
 
@@ -55,8 +58,15 @@ std::size_t read_status_kb(const char* key) {
   const std::size_t key_len = std::strlen(key);
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     if (std::strncmp(line, key, key_len) == 0) {
-      unsigned long long v = 0;
-      if (std::sscanf(line + key_len, ": %llu kB", &v) == 1) kb = v;
+      // "VmRSS:   <digits> kB" — take the digit run after the colon.
+      const char* p = line + key_len;
+      if (*p == ':') ++p;
+      while (*p == ' ' || *p == '\t') ++p;
+      const char* begin = p;
+      while (*p >= '0' && *p <= '9') ++p;
+      std::uint64_t v = 0;
+      if (p != begin && knor::parse_u64(std::string_view(begin, p - begin), &v))
+        kb = v;
       break;
     }
   }

@@ -1,0 +1,67 @@
+// Strict whole-string numeric parsing — the single blessed home for
+// low-level text->number conversion in the library and bench harness.
+//
+// Rationale (knor_lint rule KL001, DESIGN.md §14): the atoi/strtol family
+// regressed twice — `atoi` leniency silently turned `--repeats abc` into 0
+// samples (fixed in PR 5) and `--rows-per-request` typos into no-ops (PR 7)
+// — so bare calls to that family are banned outside tools/cli_args.hpp.
+// Everything else parses through these helpers, which share one contract:
+//
+//   * the WHOLE string must be consumed — no trailing junk, no leading
+//     whitespace, no locale dependence (std::from_chars underneath);
+//   * unsigned parsers reject signs entirely; parse_double rejects "+",
+//     "inf"/"nan" spellings and hex floats (strtod accepted all of these);
+//   * out-of-range values are a parse failure, never a silent clamp.
+//
+// All parsers return false on failure and leave *out untouched, so callers
+// choose their own rejection (usage-and-exit, throw, skip-token).
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string_view>
+#include <system_error>
+
+namespace knor {
+
+/// Unsigned integer: digits only (no sign), whole string, no overflow.
+inline bool parse_u64(std::string_view s, std::uint64_t* out) {
+  if (s.empty() || s[0] == '+' || s[0] == '-') return false;
+  std::uint64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Signed integer: optional leading '-', whole string, no overflow.
+inline bool parse_i64(std::string_view s, std::int64_t* out) {
+  if (s.empty() || s[0] == '+') return false;
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v, 10);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+/// Finite decimal floating point: optional leading '-', digits with
+/// optional fraction/exponent, whole string. Rejects "inf"/"nan"
+/// spellings, hex floats, a bare sign, and out-of-range magnitudes.
+inline bool parse_double(std::string_view s, double* out) {
+  if (s.empty()) return false;
+  // from_chars accepts "inf"/"nan" (and their sign-prefixed forms); the
+  // strict grammar starts with a digit or '.' after an optional '-'.
+  std::string_view body = s;
+  if (body[0] == '-') body.remove_prefix(1);
+  if (body.empty() ||
+      !((body[0] >= '0' && body[0] <= '9') || body[0] == '.'))
+    return false;
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v,
+                                       std::chars_format::general);
+  if (ec != std::errc() || p != s.data() + s.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace knor

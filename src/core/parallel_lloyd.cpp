@@ -3,12 +3,10 @@
 // engine_impl.hpp, instantiated from knori.cpp (in-memory) and knord.cpp
 // (per-rank shards).
 #include <algorithm>
-#include <cctype>
-#include <cerrno>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
+#include "common/strict_parse.hpp"
 #include "core/kmeans_types.hpp"
 
 namespace knor {
@@ -21,12 +19,8 @@ bool parse_gemm_tile(const std::string& name, GemmTile* out) {
   const auto x = name.find('x');
   if (x == std::string::npos || x == 0 || x + 1 >= name.size()) return false;
   const auto parse_pos = [](const std::string& s, index_t* v) {
-    errno = 0;
-    char* end = nullptr;
-    const unsigned long long u = std::strtoull(s.c_str(), &end, 10);
-    if (s.empty() || !std::isdigit(static_cast<unsigned char>(s[0])) ||
-        *end != '\0' || errno == ERANGE || u == 0)
-      return false;
+    std::uint64_t u = 0;
+    if (!knor::parse_u64(s, &u) || u == 0) return false;
     *v = static_cast<index_t>(u);
     return true;
   };

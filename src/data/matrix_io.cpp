@@ -56,10 +56,20 @@ void check_body_size(std::FILE* f, const MatrixHeader& h,
   if (std::fseek(f, 0, SEEK_END) != 0)
     throw std::runtime_error("matrix_io: seek failed");
   const long size = std::ftell(f);
-  const long expect = static_cast<long>(
-      kHeaderBytes + static_cast<std::size_t>(h.n) * h.d * h.elem_size);
-  if (size < expect)
+  if (size < static_cast<long>(kHeaderBytes))
     throw std::runtime_error("matrix_io: '" + path + "' truncated body");
+  // Bound the header-declared body against the bytes actually on disk
+  // BEFORE any n*d allocation: the old size_t product wrapped for hostile
+  // n/d fields, letting a 64-byte file declare a multi-exabyte matrix.
+  constexpr std::uint64_t kMaxField = 1ull << 40;
+  const unsigned __int128 body =
+      h.n > kMaxField || h.d > kMaxField
+          ? static_cast<unsigned __int128>(-1)
+          : static_cast<unsigned __int128>(h.n) * h.d * h.elem_size;
+  if (body > static_cast<std::uint64_t>(size) - kHeaderBytes)
+    throw std::runtime_error("matrix_io: '" + path +
+                             "' hostile size field: declared body exceeds "
+                             "file size");
 }
 
 }  // namespace
@@ -136,6 +146,7 @@ void read_rows(const std::string& path, index_t begin, index_t end,
                MutMatrixView out) {
   FilePtr f = open_or_throw(path, "rb");
   const MatrixHeader h = parse_header(f.get(), path);
+  check_body_size(f.get(), h, path);
   read_rows_from(f.get(), h, path, begin, end, out);
 }
 

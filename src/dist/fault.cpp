@@ -1,8 +1,9 @@
 #include "dist/fault.hpp"
 
 #include <algorithm>
-#include <cstdlib>
 #include <sstream>
+
+#include "common/strict_parse.hpp"
 
 namespace knor::dist {
 namespace {
@@ -12,23 +13,10 @@ namespace {
                               why + ")");
 }
 
-/// Strict unsigned parse of the WHOLE string (no trailing junk, no signs).
-bool parse_u64(const std::string& s, std::uint64_t* out) {
-  if (s.empty() || s[0] == '-' || s[0] == '+') return false;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (end == nullptr || *end != '\0' || end == s.c_str()) return false;
-  *out = static_cast<std::uint64_t>(v);
-  return true;
-}
-
 /// Strict positive-double parse of the whole string.
 bool parse_pos_double(const std::string& s, double* out) {
-  if (s.empty() || s[0] == '-') return false;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (end == nullptr || *end != '\0' || end == s.c_str() || !(v > 0.0))
-    return false;
+  double v = 0.0;
+  if (!knor::parse_double(s, &v) || !(v > 0.0)) return false;
   *out = v;
   return true;
 }

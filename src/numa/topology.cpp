@@ -5,26 +5,36 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 #include <thread>
 
 #include "common/logger.hpp"
+#include "common/strict_parse.hpp"
 
 namespace knor::numa {
 namespace {
 
-// Parse a Linux cpulist string like "0-3,8,10-11" into CPU ids.
+// Parse a Linux cpulist string like "0-3,8,10-11" into CPU ids. Malformed
+// tokens are skipped (sysfs is effectively trusted; atoi used to fold them
+// into a bogus cpu 0, which then landed in the cpu->node map).
 std::vector<int> parse_cpulist(const std::string& s) {
   std::vector<int> cpus;
   std::stringstream ss(s);
   std::string tok;
+  const auto parse_cpu = [](const std::string& t, int* out) {
+    std::uint64_t v = 0;
+    if (!parse_u64(t, &v) || v > (1u << 20)) return false;
+    *out = static_cast<int>(v);
+    return true;
+  };
   while (std::getline(ss, tok, ',')) {
     if (tok.empty()) continue;
     const auto dash = tok.find('-');
+    int lo = 0, hi = 0;
     if (dash == std::string::npos) {
-      cpus.push_back(std::atoi(tok.c_str()));
-    } else {
-      const int lo = std::atoi(tok.substr(0, dash).c_str());
-      const int hi = std::atoi(tok.substr(dash + 1).c_str());
+      if (parse_cpu(tok, &lo)) cpus.push_back(lo);
+    } else if (parse_cpu(tok.substr(0, dash), &lo) &&
+               parse_cpu(tok.substr(dash + 1), &hi)) {
       for (int c = lo; c <= hi; ++c) cpus.push_back(c);
     }
   }
@@ -84,7 +94,14 @@ Topology Topology::detect() {
   topo.build_cpu_map();
 
   if (const char* env = std::getenv("KNOR_NUMA_NODES")) {
-    const int want = std::atoi(env);
+    // Same rejection discipline as KNOR_SIMD: a typo'd value must fail
+    // loudly, not silently parse as 0 and disable the simulation.
+    std::uint64_t parsed = 0;
+    if (!parse_u64(env, &parsed) || parsed == 0 || parsed > (1u << 16))
+      throw std::invalid_argument(
+          std::string("KNOR_NUMA_NODES must be a positive integer, got '") +
+          env + "'");
+    const int want = static_cast<int>(parsed);
     if (want > topo.num_nodes()) {
       KNOR_LOG_INFO("KNOR_NUMA_NODES=", want, ": simulating ", want,
                     "-node topology over ", topo.num_cpus(), " cpus");

@@ -128,6 +128,36 @@ void save_checkpoint(const std::string& path, const Checkpoint& ckpt) {
 Checkpoint load_checkpoint(const std::string& path) {
   FilePtr f(std::fopen(path.c_str(), "rb"));
   if (!f) throw std::runtime_error("checkpoint: cannot open " + path);
+  // Total bytes actually present — every header-declared element count is
+  // bounded against this BEFORE its buffer is allocated, so a hostile or
+  // corrupt size field can never drive a multi-GB allocation (it is
+  // rejected by name instead; the fuzz corpus pins these paths).
+  if (std::fseek(f.get(), 0, SEEK_END) != 0)
+    throw std::runtime_error("checkpoint: seek failed on " + path);
+  const long file_end = std::ftell(f.get());
+  if (file_end < static_cast<long>(kCkptHeader))
+    throw std::runtime_error("checkpoint: truncated header");
+  if (std::fseek(f.get(), 0, SEEK_SET) != 0)
+    throw std::runtime_error("checkpoint: seek failed on " + path);
+  std::uint64_t remaining =
+      static_cast<std::uint64_t>(file_end) - kCkptHeader;
+  // Claim `a*b` elements of `elem` bytes out of the unread payload; the
+  // u128 product cannot wrap for any 64-bit field values.
+  const auto claim = [&](std::uint64_t a, std::uint64_t b, std::size_t elem,
+                         const char* what) {
+    // Pre-bound the factors so the u128 product below cannot wrap even for
+    // adversarial 64-bit fields (2^40 * 2^40 * 8 << 2^128).
+    constexpr std::uint64_t kMaxField = 1ull << 40;
+    const unsigned __int128 need =
+        a > kMaxField || b > kMaxField
+            ? static_cast<unsigned __int128>(remaining) + 1
+            : static_cast<unsigned __int128>(a) * b * elem;
+    if (need > remaining)
+      throw std::runtime_error(std::string("checkpoint: hostile size field (") +
+                               what + ") in " + path +
+                               " exceeds file size");
+    remaining -= static_cast<std::uint64_t>(need);
+  };
   unsigned char header[kCkptHeader];
   read_all(f.get(), header, sizeof(header), "header");
   const bool v2 =
@@ -159,18 +189,22 @@ Checkpoint load_checkpoint(const std::string& path) {
   const auto d = static_cast<index_t>(fields[3]);
   if (k == 0 || d == 0)
     throw std::runtime_error("checkpoint: degenerate shape in " + path);
+  claim(k, d, sizeof(value_t), "centroids k*d");
   ckpt.centroids = DenseMatrix(k, d);
   read_all(f.get(), ckpt.centroids.data(),
            ckpt.centroids.size() * sizeof(value_t), "centroids", hash);
+  claim(n, 1, sizeof(cluster_t), "assignment count");
   ckpt.assignments.resize(static_cast<std::size_t>(n));
   read_all(f.get(), ckpt.assignments.data(), n * sizeof(cluster_t),
            "assignments", hash);
   if (has_mti) {
+    claim(n, 1, sizeof(value_t), "upper-bound count");
     ckpt.upper_bounds.resize(static_cast<std::size_t>(n));
     read_all(f.get(), ckpt.upper_bounds.data(), n * sizeof(value_t),
              "upper bounds", hash);
   }
   if (header[41] != 0) {
+    claim(k, d + 1, sizeof(value_t), "sums k*d");
     ckpt.sums = DenseMatrix(k, d);
     read_all(f.get(), ckpt.sums.data(), ckpt.sums.size() * sizeof(value_t),
              "sums", hash);
@@ -179,6 +213,7 @@ Checkpoint load_checkpoint(const std::string& path) {
              ckpt.counts.size() * sizeof(std::int64_t), "counts", hash);
   }
   if (header[42] != 0) {
+    claim(k, 2, sizeof(value_t), "weight count");
     ckpt.weights.resize(static_cast<std::size_t>(k));
     read_all(f.get(), ckpt.weights.data(),
              ckpt.weights.size() * sizeof(value_t), "weights", hash);
@@ -189,9 +224,11 @@ Checkpoint load_checkpoint(const std::string& path) {
   }
   if (v2 && header[43] != 0) {
     std::uint64_t dist_fields[3];
+    claim(3, 1, sizeof(std::uint64_t), "dist block");
     read_all(f.get(), dist_fields, sizeof(dist_fields), "dist block", hash);
     ckpt.dist_epoch = dist_fields[0];
     ckpt.dist_world = static_cast<std::int32_t>(dist_fields[1]);
+    claim(dist_fields[2], 1, sizeof(std::int32_t), "dist node count");
     ckpt.dist_nodes.resize(static_cast<std::size_t>(dist_fields[2]));
     read_all(f.get(), ckpt.dist_nodes.data(),
              ckpt.dist_nodes.size() * sizeof(std::int32_t), "dist nodes",

@@ -263,6 +263,47 @@ TEST_F(TempDir, TruncatedBodyThrows) {
   EXPECT_THROW(read_matrix(path("tb.kmat")), std::runtime_error);
 }
 
+// Patch one u64 header field of an existing .kmat file in place.
+void patch_header_u64(const std::string& path, long offset,
+                      std::uint64_t value) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&value, sizeof(value), 1, f), 1u);
+  std::fclose(f);
+}
+
+TEST_F(TempDir, HostileSizeFieldsRejectedBeforeAllocation) {
+  GeneratorSpec spec;
+  spec.n = 4;
+  spec.d = 2;
+  write_matrix(path("host.kmat"), generate(spec));
+  // n*d*elem_size wraps 64-bit size_t to a tiny value: 2^61 rows x 1 col x
+  // 8 bytes == 2^64 == 0. The old body check passed and the allocator was
+  // handed the hostile product; now the loader rejects by name before any
+  // allocation happens.
+  patch_header_u64(path("host.kmat"), 8, 1ull << 61);   // n
+  patch_header_u64(path("host.kmat"), 16, 1);           // d
+  try {
+    read_matrix(path("host.kmat"));
+    FAIL() << "hostile n field was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hostile size field"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(read_header(path("host.kmat")), std::runtime_error);
+  EXPECT_THROW(RowReader{path("host.kmat")}, std::runtime_error);
+
+  // Non-wrapping but still absurd: a 64-byte file declaring a petabyte.
+  write_matrix(path("host2.kmat"), generate(spec));
+  patch_header_u64(path("host2.kmat"), 8, 1ull << 47);  // n
+  EXPECT_THROW(read_matrix(path("host2.kmat")), std::runtime_error);
+  DenseMatrix out(1, 2);
+  EXPECT_THROW(read_rows(path("host2.kmat"), 0, 1, out.view()),
+               std::runtime_error);
+}
+
 TEST_F(TempDir, ReadRowsOutOfRangeThrows) {
   GeneratorSpec spec;
   spec.n = 10;

@@ -87,10 +87,11 @@ TEST_P(ExactnessSweep, MtiPruningPreservesClustering) {
   const Result res = kmeans(data_.const_view(), opts);
   expect_same_clustering(res, "knori");
   // And pruning must actually prune (beyond trivial sizes).
-  if (GetParam().n >= 1000 && GetParam().k > 1)
+  if (GetParam().n >= 1000 && GetParam().k > 1) {
     EXPECT_LT(res.counters.dist_computations,
               static_cast<std::uint64_t>(GetParam().n) * GetParam().k *
                   res.iters);
+  }
 }
 
 TEST_P(ExactnessSweep, NumaObliviousMatchesSerial) {

@@ -283,6 +283,62 @@ TEST_F(FaultTest, CorruptCheckpointsAreRejected) {
   std::remove(path.c_str());
 }
 
+TEST_F(FaultTest, HostileCheckpointSizeFieldsAreRejected) {
+  // Header-declared element counts are bounded against the bytes actually
+  // on disk BEFORE any buffer is sized from them: a 64-bit field patched to
+  // 2^60 must be rejected by name, never allocated (fuzz corpus:
+  // tests/fuzz/corpus/checkpoint).
+  const std::string path = ::testing::TempDir() + "ft_hostile.ckpt";
+  sem::Checkpoint ckpt;
+  ckpt.iteration = 3;
+  ckpt.centroids = *init_;
+  ckpt.assignments.assign(static_cast<std::size_t>(kN), 0);
+  sem::save_checkpoint(path, ckpt);
+
+  const auto patch_u64 = [&](long offset, std::uint64_t value) {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&value, sizeof(value), 1, f), 1u);
+    std::fclose(f);
+  };
+  const auto expect_hostile = [&](const char* field) {
+    try {
+      sem::load_checkpoint(path);
+      FAIL() << "hostile " << field << " field was accepted";
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find("hostile size field"), std::string::npos) << msg;
+      EXPECT_NE(msg.find(field), std::string::npos) << msg;
+    }
+  };
+
+  patch_u64(16, 1ull << 60);  // n: would wrap n*sizeof(cluster_t) as size_t
+  expect_hostile("assignment count");
+  patch_u64(16, static_cast<std::uint64_t>(kN));
+  patch_u64(24, 1ull << 44);  // k: beyond any plausible field, pre-bounded
+  expect_hostile("centroids k*d");
+
+  // Hand-craft a minimal v2 file whose dist block claims 2^59 node ids.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    unsigned char header[64] = {};
+    std::memcpy(header, "KNORCKP2", 8);
+    const std::uint64_t fields[4] = {0, 0, 1, 1};  // iter, n, k, d
+    std::memcpy(header + 8, fields, sizeof(fields));
+    header[43] = 1;  // dist block present
+    ASSERT_EQ(std::fwrite(header, 1, sizeof(header), f), sizeof(header));
+    const double centroid = 0.0;
+    ASSERT_EQ(std::fwrite(&centroid, sizeof(centroid), 1, f), 1u);
+    const std::uint64_t dist_fields[3] = {0, 4, 1ull << 59};
+    ASSERT_EQ(std::fwrite(dist_fields, sizeof(std::uint64_t), 3, f), 3u);
+    std::fclose(f);
+  }
+  expect_hostile("dist node count");
+  std::remove(path.c_str());
+}
+
 TEST_F(FaultTest, VersionOneCheckpointsStillLoad) {
   // A v1 file is a v2 file without the checksum or dist block; the loader
   // must keep accepting them (the pre-existing SEM checkpoint fleet).

@@ -1,0 +1,24 @@
+// Fuzzes the bench-harness JSON parser with a round-trip property: any
+// input that parses must dump to bytes that re-parse to an equal value —
+// this is exactly what makes `knor_bench --strip` determinism diffs
+// trustworthy (DESIGN.md §6).
+#include <exception>
+#include <string>
+
+#include "fuzz_target.hpp"
+#include "harness/json.hpp"
+
+KNOR_FUZZ_TARGET(bench_json) {
+  if (size > knor::fuzz::kMaxInputBytes) return;
+  const std::string text = knor::fuzz::as_string(data, size);
+  std::string error;
+  const knor::bench::Json v = knor::bench::Json::parse(text, &error);
+  if (!error.empty()) return;  // rejected, fine
+  const std::string compact = v.dump(0);
+  const std::string pretty = v.dump(2);
+  std::string err2;
+  const knor::bench::Json v2 = knor::bench::Json::parse(compact, &err2);
+  if (!err2.empty() || v2 != v) __builtin_trap();
+  const knor::bench::Json v3 = knor::bench::Json::parse(pretty, &err2);
+  if (!err2.empty() || v3 != v) __builtin_trap();
+}

@@ -1,0 +1,21 @@
+// Fuzzes sem::load_checkpoint — the KNORCKP1/KNORCKP2 loader, including
+// the checksum, truncation, and hostile-size-field paths hardened in
+// src/sem/checkpoint.cpp. Contract: any byte stream either loads or
+// throws; it never crashes and never allocates beyond the file size.
+#include <exception>
+
+#include "fuzz_target.hpp"
+#include "sem/checkpoint.hpp"
+
+KNOR_FUZZ_TARGET(checkpoint) {
+  if (size > knor::fuzz::kMaxInputBytes) return;
+  const std::string path =
+      knor::fuzz::scratch_file(data, size, "input.ckpt");
+  try {
+    const knor::sem::Checkpoint ckpt = knor::sem::load_checkpoint(path);
+    (void)ckpt.n();
+  } catch (const std::exception&) {
+    // Rejection is the expected outcome for most inputs.
+  }
+  knor::sem::checkpoint_exists(path);  // must never throw
+}

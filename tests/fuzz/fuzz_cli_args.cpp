@@ -1,0 +1,51 @@
+// Fuzzes tools/cli_args.hpp — the shared strict --flag parser behind
+// every knor tool. Input bytes are split on '\n' into argv tokens.
+// Contract: any token stream either parses or reaches the fail handler
+// (which the tools turn into usage + exit 2); it never returns a silently
+// mangled value and never crashes.
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "fuzz_target.hpp"
+#include "tools/cli_args.hpp"
+
+namespace {
+/// Stand-in for the tools' usage()-and-exit handler: must not return.
+struct ParseRejected : std::exception {};
+[[noreturn]] void reject(const std::string&) { throw ParseRejected{}; }
+}  // namespace
+
+KNOR_FUZZ_TARGET(cli_args) {
+  if (size > knor::fuzz::kMaxInputBytes) return;
+  std::vector<std::string> tokens{"fuzz_cli"};
+  std::string cur;
+  for (std::size_t i = 0; i < size && tokens.size() < 64; ++i) {
+    const char c = static_cast<char>(data[i]);
+    if (c == '\n') {
+      tokens.push_back(cur);
+      cur.clear();
+    } else if (c != '\0') {
+      cur += c;
+    }
+  }
+  if (!cur.empty() && tokens.size() < 64) tokens.push_back(cur);
+  std::vector<char*> argv;
+  argv.reserve(tokens.size());
+  for (std::string& t : tokens) argv.push_back(t.data());
+
+  try {
+    const knor::tools::Args args(static_cast<int>(argv.size()), argv.data(),
+                                 1, &reject);
+    (void)args.has("verbose");
+    (void)args.str("out", "results.json");
+    (void)args.num("iters", 20);
+    (void)args.num_min("rows-per-request", 1, 1);
+    (void)args.real("tolerance", 1e-6);
+    const knor::Options opts = knor::tools::engine_options_from(args);
+    (void)opts;
+  } catch (const ParseRejected&) {
+  } catch (const std::exception&) {
+    // parse_isa_or_throw / gemm-tile style rejections
+  }
+}

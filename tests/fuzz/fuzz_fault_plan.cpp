@@ -1,0 +1,22 @@
+// Fuzzes the dist::FaultPlan CLI grammar (crash@I:rN, leave/join, slow,
+// flaky, seed=S; ';' or ',' separated). Contract: parse either returns a
+// plan that passes validate() and describes itself, or throws
+// std::invalid_argument — arbitrary bytes never crash it.
+#include <exception>
+#include <string>
+
+#include "dist/fault.hpp"
+#include "fuzz_target.hpp"
+
+KNOR_FUZZ_TARGET(fault_plan) {
+  if (size > knor::fuzz::kMaxInputBytes) return;
+  const std::string spec = knor::fuzz::as_string(data, size);
+  try {
+    const knor::dist::FaultPlan plan = knor::dist::FaultPlan::parse(spec);
+    plan.validate();  // parse() promises its output already validates
+    (void)plan.describe();
+    (void)plan.crash_at(1, 0);
+    (void)plan.straggler_multiplier(0);
+  } catch (const std::exception&) {
+  }
+}

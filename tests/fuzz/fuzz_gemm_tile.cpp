@@ -1,0 +1,27 @@
+// Fuzzes --gemm-tile parsing (core/parallel_lloyd.cpp): "auto" or RxC with
+// strictly positive whole integers, everything else rejected. Checks the
+// two entry points agree (parse_gemm_tile fails <=> the _or_throw variant
+// throws) and that an accepted tile survives resolve_gemm_tile.
+#include <exception>
+#include <string>
+
+#include "core/kmeans_types.hpp"
+#include "fuzz_target.hpp"
+
+KNOR_FUZZ_TARGET(gemm_tile) {
+  if (size > knor::fuzz::kMaxInputBytes) return;
+  const std::string name = knor::fuzz::as_string(data, size);
+  knor::GemmTile tile;
+  const bool ok = knor::parse_gemm_tile(name, &tile);
+  bool threw = false;
+  try {
+    (void)knor::parse_gemm_tile_or_throw(name, "--gemm-tile");
+  } catch (const std::invalid_argument&) {
+    threw = true;
+  }
+  if (ok == threw) __builtin_trap();  // the two entry points disagreed
+  if (ok) {
+    const knor::GemmTile r = knor::resolve_gemm_tile(tile, 1024, 8);
+    if (r.rows == 0 || r.cols == 0) __builtin_trap();
+  }
+}

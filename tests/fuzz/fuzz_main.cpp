@@ -1,0 +1,22 @@
+// libFuzzer entry point: each fuzz_<name> binary is fuzz_main.cpp plus
+// fuzz_registry.cpp plus exactly ONE target TU, so the registry holds one
+// entry. Built only under -DKNOR_FUZZ=ON with a libFuzzer-capable
+// compiler; the always-on ctest path is fuzz_replay_test.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz_target.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  auto& targets = knor::fuzz::registry();
+  if (targets.size() != 1) {
+    std::fprintf(stderr,
+                 "fuzz_main: expected exactly 1 registered target, got %zu\n",
+                 targets.size());
+    std::abort();
+  }
+  targets[0].fn(data, size);
+  return 0;
+}

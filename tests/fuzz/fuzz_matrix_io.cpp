@@ -1,0 +1,28 @@
+// Fuzzes the .kmat header + row reader (src/data/matrix_io.cpp): bad
+// magic, truncated header/body, d == 0, element-size mismatch, and the
+// hostile n/d fields that used to wrap the size_t body product.
+#include <exception>
+
+#include "common/types.hpp"
+#include "data/matrix_io.hpp"
+#include "fuzz_target.hpp"
+
+KNOR_FUZZ_TARGET(matrix_io) {
+  if (size > knor::fuzz::kMaxInputBytes) return;
+  const std::string path =
+      knor::fuzz::scratch_file(data, size, "input.kmat");
+  try {
+    const knor::data::MatrixHeader h = knor::data::read_header(path);
+    // Header accepted: the full read paths must then succeed too (the
+    // body bound was already checked), and agree on shape.
+    const knor::DenseMatrix m = knor::data::read_matrix(path);
+    if (m.rows() != h.n || m.cols() != h.d) __builtin_trap();
+    knor::data::RowReader reader(path);
+    if (h.n > 0) {
+      knor::DenseMatrix row(1, h.d);
+      reader.read(0, 1,
+                  knor::MutMatrixView(row.data(), 1, h.d));
+    }
+  } catch (const std::exception&) {
+  }
+}

@@ -1,0 +1,47 @@
+#include "fuzz_target.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+namespace knor::fuzz {
+
+std::vector<Target>& registry() {
+  static std::vector<Target> targets;
+  return targets;
+}
+
+Registrar::Registrar(const char* name, TargetFn fn) {
+  registry().push_back({name, fn});
+}
+
+std::string scratch_file(const std::uint8_t* data, std::size_t size,
+                         const char* tag) {
+  static const std::string dir = [] {
+    std::string tmpl = (std::filesystem::temp_directory_path() /
+                        "knor_fuzz_XXXXXX")
+                           .string();
+    if (::mkdtemp(tmpl.data()) == nullptr) {
+      std::perror("knor_fuzz: mkdtemp");
+      std::abort();
+    }
+    return tmpl;
+  }();
+  const std::string path = dir + "/" + tag;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::perror("knor_fuzz: fopen scratch");
+    std::abort();
+  }
+  if (size > 0 && std::fwrite(data, 1, size, f) != size) {
+    std::fclose(f);
+    std::perror("knor_fuzz: fwrite scratch");
+    std::abort();
+  }
+  std::fclose(f);
+  return path;
+}
+
+}  // namespace knor::fuzz

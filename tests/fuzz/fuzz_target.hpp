@@ -1,0 +1,66 @@
+// Fuzz-target registry (DESIGN.md §14). Each hand-rolled parser gets one
+// TU under tests/fuzz/ defining a target with KNOR_FUZZ_TARGET(name); the
+// body must tolerate ARBITRARY bytes — reject with an exception, never
+// crash, never allocate proportionally to a hostile header field.
+//
+// The same TUs serve two harnesses:
+//   * fuzz_replay_test links all of them and replays every checked-in
+//     corpus file (plus deterministic mutations) under plain ctest — this
+//     is the path the ASan/UBSan CI job exercises on every push.
+//   * With -DKNOR_FUZZ=ON and a libFuzzer-capable compiler, each TU also
+//     links against fuzz_main.cpp into a standalone `fuzz_<name>` binary
+//     for open-ended exploration (CI runs a short smoke of each).
+//
+// Registration is a static initializer, so target TUs must be compiled
+// directly into their harness executable — archived in a static library
+// the linker would drop them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace knor::fuzz {
+
+/// Inputs above this size are ignored by every target: parsers under test
+/// bound their allocations by input size, so this caps fuzz memory too.
+inline constexpr std::size_t kMaxInputBytes = 1 << 20;
+
+using TargetFn = void (*)(const std::uint8_t* data, std::size_t size);
+
+struct Target {
+  const char* name;
+  TargetFn fn;
+};
+
+/// All targets linked into this binary, in registration order.
+std::vector<Target>& registry();
+
+struct Registrar {
+  Registrar(const char* name, TargetFn fn);
+};
+
+inline std::string_view as_view(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+inline std::string as_string(const std::uint8_t* data, std::size_t size) {
+  return {reinterpret_cast<const char*>(data), size};
+}
+
+/// Write `data` to a per-process scratch file named after `tag` and return
+/// its path — for parsers that only consume files. The file is reused
+/// across calls, so the hot fuzz loop does one write + one parse.
+std::string scratch_file(const std::uint8_t* data, std::size_t size,
+                         const char* tag);
+
+}  // namespace knor::fuzz
+
+/// KNOR_FUZZ_TARGET(name) { ... } defines and self-registers a target.
+#define KNOR_FUZZ_TARGET(name)                                              \
+  static void knor_fuzz_##name(const std::uint8_t* data, std::size_t size); \
+  static const ::knor::fuzz::Registrar knor_fuzz_reg_##name(                \
+      #name, &knor_fuzz_##name);                                            \
+  static void knor_fuzz_##name(const std::uint8_t* data, std::size_t size)

@@ -1,0 +1,101 @@
+// Corpus replay: every fuzz target (tests/fuzz/) runs over every
+// checked-in corpus file plus a deterministic spray of mutations, under
+// plain ctest — so the ASan/UBSan CI job re-executes the whole corpus on
+// every push even though gcc has no libFuzzer. A crash or sanitizer
+// report here is a real parser bug; add the offending input to
+// tests/fuzz/corpus/<target>/ once fixed so it stays fixed.
+//
+// KNOR_FUZZ_CORPUS_DIR is injected by CMake.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "fuzz/fuzz_target.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using knor::fuzz::Target;
+
+std::vector<std::uint8_t> read_bytes(const fs::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+class FuzzReplay : public ::testing::TestWithParam<Target> {};
+
+TEST_P(FuzzReplay, CorpusAndMutationsRunClean) {
+  const Target& target = GetParam();
+  const fs::path dir =
+      fs::path(KNOR_FUZZ_CORPUS_DIR) / target.name;
+  ASSERT_TRUE(fs::is_directory(dir))
+      << "missing seed corpus " << dir
+      << " — every fuzz target must check one in";
+
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::directory_iterator(dir))
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty()) << "empty seed corpus " << dir;
+
+  for (const fs::path& file : files) {
+    SCOPED_TRACE(file.string());
+    const std::vector<std::uint8_t> bytes = read_bytes(file);
+    target.fn(bytes.data(), bytes.size());
+
+    // Deterministic mutations (seeded by target+file name, not by time):
+    // single-byte flips and truncations — the cheap half of a fuzzer,
+    // cheap enough to run on every ctest invocation.
+    knor::Prng prng(fnv1a(std::string(target.name) + file.filename().string()));
+    for (int i = 0; i < 32; ++i) {
+      std::vector<std::uint8_t> mutated = bytes;
+      if (mutated.empty()) break;
+      const auto pos =
+          static_cast<std::size_t>(prng.next_u64() % mutated.size());
+      mutated[pos] ^= static_cast<std::uint8_t>(1u << (prng.next_u64() % 8));
+      target.fn(mutated.data(), mutated.size());
+    }
+    for (int i = 0; i < 8; ++i) {
+      const auto cut =
+          static_cast<std::size_t>(prng.next_u64() % (bytes.size() + 1));
+      target.fn(bytes.data(), cut);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTargets, FuzzReplay, ::testing::ValuesIn(knor::fuzz::registry()),
+    [](const ::testing::TestParamInfo<Target>& info) {
+      return std::string(info.param.name);
+    });
+
+TEST(FuzzReplay, EveryExpectedTargetIsRegistered) {
+  // The registry is populated by static initializers in the fuzz TUs; a
+  // build-system change that silently drops a TU would otherwise just
+  // shrink the parameterized suite.
+  std::vector<std::string> names;
+  for (const Target& t : knor::fuzz::registry()) names.emplace_back(t.name);
+  std::sort(names.begin(), names.end());
+  const std::vector<std::string> expected = {
+      "bench_json", "checkpoint", "cli_args",
+      "fault_plan", "gemm_tile",  "matrix_io"};
+  EXPECT_EQ(names, expected);
+}
+
+}  // namespace

@@ -37,6 +37,7 @@ TEST(Json, NumberRoundTrip) {
   for (const double v : {0.0, 1.0, -1.0, 0.1, 1e-9, 3.141592653589793,
                          1234567890123.0, -2.5e17, 6.02e23}) {
     const std::string s = format_double(v);
+    // strtod as an independent round-trip oracle. knor_lint: allow KL001
     EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
   }
   EXPECT_EQ(format_double(42), "42");          // integers print bare

@@ -56,9 +56,10 @@ TEST(ObsHistogram, BucketsPartitionTheRange) {
     EXPECT_EQ(obs::Histogram::bucket_of(hi), b);
     EXPECT_EQ(obs::Histogram::bucket_of(hi + 1), b + 1);
     const std::uint64_t lo = obs::Histogram::bucket_lo(b);
-    if (lo >= 4)
+    if (lo >= 4) {
       EXPECT_LE(static_cast<double>(hi + 1 - lo), 0.25 * lo + 1)
           << "bucket " << b;
+    }
   }
 }
 

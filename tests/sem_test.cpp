@@ -6,6 +6,8 @@
 #include <unistd.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <numeric>
 
@@ -435,6 +437,34 @@ TEST_F(SemTest, UnsupportedInitThrows) {
   opts.k = 3;
   opts.init = Init::kKmeansPP;
   EXPECT_THROW(kmeans(path, opts, SemOptions{}), std::invalid_argument);
+}
+
+TEST_F(SemTest, HostileMatrixHeaderRejected) {
+  // A .kmat whose header declares exabytes of rows over a 1KB file must be
+  // rejected by name before the SEM engine sizes any per-row state from it
+  // (fuzz corpus: tests/fuzz/corpus/matrix_io).
+  data::GeneratorSpec spec;
+  spec.n = 16;
+  spec.d = 4;
+  const std::string path = make_matrix(spec, "hostile.kmat");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    const std::uint64_t huge = 1ull << 61;
+    ASSERT_EQ(std::fseek(f, 8, SEEK_SET), 0);  // n field
+    ASSERT_EQ(std::fwrite(&huge, sizeof(huge), 1, f), 1u);
+    std::fclose(f);
+  }
+  Options opts;
+  opts.k = 2;
+  try {
+    kmeans(path, opts, SemOptions{});
+    FAIL() << "hostile header was accepted";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("hostile size field"),
+              std::string::npos)
+        << e.what();
+  }
 }
 
 TEST_F(SemTest, MissingFileThrows) {

@@ -107,9 +107,11 @@ TEST(Seeded, LabeledPointsNeverMove) {
   opts.threads = 2;
   opts.max_iters = 40;
   const Result res = seeded_kmeans(m.const_view(), opts, labels);
-  for (index_t r = 0; r < 4000; ++r)
-    if (labels[r] != kInvalidCluster)
+  for (index_t r = 0; r < 4000; ++r) {
+    if (labels[r] != kInvalidCluster) {
       ASSERT_EQ(res.assignments[r], labels[r]) << r;
+    }
+  }
 }
 
 TEST(Seeded, NoLabelsBehavesLikeKmeans) {

@@ -8,7 +8,6 @@
 // removing the machine-dependent timing fields, so
 //   diff <(knor_bench --strip a.json) <(knor_bench --strip b.json)
 // verifies the determinism contract of DESIGN.md §6.
-#include <cerrno>
 #include <climits>
 #include <cstdio>
 #include <cstdlib>
@@ -19,6 +18,7 @@
 #include <vector>
 
 #include "common/logger.hpp"
+#include "common/strict_parse.hpp"
 #include "harness/harness.hpp"
 #include "harness/report.hpp"
 #include "obs/export.hpp"
@@ -98,20 +98,15 @@ bool write_file(const std::string& path, const std::string& content) {
 // Strict numeric parsing (knor_cli-style rejection): `--repeats abc` must
 // exit nonzero with a message, never silently become 0 samples that "pass".
 int parse_int(const std::string& flag, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(value.c_str(), &end, 10);
-  if (value.empty() || *end != '\0' || errno == ERANGE || v < INT_MIN ||
-      v > INT_MAX)
+  std::int64_t v = 0;
+  if (!knor::parse_i64(value, &v) || v < INT_MIN || v > INT_MAX)
     usage((flag + " expects an integer, got '" + value + "'").c_str());
   return static_cast<int>(v);
 }
 
 double parse_num(const std::string& flag, const std::string& value) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(value.c_str(), &end);
-  if (value.empty() || *end != '\0' || errno == ERANGE)
+  double v = 0.0;
+  if (!knor::parse_double(value, &v))
     usage((flag + " expects a number, got '" + value + "'").c_str());
   return v;
 }
@@ -187,7 +182,13 @@ int main(int argc, char** argv) {
   const knor::obs::ExportConfig exports =
       knor::obs::export_config(metrics_path, trace_path);
 
-  RunOptions opts = RunOptions::for_scale(scale);
+  RunOptions opts;
+  try {
+    // for_scale validates KNOR_BENCH_SCALE strictly — garbage exits 2 here.
+    opts = RunOptions::for_scale(scale);
+  } catch (const std::exception& e) {
+    usage(e.what());
+  }
   if (factor > 0) opts.scale_factor *= factor;
   if (repeats > 0) opts.repeats = repeats;
   if (warmup >= 0) opts.warmup = warmup;

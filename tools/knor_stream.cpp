@@ -1,6 +1,6 @@
 // knor_stream — streaming clustering + assignment serving (DESIGN.md §9).
 //
-//   knor_stream ingest  --data stream.kmat --k 64 --decay 0.9 \
+//   knor_stream ingest  --data stream.kmat --k 64 --decay 0.9
 //                       --batch-rows 4096 --snapshot model.ckpt
 //   knor_stream assign  --snapshot model.ckpt --queries q.kmat --out a.bin
 //   knor_stream snapshot model.ckpt

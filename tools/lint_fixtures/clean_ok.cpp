@@ -1,0 +1,14 @@
+// Violations that live only in comments, strings, or longer identifiers —
+// knor_lint must NOT fire on any of them (exit 0).
+#include <string>
+
+// atoi(x) in a comment is fine; so is set_isa(2) or rand().
+static const char* kDoc =
+    "call atoi(s), malloc(n), new double[8], srand(time(0)) at your peril";
+static const char* kRaw = R"lint(strtod("1.5", nullptr) inside raw string)lint";
+
+int my_rand_counter = 0;       // `rand` inside an identifier
+int migrate(int x) { return x; }  // 'rat' + 'e(' must not look like time(
+int uptime(int t) { return t; }   // suffix collision with time(
+
+std::string describe() { return std::string(kDoc) + kRaw; }

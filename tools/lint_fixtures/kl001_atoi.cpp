@@ -1,0 +1,11 @@
+// Seeded KL001 violation: atoi-family parsing outside tools/cli_args.hpp.
+// Never compiled — exists so lint_test can prove the rule fires.
+#include <cstdlib>
+
+int parse_threads(const char* arg) {
+  return std::atoi(arg);  // KL001 expected here
+}
+
+double parse_scale(const char* arg) {
+  return strtod(arg, nullptr);  // KL001 expected here too
+}

@@ -1,0 +1,9 @@
+// Seeded KL002 violation: pinning the global SIMD ISA from a library TU.
+// Never compiled — exists so lint_test can prove the rule fires.
+namespace knor::kernels {
+void set_isa(int);
+}
+
+void helpful_speedup_hack() {
+  knor::kernels::set_isa(2);  // KL002 expected here
+}

@@ -1,0 +1,11 @@
+// Seeded KL003 violations: ambient entropy outside common/prng.hpp.
+// Never compiled — exists so lint_test can prove the rule fires.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned roll_seed() {
+  std::srand(time(nullptr));          // KL003 expected twice on this line
+  std::random_device entropy;         // KL003 expected here
+  return entropy() ^ std::rand();     // KL003 expected here
+}

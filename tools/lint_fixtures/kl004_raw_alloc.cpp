@@ -1,0 +1,12 @@
+// Seeded KL004 violations: raw SIMD buffer allocation outside
+// common/aligned_buffer.hpp. Never compiled — exists so lint_test can
+// prove the rule fires.
+#include <cstdlib>
+
+double* make_centroid_scratch(unsigned k, unsigned d) {
+  return new double[static_cast<unsigned long>(k) * d];  // KL004 expected
+}
+
+void* make_row_buffer(unsigned bytes) {
+  return malloc(bytes);  // KL004 expected here
+}

@@ -1,0 +1,18 @@
+// Seeded KL005 violation: metric registered without an explicit Det class.
+// Never compiled — exists so lint_test can prove the rule fires.
+struct Counter {
+  void inc();
+};
+struct Registry {
+  static Registry& global();
+  Counter& counter(const char* name);
+  Counter& counter(const char* name, int det);
+};
+
+void count_something() {
+  Registry::global().counter("core.mystery_events").inc();  // KL005 expected
+  Registry::global()
+      .counter(
+          "core.slow_path_hits")  // KL005 expected: spans lines, still bare
+      .inc();
+}

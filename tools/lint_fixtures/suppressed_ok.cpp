@@ -1,0 +1,12 @@
+// Every violation here carries an inline waiver — knor_lint must exit 0.
+// Never compiled — exists so lint_test can prove suppressions work.
+#include <cstdlib>
+
+int checked_elsewhere(const char* arg) {
+  return std::atoi(arg);  // knor_lint: allow KL001
+}
+
+void* legacy_buffer(unsigned bytes) {
+  // knor_lint: allow KL004
+  return malloc(bytes);
+}
